@@ -1,0 +1,73 @@
+// Command ccasm assembles MIPS R2000 source into a loadable image — the
+// "traditional RISC compiler and linker" stage of the CCRP tool flow.
+//
+// Usage:
+//
+//	ccasm [-o prog.img] [-l] prog.s
+//
+// With -l a listing (addresses, words, disassembly) is printed instead of
+// writing an image.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"ccrp/internal/asm"
+	"ccrp/internal/mips"
+)
+
+func main() {
+	out := flag.String("o", "a.img", "output image path")
+	listing := flag.Bool("l", false, "print a listing instead of writing the image")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccasm [-o out.img] [-l] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *listing {
+		printListing(prog)
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := prog.WriteImage(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: text %d bytes, data %d bytes, entry %#08x\n",
+		*out, len(prog.Text), len(prog.Data), prog.Entry)
+}
+
+func printListing(p *asm.Program) {
+	syms := map[uint32][]string{}
+	for _, name := range p.SymbolsSorted() {
+		addr := p.Symbols[name]
+		syms[addr] = append(syms[addr], name)
+	}
+	for off := 0; off+4 <= len(p.Text); off += 4 {
+		addr := asm.TextBase + uint32(off)
+		for _, s := range syms[addr] {
+			fmt.Printf("%s:\n", s)
+		}
+		w := mips.Word(binary.LittleEndian.Uint32(p.Text[off:]))
+		fmt.Printf("  %08x  %08x  %s\n", addr, uint32(w), mips.Disassemble(w, addr))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccasm:", err)
+	os.Exit(1)
+}

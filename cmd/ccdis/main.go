@@ -1,0 +1,42 @@
+// Command ccdis disassembles the text section of an image produced by
+// ccasm.
+//
+// Usage:
+//
+//	ccdis prog.img
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"ccrp/internal/asm"
+	"ccrp/internal/mips"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: ccdis prog.img")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	prog, err := asm.ReadImage(f)
+	if err != nil {
+		fatal(err)
+	}
+	for off := 0; off+4 <= len(prog.Text); off += 4 {
+		addr := asm.TextBase + uint32(off)
+		w := mips.Word(binary.LittleEndian.Uint32(prog.Text[off:]))
+		fmt.Printf("%08x  %08x  %s\n", addr, uint32(w), mips.Disassemble(w, addr))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccdis:", err)
+	os.Exit(1)
+}

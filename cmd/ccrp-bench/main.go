@@ -1,0 +1,61 @@
+// Command ccrp-bench regenerates the paper's tables and figures from the
+// reproduction (see DESIGN.md's experiment index and EXPERIMENTS.md for
+// paper-vs-measured results).
+//
+// Usage:
+//
+//	ccrp-bench [-exp all|fig1|fig2|fig5|fig9|tables1-8|tables9-10|tables11-13|ablations|extensions|paging|codepack]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ccrp/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	flag.Parse()
+
+	runners := map[string]func(io.Writer) error{
+		"fig1":        experiments.RenderFigure1,
+		"fig2":        func(w io.Writer) error { return experiments.RenderFigure2(w, "eightq", 14) },
+		"fig5":        experiments.RenderFigure5,
+		"fig9":        experiments.RenderFigure9,
+		"tables1-8":   experiments.RenderTables1to8,
+		"tables9-10":  experiments.RenderTables9and10,
+		"tables11-13": experiments.RenderTables11to13,
+		"ablations":   experiments.RenderAblations,
+		"extensions":  experiments.RenderExtensions,
+		"paging":      experiments.RenderPaging,
+		"codepack":    experiments.RenderCodePack,
+	}
+	order := []string{"fig5", "fig1", "fig2", "tables1-8", "tables9-10", "fig9", "tables11-13", "ablations", "extensions", "paging", "codepack"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("==== %s ====\n", name)
+			if err := runners[name](os.Stdout); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ccrp-bench: unknown experiment %q; have all %v\n", *exp, order)
+		os.Exit(2)
+	}
+	if err := run(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccrp-bench:", err)
+	os.Exit(1)
+}

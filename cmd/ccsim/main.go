@@ -1,0 +1,170 @@
+// Command ccsim is the trace-driven system simulator of the paper's §4.1:
+// it executes a program functionally to obtain its instruction trace and
+// pipeline stalls, then runs the trace through both the standard R2000
+// system model and the CCRP model, reporting relative performance, miss
+// rate, and memory traffic.
+//
+// Usage:
+//
+//	ccsim [-cache 1024] [-clb 16] [-mem "Burst EPROM"] [-dmiss 1.0]
+//	      (-workload name | prog.img | prog.s)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ccrp/internal/asm"
+	"ccrp/internal/core"
+	"ccrp/internal/experiments"
+	"ccrp/internal/huffman"
+	"ccrp/internal/memory"
+	"ccrp/internal/sim"
+	"ccrp/internal/trace"
+	"ccrp/internal/workload"
+)
+
+func main() {
+	cacheBytes := flag.Int("cache", 1024, "instruction cache size in bytes")
+	clbEntries := flag.Int("clb", 16, "CLB entries")
+	memName := flag.String("mem", "Burst EPROM", `memory model: "EPROM", "Burst EPROM", or "DRAM"`)
+	dmiss := flag.Float64("dmiss", 1.0, "data cache miss rate (1.0 = no data cache)")
+	quiet := flag.Bool("q", false, "suppress the program's console output")
+	wl := flag.String("workload", "", "simulate a corpus workload")
+	saveTrace := flag.String("savetrace", "", "write the instruction trace to this file")
+	loadTrace := flag.String("trace", "", "drive the comparison from a saved trace (with prog.img for the text)")
+	flag.Parse()
+
+	mem, ok := memory.ByName(*memName)
+	if !ok {
+		fatal(fmt.Errorf("unknown memory model %q", *memName))
+	}
+
+	var tr *trace.Trace
+	var text []byte
+	var name string
+	switch {
+	case *loadTrace != "":
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("-trace needs the program image for the text section"))
+		}
+		f, err := os.Open(*loadTrace)
+		if err != nil {
+			fatal(err)
+		}
+		loaded, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		prog := loadProgram(flag.Arg(0))
+		fmt.Printf("loaded trace: %d instructions, %d stalls\n", loaded.Instructions(), loaded.Stalls)
+		tr, text, name = loaded, prog.Text, *loadTrace
+	case *wl != "":
+		w, ok := workload.ByName(*wl)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q (have %v)", *wl, workload.Names()))
+		}
+		t, err := w.Trace()
+		if err != nil {
+			fatal(err)
+		}
+		txt, err := w.Text()
+		if err != nil {
+			fatal(err)
+		}
+		res, out, _ := w.Run()
+		if !*quiet {
+			fmt.Print(out)
+		}
+		fmt.Printf("executed %d instructions, %d stalls\n", res.Instructions, res.Stalls)
+		tr, text, name = t, txt, *wl
+	case flag.NArg() == 1:
+		prog := loadProgram(flag.Arg(0))
+		stdout := os.Stdout
+		if *quiet {
+			stdout = nil
+		}
+		m := sim.New(prog, sim.Config{Stdout: stdout, CollectTrace: true})
+		res, err := m.Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("executed %d instructions, %d stalls\n", res.Instructions, res.Stalls)
+		tr, text, name = res.Trace, prog.Text, flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: ccsim [flags] (-workload name | prog.img | prog.s)")
+		os.Exit(2)
+	}
+
+	code, err := experiments.PreselectedCode()
+	if err != nil {
+		fatal(err)
+	}
+	cfg := core.Config{
+		CacheBytes: *cacheBytes,
+		CLBEntries: *clbEntries,
+		Mem:        mem,
+		Codes:      []*huffman.Code{code},
+	}
+	if *dmiss < 1.0 {
+		cfg.DataCache = true
+		cfg.DCacheMissRate = *dmiss
+	}
+	if *saveTrace != "" {
+		f, err := os.Create(*saveTrace)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := tr.WriteTo(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace to %s\n", *saveTrace)
+	}
+	cmp, err := core.Compare(tr, text, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%s on %s, %dB cache, %d-entry CLB:\n", name, mem.Name(), *cacheBytes, *clbEntries)
+	fmt.Printf("  compressed ROM:        %d -> %d bytes (%.1f%%)\n",
+		cmp.ROM.OriginalSize, cmp.ROM.CompressedSize(), 100*cmp.ROM.Ratio())
+	fmt.Printf("  cache miss rate:       %.2f%%\n", 100*cmp.MissRate())
+	fmt.Printf("  standard cycles:       %d\n", cmp.Standard.Cycles)
+	fmt.Printf("  CCRP cycles:           %d (CLB misses: %d)\n", cmp.CCRP.Cycles, cmp.CCRP.CLBMisses)
+	fmt.Printf("  relative performance:  %.3f (CCRP/standard; <1 means CCRP faster)\n", cmp.RelativePerformance())
+	fmt.Printf("  memory traffic:        %.1f%%\n", 100*cmp.TrafficRatio())
+}
+
+func loadProgram(path string) *asm.Program {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	if strings.HasSuffix(path, ".s") || strings.HasSuffix(path, ".asm") {
+		prog, err := asm.Assemble(path, string(raw))
+		if err != nil {
+			fatal(err)
+		}
+		return prog
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	prog, err := asm.ReadImage(f)
+	if err != nil {
+		fatal(err)
+	}
+	return prog
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccsim:", err)
+	os.Exit(1)
+}

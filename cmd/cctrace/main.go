@@ -1,0 +1,113 @@
+// Command cctrace analyzes an instruction trace: dynamic mix, working
+// set, per-cache-size miss rates, and the hottest code regions — the
+// numbers a CCRP designer needs when choosing cache parameters for a
+// program at development time (§4.3).
+//
+// Usage:
+//
+//	cctrace (-workload name | trace.trc)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ccrp/internal/cache"
+	"ccrp/internal/trace"
+	"ccrp/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "", "analyze a corpus workload's trace")
+	top := flag.Int("top", 8, "number of hot regions to list")
+	flag.Parse()
+
+	var tr *trace.Trace
+	var name string
+	switch {
+	case *wl != "":
+		w, ok := workload.ByName(*wl)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q (have %v)", *wl, workload.Names()))
+		}
+		t, err := w.Trace()
+		if err != nil {
+			fatal(err)
+		}
+		tr, name = t, *wl
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		t, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		tr, name = t, flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: cctrace (-workload name | trace.trc)")
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s: %d instructions, %d pipeline stalls\n", name, tr.Instructions(), tr.Stalls)
+	var loads, stores uint64
+	lines := map[uint32]uint64{}
+	for _, ev := range tr.Events {
+		if ev.IsLoad() {
+			loads++
+		}
+		if ev.IsStore() {
+			stores++
+		}
+		lines[ev.PC>>5]++
+	}
+	total := float64(tr.Instructions())
+	fmt.Printf("  loads  %9d (%.1f%%)\n", loads, 100*float64(loads)/total)
+	fmt.Printf("  stores %9d (%.1f%%)\n", stores, 100*float64(stores)/total)
+	fmt.Printf("  code working set: %d lines (%d bytes)\n", len(lines), len(lines)*32)
+
+	fmt.Println("\n  direct-mapped i-cache miss rates (32B lines):")
+	for _, size := range []int{256, 512, 1024, 2048, 4096, 8192} {
+		c := cache.MustNew(size, 32)
+		for _, ev := range tr.Events {
+			c.Access(ev.PC)
+		}
+		s := c.Stats()
+		fmt.Printf("    %5dB  %6.2f%%\n", size, 100*s.MissRate())
+	}
+
+	type region struct {
+		base  uint32
+		count uint64
+	}
+	regions := map[uint32]uint64{}
+	for line, n := range lines {
+		regions[line>>3] += n // 256-byte regions
+	}
+	var hot []region
+	for base, n := range regions {
+		hot = append(hot, region{base, n})
+	}
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].count != hot[j].count {
+			return hot[i].count > hot[j].count
+		}
+		return hot[i].base < hot[j].base
+	})
+	if *top > len(hot) {
+		*top = len(hot)
+	}
+	fmt.Printf("\n  hottest %d regions (256B granularity):\n", *top)
+	for _, r := range hot[:*top] {
+		fmt.Printf("    %08x  %9d fetches (%.1f%%)\n", r.base<<8, r.count, 100*float64(r.count)/total)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cctrace:", err)
+	os.Exit(1)
+}

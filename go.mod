@@ -1,0 +1,3 @@
+module ccrp
+
+go 1.22

@@ -1,0 +1,429 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+const (
+	secText = 0
+	secData = 1
+)
+
+type stmt struct {
+	labels  []string
+	op      string // lowercase mnemonic or directive (leading '.')
+	args    []string
+	line    int
+	section int
+	addr    uint32
+	size    int
+}
+
+// Assemble assembles MIPS source into a loadable Program. name is used
+// only for diagnostics and Program.Name.
+func Assemble(name, source string) (*Program, error) {
+	stmts, err := parseSource(source)
+	if err != nil {
+		return nil, err
+	}
+	a := &assembler{
+		syms: make(symtab),
+		prog: &Program{Name: name, Symbols: make(map[string]uint32)},
+	}
+	if err := a.pass1(stmts); err != nil {
+		return nil, err
+	}
+	if err := a.pass2(stmts); err != nil {
+		return nil, err
+	}
+	a.prog.Symbols = map[string]uint32(a.syms)
+	if e, ok := a.syms["__start"]; ok {
+		a.prog.Entry = e
+	} else {
+		a.prog.Entry = TextBase
+	}
+	return a.prog, nil
+}
+
+type assembler struct {
+	syms symtab
+	prog *Program
+}
+
+// parseSource splits source into statements: comments stripped, labels
+// attached, operands split on top-level commas.
+func parseSource(source string) ([]*stmt, error) {
+	var stmts []*stmt
+	for lineNo, raw := range strings.Split(source, "\n") {
+		line := stripComment(raw)
+		line = strings.TrimSpace(line)
+		var labels []string
+		for {
+			i := labelEnd(line)
+			if i < 0 {
+				break
+			}
+			labels = append(labels, strings.TrimSpace(line[:i]))
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" && len(labels) == 0 {
+			continue
+		}
+		st := &stmt{labels: labels, line: lineNo + 1}
+		if line != "" {
+			op := line
+			rest := ""
+			if i := strings.IndexAny(line, " \t"); i >= 0 {
+				op, rest = line[:i], strings.TrimSpace(line[i+1:])
+			}
+			st.op = strings.ToLower(op)
+			st.args = splitOperands(rest)
+		}
+		stmts = append(stmts, st)
+	}
+	return stmts, nil
+}
+
+// stripComment removes a '#' comment, respecting string and char literals.
+func stripComment(line string) string {
+	inStr, inChar, esc := false, false, false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case esc:
+			esc = false
+		case c == '\\' && (inStr || inChar):
+			esc = true
+		case c == '"' && !inChar:
+			inStr = !inStr
+		case c == '\'' && !inStr:
+			inChar = !inChar
+		case c == '#' && !inStr && !inChar:
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// labelEnd returns the index of a leading "ident:" colon, or -1.
+func labelEnd(line string) int {
+	if line == "" || !isIdentStart(line[0]) {
+		return -1
+	}
+	i := 0
+	for i < len(line) && isIdentChar(line[i]) {
+		i++
+	}
+	if i < len(line) && line[i] == ':' {
+		return i
+	}
+	return -1
+}
+
+// splitOperands splits on commas outside quotes and parentheses.
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	inStr, inChar, esc := false, false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case esc:
+			esc = false
+		case c == '\\' && (inStr || inChar):
+			esc = true
+		case c == '"' && !inChar:
+			inStr = !inStr
+		case c == '\'' && !inStr:
+			inChar = !inChar
+		case inStr || inChar:
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		case c == ',' && depth == 0:
+			out = append(out, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func (a *assembler) pass1(stmts []*stmt) error {
+	text, data := TextBase, DataBase
+	section := secText
+	for _, st := range stmts {
+		st.section = section
+		cur := &text
+		if section == secData {
+			cur = &data
+		}
+		for _, l := range st.labels {
+			if _, dup := a.syms[l]; dup {
+				return errf(st.line, "duplicate symbol %q", l)
+			}
+			a.syms[l] = *cur
+		}
+		if st.op == "" {
+			continue
+		}
+		if strings.HasPrefix(st.op, ".") {
+			adv, newSec, err := a.directiveSize(st, section, *cur)
+			if err != nil {
+				return err
+			}
+			if newSec != section {
+				section = newSec
+				st.section = newSec
+				continue
+			}
+			// Labels on a directive line bind before the directive's data.
+			st.addr = *cur
+			st.size = adv
+			*cur += uint32(adv)
+			continue
+		}
+		if section != secText {
+			return errf(st.line, "instruction %q outside .text", st.op)
+		}
+		size, err := instrSize(st, a.syms)
+		if err != nil {
+			return err
+		}
+		st.addr = *cur
+		st.size = size
+		*cur += uint32(size)
+	}
+	if text > DataBase {
+		return errf(0, "text section too large: ends at %#x, data begins at %#x", text, DataBase)
+	}
+	if data > StackTop {
+		return errf(0, "data section too large: ends at %#x", data)
+	}
+	return nil
+}
+
+func (a *assembler) pass2(stmts []*stmt) error {
+	for _, st := range stmts {
+		if st.op == "" {
+			continue
+		}
+		if strings.HasPrefix(st.op, ".") {
+			if err := a.emitDirective(st); err != nil {
+				return err
+			}
+			continue
+		}
+		words, err := encodeInstr(st, a.syms)
+		if err != nil {
+			return err
+		}
+		if len(words)*4 != st.size {
+			return errf(st.line, "internal: %q sized %d bytes in pass 1 but emitted %d",
+				st.op, st.size, len(words)*4)
+		}
+		for _, w := range words {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], uint32(w))
+			a.prog.Text = append(a.prog.Text, b[:]...)
+		}
+	}
+	return nil
+}
+
+// directiveSize computes a directive's byte size during pass 1 (and
+// handles .equ / section switches, which take effect immediately).
+func (a *assembler) directiveSize(st *stmt, section int, addr uint32) (size, newSection int, err error) {
+	switch st.op {
+	case ".text":
+		return 0, secText, nil
+	case ".data":
+		return 0, secData, nil
+	case ".globl", ".global", ".ent", ".end", ".set", ".file", ".frame":
+		return 0, section, nil
+	case ".equ":
+		if len(st.args) != 2 {
+			return 0, section, errf(st.line, ".equ needs name, value")
+		}
+		v, err := evalExpr(st.args[1], a.syms)
+		if err != nil {
+			return 0, section, errf(st.line, ".equ %s: %v", st.args[0], err)
+		}
+		name := strings.TrimSpace(st.args[0])
+		if _, dup := a.syms[name]; dup {
+			return 0, section, errf(st.line, "duplicate symbol %q", name)
+		}
+		a.syms[name] = v
+		return 0, section, nil
+	case ".align":
+		if len(st.args) != 1 {
+			return 0, section, errf(st.line, ".align needs one argument")
+		}
+		n, err := strconv.Atoi(st.args[0])
+		if err != nil || n < 0 || n > 16 {
+			return 0, section, errf(st.line, "bad .align %q", st.args[0])
+		}
+		al := uint32(1) << n
+		pad := int((al - addr%al) % al)
+		return pad, section, nil
+	case ".space":
+		if len(st.args) != 1 {
+			return 0, section, errf(st.line, ".space needs one argument")
+		}
+		n, err := evalExpr(st.args[0], a.syms)
+		if err != nil {
+			return 0, section, errf(st.line, ".space: %v", err)
+		}
+		return int(n), section, nil
+	case ".byte":
+		return len(st.args), section, nil
+	case ".half":
+		return 2 * len(st.args), section, nil
+	case ".word":
+		return 4 * len(st.args), section, nil
+	case ".float":
+		return 4 * len(st.args), section, nil
+	case ".double":
+		return 8 * len(st.args), section, nil
+	case ".ascii", ".asciiz":
+		total := 0
+		for _, arg := range st.args {
+			s, err := unquote(arg)
+			if err != nil {
+				return 0, section, errf(st.line, "%v", err)
+			}
+			total += len(s)
+			if st.op == ".asciiz" {
+				total++
+			}
+		}
+		return total, section, nil
+	}
+	return 0, section, errf(st.line, "unknown directive %q", st.op)
+}
+
+// emitDirective appends a data-bearing directive's bytes during pass 2.
+func (a *assembler) emitDirective(st *stmt) error {
+	var out []byte
+	emitInt := func(width int) error {
+		for _, arg := range st.args {
+			v, err := evalExpr(arg, a.syms)
+			if err != nil {
+				return errf(st.line, "%s: %v", st.op, err)
+			}
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], v)
+			out = append(out, b[:width]...)
+		}
+		return nil
+	}
+	switch st.op {
+	case ".text", ".data", ".globl", ".global", ".ent", ".end", ".set",
+		".file", ".frame", ".equ":
+		return nil
+	case ".align", ".space":
+		out = make([]byte, st.size)
+	case ".byte":
+		if err := emitInt(1); err != nil {
+			return err
+		}
+	case ".half":
+		if err := emitInt(2); err != nil {
+			return err
+		}
+	case ".word":
+		if err := emitInt(4); err != nil {
+			return err
+		}
+	case ".float":
+		for _, arg := range st.args {
+			f, err := strconv.ParseFloat(strings.TrimSpace(arg), 32)
+			if err != nil {
+				return errf(st.line, ".float: %v", err)
+			}
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(float32(f)))
+			out = append(out, b[:]...)
+		}
+	case ".double":
+		for _, arg := range st.args {
+			f, err := strconv.ParseFloat(strings.TrimSpace(arg), 64)
+			if err != nil {
+				return errf(st.line, ".double: %v", err)
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+			out = append(out, b[:]...)
+		}
+	case ".ascii", ".asciiz":
+		for _, arg := range st.args {
+			s, err := unquote(arg)
+			if err != nil {
+				return errf(st.line, "%v", err)
+			}
+			out = append(out, s...)
+			if st.op == ".asciiz" {
+				out = append(out, 0)
+			}
+		}
+	default:
+		return errf(st.line, "unknown directive %q", st.op)
+	}
+	if len(out) != st.size {
+		return errf(st.line, "internal: directive %s sized %d, emitted %d", st.op, st.size, len(out))
+	}
+	if st.section == secText {
+		a.prog.Text = append(a.prog.Text, out...)
+	} else {
+		a.prog.Data = append(a.prog.Data, out...)
+	}
+	return nil
+}
+
+// unquote interprets a double-quoted string literal with Go-style escapes.
+func unquote(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected quoted string, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("dangling escape in %q", s)
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '0':
+			b.WriteByte(0)
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c in %q", body[i], s)
+		}
+	}
+	return b.String(), nil
+}

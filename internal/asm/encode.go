@@ -1,0 +1,495 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"ccrp/internal/mips"
+)
+
+// instrSize returns the byte size of an instruction or pseudo-instruction
+// during pass 1. Sizes must be computable without label values; li
+// therefore requires a constant operand (use la for addresses).
+func instrSize(st *stmt, consts symtab) (int, error) {
+	switch st.op {
+	case "li":
+		if len(st.args) != 2 {
+			return 0, errf(st.line, "li needs register, constant")
+		}
+		v, err := evalExpr(st.args[1], consts)
+		if err != nil {
+			return 0, errf(st.line, "li: %v (use la for symbols)", err)
+		}
+		if fitsInt16(v) || fitsUint16(v) {
+			return 4, nil
+		}
+		return 8, nil
+	case "la":
+		return 8, nil
+	case "blt", "bgt", "ble", "bge", "bltu", "bgtu", "bleu", "bgeu":
+		return 8, nil
+	case "mul", "rem":
+		return 8, nil
+	case "div", "divu":
+		if len(st.args) == 3 {
+			return 8, nil
+		}
+		return 4, nil
+	case "l.d", "s.d":
+		return 8, nil
+	case "lb", "lbu", "lh", "lhu", "lw", "lwl", "lwr",
+		"sb", "sh", "sw", "swl", "swr", "lwc1", "swc1", "l.s", "s.s":
+		if len(st.args) != 2 {
+			return 0, errf(st.line, "%s needs register, address", st.op)
+		}
+		_, _, ok, err := parseMem(st.args[1], nil)
+		if err != nil {
+			// Offsets with symbols resolve in pass 2; the size only
+			// depends on the operand's shape.
+			ok = strings.Contains(st.args[1], "($")
+		}
+		if ok {
+			return 4, nil
+		}
+		return 8, nil // symbol form: lui $at + access
+	}
+	return 4, nil
+}
+
+// encodeInstr translates one statement into machine words during pass 2.
+func encodeInstr(st *stmt, syms symtab) ([]mips.Word, error) {
+	e := encoder{st: st, syms: syms}
+	words, err := e.encode()
+	if err != nil {
+		return nil, err
+	}
+	return words, nil
+}
+
+type encoder struct {
+	st   *stmt
+	syms symtab
+}
+
+func (e *encoder) errf(format string, args ...any) error {
+	return errf(e.st.line, "%s: %s", e.st.op, fmt.Sprintf(format, args...))
+}
+
+func (e *encoder) nargs(n int) error {
+	if len(e.st.args) != n {
+		return e.errf("expected %d operands, got %d", n, len(e.st.args))
+	}
+	return nil
+}
+
+func (e *encoder) reg(i int) (uint8, error)  { return parseReg(e.st.args[i]) }
+func (e *encoder) freg(i int) (uint8, error) { return parseFReg(e.st.args[i]) }
+func (e *encoder) expr(i int) (uint32, error) {
+	v, err := evalExpr(e.st.args[i], e.syms)
+	if err != nil {
+		return 0, e.errf("%v", err)
+	}
+	return v, nil
+}
+
+// branchOff computes the 16-bit word offset for a branch at stmt address
+// base (the address of the branch word itself, which may be the second
+// word of a pseudo expansion).
+func (e *encoder) branchOff(target uint32, base uint32) (uint16, error) {
+	diff := int64(target) - int64(base+4)
+	if diff&3 != 0 {
+		return 0, e.errf("branch target %#x not word aligned", target)
+	}
+	off := diff >> 2
+	if off < -32768 || off > 32767 {
+		return 0, e.errf("branch target %#x out of range (%d words)", target, off)
+	}
+	return uint16(off), nil
+}
+
+func word(i mips.Inst) mips.Word { return mips.Encode(i) }
+
+func (e *encoder) encode() ([]mips.Word, error) {
+	st := e.st
+	op := st.op
+
+	if ops, ok := realOp3[op]; ok { // op rd, rs, rt
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []mips.Word{word(mips.Inst{Op: ops, Rd: rd, Rs: rs, Rt: rt})}, nil
+	}
+	if ops, ok := shiftVOp[op]; ok { // op rd, rt, rs
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []mips.Word{word(mips.Inst{Op: ops, Rd: rd, Rt: rt, Rs: rs})}, nil
+	}
+	if ops, ok := shiftIOp[op]; ok { // op rd, rt, shamt
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		sh, err := e.expr(2)
+		if err != nil {
+			return nil, err
+		}
+		if sh > 31 {
+			return nil, e.errf("shift amount %d out of range", sh)
+		}
+		return []mips.Word{word(mips.Inst{Op: ops, Rd: rd, Rt: rt, Shamt: uint8(sh)})}, nil
+	}
+	if ops, ok := immOp[op]; ok { // op rt, rs, imm
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.expr(2)
+		if err != nil {
+			return nil, err
+		}
+		signed := op == "addi" || op == "addiu" || op == "slti" || op == "sltiu"
+		if signed && !fitsInt16(v) || !signed && !fitsUint16(v) {
+			return nil, e.errf("immediate %#x out of 16-bit range", v)
+		}
+		return []mips.Word{word(mips.Inst{Op: ops, Rt: rt, Rs: rs, Imm: uint16(v)})}, nil
+	}
+	if ops, ok := memOp[op]; ok {
+		return e.encodeMem(ops)
+	}
+	if ops, ok := fp3Op[op]; ok { // op fd, fs, ft
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		fd, err := e.freg(0)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := e.freg(1)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := e.freg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []mips.Word{word(mips.Inst{Op: ops, Shamt: fd, Rd: fs, Rt: ft})}, nil
+	}
+	if ops, ok := fp2Op[op]; ok { // op fd, fs
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		fd, err := e.freg(0)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := e.freg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []mips.Word{word(mips.Inst{Op: ops, Shamt: fd, Rd: fs})}, nil
+	}
+	if ops, ok := fpCmpOp[op]; ok { // op fs, ft
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		fs, err := e.freg(0)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := e.freg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []mips.Word{word(mips.Inst{Op: ops, Rd: fs, Rt: ft})}, nil
+	}
+
+	switch op {
+	case "nop", "syscall", "break":
+		if err := e.nargs(0); err != nil {
+			return nil, err
+		}
+		switch op {
+		case "nop":
+			return []mips.Word{0}, nil
+		case "syscall":
+			return []mips.Word{word(mips.Inst{Op: mips.OpSYSCALL})}, nil
+		default:
+			return []mips.Word{word(mips.Inst{Op: mips.OpBREAK})}, nil
+		}
+	case "mult", "multu":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		o := mips.OpMULT
+		if op == "multu" {
+			o = mips.OpMULTU
+		}
+		return []mips.Word{word(mips.Inst{Op: o, Rs: rs, Rt: rt})}, nil
+	case "div", "divu":
+		return e.encodeDiv()
+	case "mfhi", "mflo":
+		if err := e.nargs(1); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		o := mips.OpMFHI
+		if op == "mflo" {
+			o = mips.OpMFLO
+		}
+		return []mips.Word{word(mips.Inst{Op: o, Rd: rd})}, nil
+	case "mthi", "mtlo":
+		if err := e.nargs(1); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		o := mips.OpMTHI
+		if op == "mtlo" {
+			o = mips.OpMTLO
+		}
+		return []mips.Word{word(mips.Inst{Op: o, Rs: rs})}, nil
+	case "jr":
+		if err := e.nargs(1); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []mips.Word{word(mips.Inst{Op: mips.OpJR, Rs: rs})}, nil
+	case "jalr":
+		rd := uint8(mips.RegRA)
+		var rs uint8
+		var err error
+		switch len(st.args) {
+		case 1:
+			rs, err = e.reg(0)
+		case 2:
+			if rd, err = e.reg(0); err == nil {
+				rs, err = e.reg(1)
+			}
+		default:
+			return nil, e.errf("expected 1 or 2 operands")
+		}
+		if err != nil {
+			return nil, err
+		}
+		return []mips.Word{word(mips.Inst{Op: mips.OpJALR, Rd: rd, Rs: rs})}, nil
+	case "lui":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.expr(1)
+		if err != nil {
+			return nil, err
+		}
+		if !fitsUint16(v) {
+			return nil, e.errf("immediate %#x out of 16-bit range", v)
+		}
+		return []mips.Word{word(mips.Inst{Op: mips.OpLUI, Rt: rt, Imm: uint16(v)})}, nil
+	case "j", "jal":
+		if err := e.nargs(1); err != nil {
+			return nil, err
+		}
+		v, err := e.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		if v&3 != 0 {
+			return nil, e.errf("jump target %#x not word aligned", v)
+		}
+		if (st.addr+4)&0xF0000000 != v&0xF0000000 {
+			return nil, e.errf("jump target %#x outside current 256MB region", v)
+		}
+		o := mips.OpJ
+		if op == "jal" {
+			o = mips.OpJAL
+		}
+		return []mips.Word{word(mips.Inst{Op: o, Target: v >> 2 & 0x03FFFFFF})}, nil
+	case "beq", "bne":
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := e.expr(2)
+		if err != nil {
+			return nil, err
+		}
+		off, err := e.branchOff(tgt, st.addr)
+		if err != nil {
+			return nil, err
+		}
+		o := mips.OpBEQ
+		if op == "bne" {
+			o = mips.OpBNE
+		}
+		return []mips.Word{word(mips.Inst{Op: o, Rs: rs, Rt: rt, Imm: off})}, nil
+	case "blez", "bgtz", "bltz", "bgez", "bltzal", "bgezal":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := e.expr(1)
+		if err != nil {
+			return nil, err
+		}
+		off, err := e.branchOff(tgt, st.addr)
+		if err != nil {
+			return nil, err
+		}
+		o := map[string]mips.Op{
+			"blez": mips.OpBLEZ, "bgtz": mips.OpBGTZ, "bltz": mips.OpBLTZ,
+			"bgez": mips.OpBGEZ, "bltzal": mips.OpBLTZAL, "bgezal": mips.OpBGEZAL,
+		}[op]
+		return []mips.Word{word(mips.Inst{Op: o, Rs: rs, Imm: off})}, nil
+	case "bc1t", "bc1f":
+		if err := e.nargs(1); err != nil {
+			return nil, err
+		}
+		tgt, err := e.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		off, err := e.branchOff(tgt, st.addr)
+		if err != nil {
+			return nil, err
+		}
+		o := mips.OpBC1T
+		if op == "bc1f" {
+			o = mips.OpBC1F
+		}
+		return []mips.Word{word(mips.Inst{Op: o, Imm: off})}, nil
+	case "mfc1", "mtc1":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := e.freg(1)
+		if err != nil {
+			return nil, err
+		}
+		o := mips.OpMFC1
+		if op == "mtc1" {
+			o = mips.OpMTC1
+		}
+		return []mips.Word{word(mips.Inst{Op: o, Rt: rt, Rd: fs})}, nil
+	}
+	return e.encodePseudo()
+}
+
+var realOp3 = map[string]mips.Op{
+	"add": mips.OpADD, "addu": mips.OpADDU, "sub": mips.OpSUB, "subu": mips.OpSUBU,
+	"and": mips.OpAND, "or": mips.OpOR, "xor": mips.OpXOR, "nor": mips.OpNOR,
+	"slt": mips.OpSLT, "sltu": mips.OpSLTU,
+}
+
+var shiftVOp = map[string]mips.Op{
+	"sllv": mips.OpSLLV, "srlv": mips.OpSRLV, "srav": mips.OpSRAV,
+}
+
+var shiftIOp = map[string]mips.Op{
+	"sll": mips.OpSLL, "srl": mips.OpSRL, "sra": mips.OpSRA,
+}
+
+var immOp = map[string]mips.Op{
+	"addi": mips.OpADDI, "addiu": mips.OpADDIU, "slti": mips.OpSLTI,
+	"sltiu": mips.OpSLTIU, "andi": mips.OpANDI, "ori": mips.OpORI, "xori": mips.OpXORI,
+}
+
+var memOp = map[string]mips.Op{
+	"lb": mips.OpLB, "lbu": mips.OpLBU, "lh": mips.OpLH, "lhu": mips.OpLHU,
+	"lw": mips.OpLW, "lwl": mips.OpLWL, "lwr": mips.OpLWR,
+	"sb": mips.OpSB, "sh": mips.OpSH, "sw": mips.OpSW,
+	"swl": mips.OpSWL, "swr": mips.OpSWR,
+	"lwc1": mips.OpLWC1, "swc1": mips.OpSWC1,
+	"l.s": mips.OpLWC1, "s.s": mips.OpSWC1,
+}
+
+var fp3Op = map[string]mips.Op{
+	"add.s": mips.OpADDS, "add.d": mips.OpADDD, "sub.s": mips.OpSUBS, "sub.d": mips.OpSUBD,
+	"mul.s": mips.OpMULS, "mul.d": mips.OpMULD, "div.s": mips.OpDIVS, "div.d": mips.OpDIVD,
+}
+
+var fp2Op = map[string]mips.Op{
+	"abs.s": mips.OpABSS, "abs.d": mips.OpABSD, "mov.s": mips.OpMOVS, "mov.d": mips.OpMOVD,
+	"neg.s": mips.OpNEGS, "neg.d": mips.OpNEGD,
+	"cvt.s.d": mips.OpCVTSD, "cvt.s.w": mips.OpCVTSW, "cvt.d.s": mips.OpCVTDS,
+	"cvt.d.w": mips.OpCVTDW, "cvt.w.s": mips.OpCVTWS, "cvt.w.d": mips.OpCVTWD,
+}
+
+var fpCmpOp = map[string]mips.Op{
+	"c.eq.s": mips.OpCEQS, "c.eq.d": mips.OpCEQD, "c.lt.s": mips.OpCLTS,
+	"c.lt.d": mips.OpCLTD, "c.le.s": mips.OpCLES, "c.le.d": mips.OpCLED,
+}
+
+// fpReg checks whether an FP register number is valid for doubles.
+func evenFPReg(r uint8) bool { return r%2 == 0 }

@@ -1,0 +1,284 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ccrp/internal/mips"
+)
+
+// symtab resolves symbols during pass 2; during pass 1 it is nil and any
+// symbol reference is an error (used to force li operands to be constant).
+type symtab map[string]uint32
+
+// evalExpr evaluates an assembler expression: terms joined by + and -,
+// where a term is a number (decimal, 0x hex, 0o octal-ish via 0 prefix is
+// NOT used — leading zeros are decimal), a character literal, a symbol, or
+// %hi(expr) / %lo(expr).
+func evalExpr(s string, syms symtab) (uint32, error) {
+	p := &exprParser{src: strings.TrimSpace(s), syms: syms}
+	v, err := p.parse()
+	if err != nil {
+		return 0, err
+	}
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("junk after expression: %q", p.src[p.pos:])
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src  string
+	pos  int
+	syms symtab
+}
+
+func (p *exprParser) ws() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) parse() (uint32, error) {
+	v, err := p.product()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.ws()
+		if p.pos >= len(p.src) {
+			return v, nil
+		}
+		switch p.src[p.pos] {
+		case '+':
+			p.pos++
+			t, err := p.product()
+			if err != nil {
+				return 0, err
+			}
+			v += t
+		case '-':
+			p.pos++
+			t, err := p.product()
+			if err != nil {
+				return 0, err
+			}
+			v -= t
+		default:
+			return v, nil
+		}
+	}
+}
+
+// product binds tighter than sums: term ('*' term)*.
+func (p *exprParser) product() (uint32, error) {
+	v, err := p.term()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.ws()
+		if p.pos >= len(p.src) || p.src[p.pos] != '*' {
+			return v, nil
+		}
+		p.pos++
+		t, err := p.term()
+		if err != nil {
+			return 0, err
+		}
+		v *= t
+	}
+}
+
+func (p *exprParser) term() (uint32, error) {
+	p.ws()
+	if p.pos >= len(p.src) {
+		return 0, fmt.Errorf("expected operand in %q", p.src)
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '-':
+		p.pos++
+		v, err := p.term()
+		return -v, err
+	case c == '\'':
+		return p.charLit()
+	case c == '%':
+		return p.hiLo()
+	case c == '(':
+		p.pos++
+		v, err := p.parse()
+		if err != nil {
+			return 0, err
+		}
+		p.ws()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return 0, fmt.Errorf("missing ')' in %q", p.src)
+		}
+		p.pos++
+		return v, nil
+	case c >= '0' && c <= '9':
+		return p.number()
+	case isIdentStart(c):
+		return p.symbol()
+	}
+	return 0, fmt.Errorf("unexpected %q in expression %q", c, p.src)
+}
+
+func (p *exprParser) number() (uint32, error) {
+	start := p.pos
+	if strings.HasPrefix(p.src[p.pos:], "0x") || strings.HasPrefix(p.src[p.pos:], "0X") {
+		p.pos += 2
+		for p.pos < len(p.src) && isHexDigit(p.src[p.pos]) {
+			p.pos++
+		}
+		v, err := strconv.ParseUint(p.src[start+2:p.pos], 16, 32)
+		if err != nil {
+			return 0, fmt.Errorf("bad hex literal %q", p.src[start:p.pos])
+		}
+		return uint32(v), nil
+	}
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	v, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+	if err != nil || v > 0xFFFFFFFF {
+		return 0, fmt.Errorf("bad decimal literal %q", p.src[start:p.pos])
+	}
+	return uint32(v), nil
+}
+
+func (p *exprParser) charLit() (uint32, error) {
+	s := p.src[p.pos:]
+	val, _, rest, err := strconv.UnquoteChar(s[1:], '\'')
+	if err != nil {
+		return 0, fmt.Errorf("bad character literal in %q", s)
+	}
+	consumed := len(s[1:]) - len(rest)
+	p.pos += 1 + consumed
+	if p.pos >= len(p.src) || p.src[p.pos] != '\'' {
+		return 0, fmt.Errorf("unterminated character literal in %q", s)
+	}
+	p.pos++
+	return uint32(val), nil
+}
+
+func (p *exprParser) hiLo() (uint32, error) {
+	rest := p.src[p.pos:]
+	var hi bool
+	switch {
+	case strings.HasPrefix(rest, "%hi("):
+		hi = true
+		p.pos += 4
+	case strings.HasPrefix(rest, "%lo("):
+		p.pos += 4
+	default:
+		return 0, fmt.Errorf("expected %%hi( or %%lo( in %q", rest)
+	}
+	v, err := p.parse()
+	if err != nil {
+		return 0, err
+	}
+	p.ws()
+	if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+		return 0, fmt.Errorf("missing ')' after %%hi/%%lo")
+	}
+	p.pos++
+	if hi {
+		return v >> 16, nil
+	}
+	return v & 0xFFFF, nil
+}
+
+func (p *exprParser) symbol() (uint32, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+		p.pos++
+	}
+	name := p.src[start:p.pos]
+	if p.syms == nil {
+		return 0, fmt.Errorf("symbol %q not allowed here (constant required)", name)
+	}
+	v, ok := p.syms[name]
+	if !ok {
+		return 0, fmt.Errorf("undefined symbol %q", name)
+	}
+	return v, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '.' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func isHexDigit(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// parseReg parses a general-purpose register operand ("$t0", "$29").
+func parseReg(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	r, ok := mips.RegNumber(s[1:])
+	if !ok {
+		return 0, fmt.Errorf("unknown register %q", s)
+	}
+	return r, nil
+}
+
+// parseFReg parses a floating-point register operand ("$f12").
+func parseFReg(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$f") {
+		return 0, fmt.Errorf("expected FP register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[2:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("unknown FP register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseMem parses an "offset(base)" memory operand. It reports ok=false
+// (with no error) when the operand has no parenthesized base register, in
+// which case the caller treats it as a symbol-form pseudo access.
+func parseMem(s string, syms symtab) (off uint32, base uint8, ok bool, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.LastIndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, false, nil
+	}
+	inner := s[open+1 : len(s)-1]
+	if !strings.HasPrefix(strings.TrimSpace(inner), "$") {
+		// "(expr)" without a register is just a parenthesized expression.
+		return 0, 0, false, nil
+	}
+	base, err = parseReg(inner)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		return 0, base, true, nil
+	}
+	off, err = evalExpr(offStr, syms)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return off, base, true, nil
+}
+
+// fitsInt16 reports whether v, viewed as signed, fits in 16 bits.
+func fitsInt16(v uint32) bool {
+	s := int32(v)
+	return s >= -32768 && s <= 32767
+}
+
+// fitsUint16 reports whether v fits in 16 unsigned bits.
+func fitsUint16(v uint32) bool { return v <= 0xFFFF }

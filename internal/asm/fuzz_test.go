@@ -1,0 +1,54 @@
+package asm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzAssemble: the assembler must never panic on arbitrary source, and
+// anything it accepts must produce a word-aligned text section.
+func FuzzAssemble(f *testing.F) {
+	f.Add(".text\nnop\n")
+	f.Add(".data\nv: .word 1, 2\n.text\nlw $t0, v\n")
+	f.Add("label without colon\n")
+	f.Add(".equ X, 5*5\n.text\nli $t0, X\n")
+	f.Add("\t.ascii \"unterminated\n")
+	f.Add(".text\nb far\nnop\nfar: jr $ra\nnop\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Assemble("fuzz", src)
+		if err != nil {
+			return
+		}
+		if len(p.Text)%4 != 0 {
+			t.Fatalf("accepted program has unaligned text: %d bytes", len(p.Text))
+		}
+		var buf bytes.Buffer
+		if err := p.WriteImage(&buf); err != nil {
+			t.Fatalf("accepted program fails serialization: %v", err)
+		}
+		if _, err := ReadImage(&buf); err != nil {
+			t.Fatalf("serialized program fails reload: %v", err)
+		}
+	})
+}
+
+// FuzzReadImage hardens the image parser.
+func FuzzReadImage(f *testing.F) {
+	p := &Program{Text: []byte{0, 0, 0, 0}, Data: []byte{1}, Symbols: map[string]uint32{}}
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadImage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.WriteImage(&out); err != nil {
+			t.Fatalf("accepted image fails re-serialization: %v", err)
+		}
+	})
+}

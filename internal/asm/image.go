@@ -1,0 +1,70 @@
+package asm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Loadable image serialization, used by the cmd tools to pass assembled
+// programs between ccasm, ccdis, ccpack, and ccsim.
+
+const (
+	imageMagic   = 0x43435250 // "CCRP"
+	imageVersion = 1
+)
+
+// ErrBadImage is returned when parsing a malformed image file.
+var ErrBadImage = errors.New("asm: malformed image")
+
+// WriteImage serializes a Program.
+func (p *Program) WriteImage(w io.Writer) error {
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], imageMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], imageVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], p.Entry)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(p.Text)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(p.Data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(p.Text); err != nil {
+		return err
+	}
+	_, err := w.Write(p.Data)
+	return err
+}
+
+// ReadImage deserializes a Program written by WriteImage. Symbols are not
+// preserved (images are linked output).
+func ReadImage(r io.Reader) (*Program, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadImage, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != imageMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != imageVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadImage, v)
+	}
+	textLen := binary.LittleEndian.Uint32(hdr[12:])
+	dataLen := binary.LittleEndian.Uint32(hdr[16:])
+	if textLen > AddrSpace || dataLen > AddrSpace {
+		return nil, fmt.Errorf("%w: implausible section sizes", ErrBadImage)
+	}
+	p := &Program{
+		Entry:   binary.LittleEndian.Uint32(hdr[8:]),
+		Text:    make([]byte, textLen),
+		Data:    make([]byte, dataLen),
+		Symbols: map[string]uint32{},
+	}
+	if _, err := io.ReadFull(r, p.Text); err != nil {
+		return nil, fmt.Errorf("%w: text: %v", ErrBadImage, err)
+	}
+	if _, err := io.ReadFull(r, p.Data); err != nil {
+		return nil, fmt.Errorf("%w: data: %v", ErrBadImage, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,77 @@
+package asm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestImageRoundTrip(t *testing.T) {
+	p := mustAssemble(t, `
+	.data
+v:	.word 1, 2, 3
+	.text
+	nop
+__start:
+	lw $t0, v
+	jr $ra
+	nop
+`)
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadImage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Text, p.Text) || !bytes.Equal(got.Data, p.Data) {
+		t.Error("sections changed through image round trip")
+	}
+	if got.Entry != p.Entry {
+		t.Errorf("entry = %#x, want %#x", got.Entry, p.Entry)
+	}
+}
+
+func TestImageRoundTripQuick(t *testing.T) {
+	f := func(text, data []byte, entry uint32) bool {
+		text = append(text, make([]byte, (4-len(text)%4)%4)...)
+		p := &Program{Text: text, Data: data, Entry: entry &^ 3, Symbols: map[string]uint32{}}
+		var buf bytes.Buffer
+		if err := p.WriteImage(&buf); err != nil {
+			return false
+		}
+		got, err := ReadImage(&buf)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Text, p.Text) && bytes.Equal(got.Data, p.Data) && got.Entry == p.Entry
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadImageRejectsGarbage(t *testing.T) {
+	if _, err := ReadImage(bytes.NewReader(nil)); err == nil {
+		t.Error("empty image accepted")
+	}
+	if _, err := ReadImage(bytes.NewReader(make([]byte, 20))); err == nil {
+		t.Error("zero-magic image accepted")
+	}
+	p := mustAssemble(t, ".text\nnop\nnop")
+	var buf bytes.Buffer
+	if err := p.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadImage(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated image accepted")
+	}
+	// Corrupt the version field.
+	bad := append([]byte(nil), buf.Bytes()...)
+	bad[4] = 99
+	if _, err := ReadImage(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+}

@@ -1,0 +1,321 @@
+package asm
+
+import (
+	"ccrp/internal/mips"
+)
+
+// encodeMem handles loads and stores, in both the direct "rt, off(base)"
+// form and the symbol form "rt, sym(+off)", which expands through $at.
+func (e *encoder) encodeMem(op mips.Op) ([]mips.Word, error) {
+	if err := e.nargs(2); err != nil {
+		return nil, err
+	}
+	isFP := op == mips.OpLWC1 || op == mips.OpSWC1
+	var rt uint8
+	var err error
+	if isFP {
+		rt, err = e.freg(0)
+	} else {
+		rt, err = e.reg(0)
+	}
+	if err != nil {
+		return nil, err
+	}
+	off, base, direct, err := parseMem(e.st.args[1], e.syms)
+	if err != nil {
+		return nil, e.errf("%v", err)
+	}
+	if direct {
+		if !fitsInt16(off) {
+			return nil, e.errf("offset %#x out of 16-bit range", off)
+		}
+		return []mips.Word{word(mips.Inst{Op: op, Rt: rt, Rs: base, Imm: uint16(off)})}, nil
+	}
+	// Symbol form: lui $at, adjusted-hi(addr); op rt, lo(addr)($at).
+	// The load offset is sign-extended, so the high half is adjusted up
+	// when the low half's sign bit is set.
+	addr, err := e.expr(1)
+	if err != nil {
+		return nil, err
+	}
+	lo := addr & 0xFFFF
+	hi := (addr + 0x8000) >> 16
+	return []mips.Word{
+		word(mips.Inst{Op: mips.OpLUI, Rt: mips.RegAT, Imm: uint16(hi)}),
+		word(mips.Inst{Op: op, Rt: rt, Rs: mips.RegAT, Imm: uint16(lo)}),
+	}, nil
+}
+
+// encodeDiv handles both the real two-operand div/divu and the
+// three-operand pseudo (div rd, rs, rt -> div rs, rt; mflo rd).
+func (e *encoder) encodeDiv() ([]mips.Word, error) {
+	op := mips.OpDIV
+	if e.st.op == "divu" {
+		op = mips.OpDIVU
+	}
+	switch len(e.st.args) {
+	case 2:
+		rs, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []mips.Word{word(mips.Inst{Op: op, Rs: rs, Rt: rt})}, nil
+	case 3:
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []mips.Word{
+			word(mips.Inst{Op: op, Rs: rs, Rt: rt}),
+			word(mips.Inst{Op: mips.OpMFLO, Rd: rd}),
+		}, nil
+	}
+	return nil, e.errf("expected 2 or 3 operands")
+}
+
+// encodePseudo handles the remaining pseudo-instructions.
+func (e *encoder) encodePseudo() ([]mips.Word, error) {
+	st := e.st
+	switch st.op {
+	case "move":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []mips.Word{word(mips.Inst{Op: mips.OpADDU, Rd: rd, Rs: rs, Rt: mips.RegZero})}, nil
+	case "not":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []mips.Word{word(mips.Inst{Op: mips.OpNOR, Rd: rd, Rs: rs, Rt: mips.RegZero})}, nil
+	case "neg", "negu":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		op := mips.OpSUB
+		if st.op == "negu" {
+			op = mips.OpSUBU
+		}
+		return []mips.Word{word(mips.Inst{Op: op, Rd: rd, Rs: mips.RegZero, Rt: rt})}, nil
+	case "li":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.expr(1)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case fitsInt16(v):
+			return []mips.Word{word(mips.Inst{Op: mips.OpADDIU, Rt: rt, Rs: mips.RegZero, Imm: uint16(v)})}, nil
+		case fitsUint16(v):
+			return []mips.Word{word(mips.Inst{Op: mips.OpORI, Rt: rt, Rs: mips.RegZero, Imm: uint16(v)})}, nil
+		default:
+			return []mips.Word{
+				word(mips.Inst{Op: mips.OpLUI, Rt: rt, Imm: uint16(v >> 16)}),
+				word(mips.Inst{Op: mips.OpORI, Rt: rt, Rs: rt, Imm: uint16(v)}),
+			}, nil
+		}
+	case "la":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.expr(1)
+		if err != nil {
+			return nil, err
+		}
+		return []mips.Word{
+			word(mips.Inst{Op: mips.OpLUI, Rt: rt, Imm: uint16(v >> 16)}),
+			word(mips.Inst{Op: mips.OpORI, Rt: rt, Rs: rt, Imm: uint16(v)}),
+		}, nil
+	case "b":
+		if err := e.nargs(1); err != nil {
+			return nil, err
+		}
+		tgt, err := e.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		off, err := e.branchOff(tgt, st.addr)
+		if err != nil {
+			return nil, err
+		}
+		return []mips.Word{word(mips.Inst{Op: mips.OpBEQ, Imm: off})}, nil
+	case "beqz", "bnez":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := e.expr(1)
+		if err != nil {
+			return nil, err
+		}
+		off, err := e.branchOff(tgt, st.addr)
+		if err != nil {
+			return nil, err
+		}
+		op := mips.OpBEQ
+		if st.op == "bnez" {
+			op = mips.OpBNE
+		}
+		return []mips.Word{word(mips.Inst{Op: op, Rs: rs, Imm: off})}, nil
+	case "blt", "bgt", "ble", "bge", "bltu", "bgtu", "bleu", "bgeu":
+		return e.encodeCmpBranch()
+	case "mul", "rem":
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(2)
+		if err != nil {
+			return nil, err
+		}
+		moveOp := mips.OpMFLO
+		if st.op == "rem" {
+			moveOp = mips.OpMFHI
+		}
+		first := mips.OpMULT
+		if st.op == "rem" {
+			first = mips.OpDIV
+		}
+		return []mips.Word{
+			word(mips.Inst{Op: first, Rs: rs, Rt: rt}),
+			word(mips.Inst{Op: moveOp, Rd: rd}),
+		}, nil
+	case "l.d", "s.d":
+		return e.encodeDoubleMem()
+	}
+	return nil, e.errf("unknown instruction")
+}
+
+// encodeCmpBranch expands the two-register compare-and-branch pseudos
+// through $at: slt(u) $at, a, b ; bne/beq $at, $zero, target.
+func (e *encoder) encodeCmpBranch() ([]mips.Word, error) {
+	if err := e.nargs(3); err != nil {
+		return nil, err
+	}
+	rs, err := e.reg(0)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := e.reg(1)
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := e.expr(2)
+	if err != nil {
+		return nil, err
+	}
+	// The branch is the second word of the expansion.
+	off, err := e.branchOff(tgt, e.st.addr+4)
+	if err != nil {
+		return nil, err
+	}
+	sltOp := mips.OpSLT
+	if e.st.op[len(e.st.op)-1] == 'u' {
+		sltOp = mips.OpSLTU
+	}
+	var a, b uint8
+	var brOp mips.Op
+	switch e.st.op {
+	case "blt", "bltu": // rs < rt
+		a, b, brOp = rs, rt, mips.OpBNE
+	case "bge", "bgeu": // !(rs < rt)
+		a, b, brOp = rs, rt, mips.OpBEQ
+	case "bgt", "bgtu": // rt < rs
+		a, b, brOp = rt, rs, mips.OpBNE
+	case "ble", "bleu": // !(rt < rs)
+		a, b, brOp = rt, rs, mips.OpBEQ
+	}
+	return []mips.Word{
+		word(mips.Inst{Op: sltOp, Rd: mips.RegAT, Rs: a, Rt: b}),
+		word(mips.Inst{Op: brOp, Rs: mips.RegAT, Rt: mips.RegZero, Imm: off}),
+	}, nil
+}
+
+// encodeDoubleMem expands l.d/s.d into a pair of single-word FP accesses.
+// Little-endian doubles: the even register holds the low word at the
+// lower address.
+func (e *encoder) encodeDoubleMem() ([]mips.Word, error) {
+	if err := e.nargs(2); err != nil {
+		return nil, err
+	}
+	ft, err := e.freg(0)
+	if err != nil {
+		return nil, err
+	}
+	if !evenFPReg(ft) {
+		return nil, e.errf("double-precision register %d must be even", ft)
+	}
+	off, base, direct, err := parseMem(e.st.args[1], e.syms)
+	if err != nil {
+		return nil, e.errf("%v", err)
+	}
+	if !direct {
+		return nil, e.errf("symbol form not supported; load the address first")
+	}
+	if !fitsInt16(off) || !fitsInt16(off+4) {
+		return nil, e.errf("offset %#x out of 16-bit range", off)
+	}
+	op := mips.OpLWC1
+	if e.st.op == "s.d" {
+		op = mips.OpSWC1
+	}
+	return []mips.Word{
+		word(mips.Inst{Op: op, Rt: ft, Rs: base, Imm: uint16(off)}),
+		word(mips.Inst{Op: op, Rt: ft + 1, Rs: base, Imm: uint16(off + 4)}),
+	}, nil
+}

@@ -1,0 +1,158 @@
+// Package bitio provides MSB-first bit-level readers and writers.
+//
+// All variable-length coders in this repository (Huffman, LZW, the LAT
+// length fields) serialize through this package so that bit order is
+// defined in exactly one place: within a byte, bits are produced and
+// consumed most-significant first, matching the left-to-right order in
+// which a hardware shift-register decoder would see a compressed
+// instruction stream.
+package bitio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrShortStream is returned when a read requires bits beyond the end of
+// the underlying buffer.
+var ErrShortStream = errors.New("bitio: read past end of stream")
+
+// Writer accumulates bits MSB-first into an in-memory buffer.
+//
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  byte // partially filled byte
+	nCur uint // number of valid bits in cur (0..7)
+}
+
+// WriteBits appends the low n bits of v, most significant of those n first.
+// n must be in [0, 64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: WriteBits width %d out of range", n))
+	}
+	for i := n; i > 0; i-- {
+		bit := byte(v>>(i-1)) & 1
+		w.cur = w.cur<<1 | bit
+		w.nCur++
+		if w.nCur == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.nCur = 0, 0
+		}
+	}
+}
+
+// WriteBit appends a single bit (any nonzero b counts as 1).
+func (w *Writer) WriteBit(b byte) {
+	if b != 0 {
+		b = 1
+	}
+	w.WriteBits(uint64(b), 1)
+}
+
+// WriteBytes appends whole bytes, bit-aligned or not.
+func (w *Writer) WriteBytes(p []byte) {
+	if w.nCur == 0 {
+		w.buf = append(w.buf, p...)
+		return
+	}
+	for _, b := range p {
+		w.WriteBits(uint64(b), 8)
+	}
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return len(w.buf)*8 + int(w.nCur) }
+
+// Bytes flushes the partial byte (zero-padded on the right) and returns the
+// accumulated buffer. The writer remains usable; further writes continue
+// from the unpadded bit position, so call Bytes only when finished.
+func (w *Writer) Bytes() []byte {
+	if w.nCur == 0 {
+		return w.buf
+	}
+	out := make([]byte, len(w.buf), len(w.buf)+1)
+	copy(out, w.buf)
+	return append(out, w.cur<<(8-w.nCur))
+}
+
+// Reset discards all written bits.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur = 0, 0
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // bit position from the start of buf
+}
+
+// NewReader returns a Reader over p. The Reader does not copy p.
+func NewReader(p []byte) *Reader { return &Reader{buf: p} }
+
+// ReadBits reads n bits (n in [0,64]) and returns them right-aligned.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		panic(fmt.Sprintf("bitio: ReadBits width %d out of range", n))
+	}
+	if r.pos+int(n) > len(r.buf)*8 {
+		return 0, ErrShortStream
+	}
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		byteIdx := r.pos >> 3
+		bitIdx := uint(7 - r.pos&7)
+		v = v<<1 | uint64(r.buf[byteIdx]>>bitIdx&1)
+		r.pos++
+	}
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (byte, error) {
+	v, err := r.ReadBits(1)
+	return byte(v), err
+}
+
+// PeekBits returns the next n bits without consuming them. If fewer than n
+// bits remain, the missing low-order bits read as zero and ok reports how
+// many real bits were available.
+func (r *Reader) PeekBits(n uint) (v uint64, avail uint) {
+	save := r.pos
+	rem := uint(len(r.buf)*8 - r.pos)
+	take := n
+	if rem < take {
+		take = rem
+	}
+	got, err := r.ReadBits(take)
+	if err != nil {
+		r.pos = save
+		return 0, 0
+	}
+	r.pos = save
+	return got << (n - take), take
+}
+
+// Skip advances the read position by n bits.
+func (r *Reader) Skip(n uint) error {
+	if r.pos+int(n) > len(r.buf)*8 {
+		return ErrShortStream
+	}
+	r.pos += int(n)
+	return nil
+}
+
+// Pos returns the current bit offset from the start of the stream.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return len(r.buf)*8 - r.pos }
+
+// AlignByte advances to the next byte boundary (a no-op if already aligned).
+func (r *Reader) AlignByte() {
+	if rem := r.pos & 7; rem != 0 {
+		r.pos += 8 - rem
+	}
+}

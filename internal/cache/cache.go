@@ -1,0 +1,137 @@
+// Package cache models the on-chip direct-mapped instruction cache of the
+// paper's proposed implementation: 32-byte lines, 256 to 4096 bytes total,
+// single-cycle hits. The same cache organization serves both the standard
+// processor and the CCRP — in-cache instructions are identical in both, so
+// the two systems see the same hit/miss sequence and differ only in
+// refill cost.
+package cache
+
+import "fmt"
+
+// Stats counts cache accesses.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns misses / accesses.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is an n-way set-associative instruction cache with LRU
+// replacement; the paper's configuration is direct mapped (1 way), and
+// higher associativities support the §4.3 remark that a program like
+// espresso would simply be given different cache parameters at
+// development time.
+type Cache struct {
+	tags      []uint32 // ways*sets entries, way-major within a set
+	valid     []bool
+	used      []uint64 // LRU clocks, parallel to tags
+	clock     uint64
+	ways      int
+	lineShift uint
+	idxMask   uint32
+	lineBytes int
+	stats     Stats
+}
+
+// New builds a direct-mapped cache of sizeBytes with lineBytes lines.
+func New(sizeBytes, lineBytes int) (*Cache, error) {
+	return NewAssoc(sizeBytes, lineBytes, 1)
+}
+
+// NewAssoc builds a ways-way set-associative cache. sizeBytes and
+// lineBytes must be powers of two, and the geometry must yield at least
+// one set.
+func NewAssoc(sizeBytes, lineBytes, ways int) (*Cache, error) {
+	if sizeBytes <= 0 || lineBytes <= 0 || ways <= 0 ||
+		sizeBytes&(sizeBytes-1) != 0 || lineBytes&(lineBytes-1) != 0 ||
+		sizeBytes < lineBytes*ways || sizeBytes/lineBytes%ways != 0 {
+		return nil, fmt.Errorf("cache: bad geometry size=%d line=%d ways=%d", sizeBytes, lineBytes, ways)
+	}
+	n := sizeBytes / lineBytes
+	sets := n / ways
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	c := &Cache{
+		tags:      make([]uint32, n),
+		valid:     make([]bool, n),
+		used:      make([]uint64, n),
+		ways:      ways,
+		idxMask:   uint32(sets - 1),
+		lineBytes: lineBytes,
+	}
+	for 1<<c.lineShift != lineBytes {
+		c.lineShift++
+	}
+	return c, nil
+}
+
+// MustNew is New for known-good static geometry.
+func MustNew(sizeBytes, lineBytes int) *Cache {
+	c, err := New(sizeBytes, lineBytes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Lines returns the number of cache lines.
+func (c *Cache) Lines() int { return len(c.tags) }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint32) uint32 {
+	return addr &^ uint32(c.lineBytes-1)
+}
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Access simulates a fetch from addr: it returns true on a hit, and on a
+// miss installs the line (the refill itself is costed by the caller).
+func (c *Cache) Access(addr uint32) bool {
+	c.stats.Accesses++
+	c.clock++
+	line := addr >> c.lineShift
+	set := int(line&c.idxMask) * c.ways
+	victim := set
+	for w := 0; w < c.ways; w++ {
+		i := set + w
+		if c.valid[i] && c.tags[i] == line {
+			c.used[i] = c.clock
+			return true
+		}
+		if !c.valid[i] {
+			victim = i
+		} else if c.valid[victim] && c.used[i] < c.used[victim] {
+			victim = i
+		}
+	}
+	c.stats.Misses++
+	c.valid[victim] = true
+	c.tags[victim] = line
+	c.used[victim] = c.clock
+	return false
+}
+
+// Stats returns the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset invalidates the cache and clears statistics, modeling cold start
+// (the paper deliberately includes compulsory start-up misses).
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.used[i] = 0
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}

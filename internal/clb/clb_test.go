@@ -1,0 +1,98 @@
+package clb
+
+import (
+	"testing"
+
+	"ccrp/internal/lat"
+)
+
+func entry(base uint32) lat.Entry { return lat.Entry{Base: base} }
+
+func TestHitMiss(t *testing.T) {
+	c := New(4)
+	if _, hit := c.Lookup(7); hit {
+		t.Error("empty CLB hit")
+	}
+	c.Insert(7, entry(0x700))
+	e, hit := c.Lookup(7)
+	if !hit || e.Base != 0x700 {
+		t.Errorf("lookup after insert: hit=%v base=%#x", hit, e.Base)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MissRate() != 0.5 {
+		t.Errorf("miss rate = %v", s.MissRate())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2)
+	c.Insert(1, entry(0x100))
+	c.Insert(2, entry(0x200))
+	c.Lookup(1) // 1 is now most recent
+	c.Insert(3, entry(0x300))
+	if _, hit := c.Lookup(2); hit {
+		t.Error("LRU victim 2 still present")
+	}
+	if _, hit := c.Lookup(1); !hit {
+		t.Error("recently used 1 evicted")
+	}
+	if _, hit := c.Lookup(3); !hit {
+		t.Error("inserted 3 missing")
+	}
+}
+
+func TestFillsInvalidFirst(t *testing.T) {
+	c := New(3)
+	c.Insert(1, entry(1))
+	c.Insert(2, entry(2))
+	c.Insert(3, entry(3))
+	for _, tag := range []uint32{1, 2, 3} {
+		if _, hit := c.Lookup(tag); !hit {
+			t.Errorf("tag %d missing after fill", tag)
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(2)
+	c.Insert(5, entry(5))
+	c.Lookup(5)
+	c.Reset()
+	if _, hit := c.Lookup(5); hit {
+		t.Error("entry survived reset")
+	}
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 1 {
+		t.Errorf("stats after reset = %+v", s)
+	}
+	if c.Size() != 2 {
+		t.Errorf("size = %d", c.Size())
+	}
+}
+
+func TestZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestEmptyStats(t *testing.T) {
+	if (Stats{}).MissRate() != 0 {
+		t.Error("empty miss rate not 0")
+	}
+}
+
+func BenchmarkLookupHit16(b *testing.B) {
+	c := New(16)
+	for i := uint32(0); i < 16; i++ {
+		c.Insert(i, entry(i))
+	}
+	for i := 0; i < b.N; i++ {
+		c.Lookup(uint32(i & 15))
+	}
+}

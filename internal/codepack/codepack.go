@@ -1,0 +1,249 @@
+// Package codepack implements a CodePack-style instruction coder — the
+// "more sophisticated encoding technique" direction the paper's §5
+// proposes, and the scheme its line of work grew into (IBM CodePack for
+// PowerPC, 1998).
+//
+// Where the paper's base scheme Huffman-codes instruction *bytes*,
+// CodePack splits each 32-bit instruction into its upper and lower
+// 16-bit halves and codes each half against its own dictionary: the most
+// frequent halfwords (opcodes/registers in the upper half, small
+// immediates in the lower half) get short indices, and anything else
+// escapes to a raw 16-bit literal. The index streams are entropy-coded
+// with the same bounded Huffman machinery as the base scheme, so the
+// decoder cost argument (§3.4) carries over.
+//
+// The coder plugs into the same block-bounded pipeline: EncodeLine and
+// DecodeLine work on 32-byte cache lines, and BitLengths exposes the
+// per-output-byte bit counts the refill engine's streaming model needs.
+package codepack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"ccrp/internal/bitio"
+	"ccrp/internal/huffman"
+)
+
+// tableSize is the dictionary size per half; index 255 is the escape.
+const tableSize = 255
+
+const escape = tableSize // symbol meaning "16-bit literal follows"
+
+// ErrBadLine is returned when decoding a malformed compressed line.
+var ErrBadLine = errors.New("codepack: malformed compressed line")
+
+// Coder holds the two dictionaries and their entropy codes.
+type Coder struct {
+	upper halfCoder // bits 31..16 of each instruction
+	lower halfCoder // bits 15..0
+}
+
+type halfCoder struct {
+	table []uint16         // index -> halfword
+	index map[uint16]uint8 // halfword -> index
+	code  *huffman.Code    // over the 256-symbol index alphabet
+}
+
+// Train builds a coder from a corpus of instruction text images (the
+// CodePack analogue of the paper's preselected code: fixed at
+// development time, hardwired in the decoder).
+func Train(images ...[]byte) (*Coder, error) {
+	upperCounts := map[uint16]uint64{}
+	lowerCounts := map[uint16]uint64{}
+	for _, text := range images {
+		for off := 0; off+4 <= len(text); off += 4 {
+			w := binary.LittleEndian.Uint32(text[off:])
+			upperCounts[uint16(w>>16)]++
+			lowerCounts[uint16(w)]++
+		}
+	}
+	if len(upperCounts) == 0 {
+		return nil, errors.New("codepack: empty training corpus")
+	}
+	c := &Coder{}
+	var err error
+	if c.upper, err = trainHalf(upperCounts); err != nil {
+		return nil, err
+	}
+	if c.lower, err = trainHalf(lowerCounts); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func trainHalf(counts map[uint16]uint64) (halfCoder, error) {
+	type entry struct {
+		hw uint16
+		n  uint64
+	}
+	entries := make([]entry, 0, len(counts))
+	for hw, n := range counts {
+		entries = append(entries, entry{hw, n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].n != entries[j].n {
+			return entries[i].n > entries[j].n
+		}
+		return entries[i].hw < entries[j].hw
+	})
+	if len(entries) > tableSize {
+		entries = entries[:tableSize]
+	}
+	h := halfCoder{index: make(map[uint16]uint8, len(entries))}
+	var hist huffman.Histogram
+	var escaped uint64
+	for i, e := range entries {
+		h.table = append(h.table, e.hw)
+		h.index[e.hw] = uint8(i)
+		hist[i] = e.n
+	}
+	for hw, n := range counts {
+		if _, ok := h.index[hw]; !ok {
+			escaped += n
+		}
+	}
+	hist[escape] = escaped + 1 // the escape must always have a codeword
+	// Smooth the dictionary symbols so every index decodes even if its
+	// training count was tiny.
+	for i := 0; i < len(h.table); i++ {
+		hist[i]++
+	}
+	code, err := huffman.BuildBounded(&hist, 16)
+	if err != nil {
+		return halfCoder{}, err
+	}
+	h.code = code
+	return h, nil
+}
+
+// encodeHalf appends one halfword's codeword (and escape literal).
+func (h *halfCoder) encodeHalf(w *bitio.Writer, hw uint16) error {
+	if idx, ok := h.index[hw]; ok {
+		bits, n := h.code.Codeword(idx)
+		if n == 0 {
+			return fmt.Errorf("codepack: dictionary index %d lost its codeword", idx)
+		}
+		w.WriteBits(bits, uint(n))
+		return nil
+	}
+	bits, n := h.code.Codeword(escape)
+	if n == 0 {
+		return errors.New("codepack: escape symbol has no codeword")
+	}
+	w.WriteBits(bits, uint(n))
+	w.WriteBits(uint64(hw), 16)
+	return nil
+}
+
+// halfBits returns the encoded size of one halfword in bits.
+func (h *halfCoder) halfBits(hw uint16) int {
+	if idx, ok := h.index[hw]; ok {
+		return h.code.Len(idx)
+	}
+	return h.code.Len(byte(escape)) + 16
+}
+
+// decodeHalf reads one halfword.
+func (h *halfCoder) decodeHalf(r *bitio.Reader) (uint16, error) {
+	sym, err := h.code.DecodeSymbol(r)
+	if err != nil {
+		return 0, err
+	}
+	if int(sym) == escape {
+		v, err := r.ReadBits(16)
+		if err != nil {
+			return 0, err
+		}
+		return uint16(v), nil
+	}
+	if int(sym) >= len(h.table) {
+		return 0, fmt.Errorf("%w: index %d beyond dictionary", ErrBadLine, sym)
+	}
+	return h.table[sym], nil
+}
+
+// EncodeLine compresses one 32-byte instruction line (8 words).
+func (c *Coder) EncodeLine(line []byte) ([]byte, error) {
+	if len(line)%4 != 0 {
+		return nil, fmt.Errorf("codepack: line length %d not word aligned", len(line))
+	}
+	var w bitio.Writer
+	for off := 0; off < len(line); off += 4 {
+		word := binary.LittleEndian.Uint32(line[off:])
+		if err := c.upper.encodeHalf(&w, uint16(word>>16)); err != nil {
+			return nil, err
+		}
+		if err := c.lower.encodeHalf(&w, uint16(word)); err != nil {
+			return nil, err
+		}
+	}
+	return w.Bytes(), nil
+}
+
+// DecodeLine expands a compressed line back to n bytes (n word aligned).
+func (c *Coder) DecodeLine(comp []byte, n int) ([]byte, error) {
+	if n%4 != 0 {
+		return nil, fmt.Errorf("codepack: output length %d not word aligned", n)
+	}
+	out := make([]byte, n)
+	r := bitio.NewReader(comp)
+	for off := 0; off < n; off += 4 {
+		hi, err := c.upper.decodeHalf(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: word %d: %v", ErrBadLine, off/4, err)
+		}
+		lo, err := c.lower.decodeHalf(r)
+		if err != nil {
+			return nil, fmt.Errorf("%w: word %d: %v", ErrBadLine, off/4, err)
+		}
+		binary.LittleEndian.PutUint32(out[off:], uint32(hi)<<16|uint32(lo))
+	}
+	return out, nil
+}
+
+// EncodedBits returns the exact compressed size of line in bits.
+func (c *Coder) EncodedBits(line []byte) (int, error) {
+	if len(line)%4 != 0 {
+		return 0, fmt.Errorf("codepack: line length %d not word aligned", len(line))
+	}
+	total := 0
+	for off := 0; off < len(line); off += 4 {
+		word := binary.LittleEndian.Uint32(line[off:])
+		total += c.upper.halfBits(uint16(word >> 16))
+		total += c.lower.halfBits(uint16(word))
+	}
+	return total, nil
+}
+
+// BitLengths attributes encoded bits to output bytes for the refill
+// engine's streaming model: each halfword's bits are charged to its two
+// bytes.
+func (c *Coder) BitLengths(line []byte) ([]int, error) {
+	if len(line)%4 != 0 {
+		return nil, fmt.Errorf("codepack: line length %d not word aligned", len(line))
+	}
+	lens := make([]int, len(line))
+	for off := 0; off < len(line); off += 4 {
+		word := binary.LittleEndian.Uint32(line[off:])
+		hb := c.upper.halfBits(uint16(word >> 16))
+		lb := c.lower.halfBits(uint16(word))
+		// Little-endian layout: bytes 0,1 are the low half, 2,3 the high.
+		lens[off] = lb / 2
+		lens[off+1] = lb - lb/2
+		lens[off+2] = hb / 2
+		lens[off+3] = hb - hb/2
+	}
+	return lens, nil
+}
+
+// Name identifies the coder in reports (core.LineCodec).
+func (c *Coder) Name() string { return "codepack" }
+
+// DictionaryBytes is the decoder table cost: two 255-entry halfword
+// dictionaries (hardwired alongside the Huffman index codes).
+func (c *Coder) DictionaryBytes() int {
+	return 2 * (len(c.upper.table) + len(c.lower.table))
+}

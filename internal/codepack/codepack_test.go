@@ -1,0 +1,197 @@
+package codepack
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// riscWords synthesizes instruction-like words: skewed upper halves
+// (opcodes/registers) and mostly-small lower halves (immediates).
+func riscWords(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n*4)
+	uppers := []uint16{0x2508, 0x8D28, 0xADBF, 0x0109, 0x3C04, 0x1120, 0x0C00, 0x03E0}
+	for i := 0; i < n; i++ {
+		var w uint32
+		switch rng.Intn(10) {
+		case 0: // rare arbitrary word (forces escapes)
+			w = rng.Uint32()
+		default:
+			up := uppers[rng.Intn(len(uppers))]
+			lo := uint16(rng.Intn(64) * 4)
+			w = uint32(up)<<16 | uint32(lo)
+		}
+		binary.LittleEndian.PutUint32(out[i*4:], w)
+	}
+	return out
+}
+
+func trained(t testing.TB) (*Coder, []byte) {
+	t.Helper()
+	corpus := riscWords(8192, 1)
+	c, err := Train(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, corpus
+}
+
+func TestRoundTripLine(t *testing.T) {
+	c, corpus := trained(t)
+	for off := 0; off+32 <= 2048; off += 32 {
+		line := corpus[off : off+32]
+		enc, err := c.EncodeLine(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.DecodeLine(enc, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec, line) {
+			t.Fatalf("line at %#x corrupted", off)
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	c, _ := trained(t)
+	f := func(words []uint32) bool {
+		if len(words) == 0 {
+			return true
+		}
+		line := make([]byte, len(words)*4)
+		for i, w := range words {
+			binary.LittleEndian.PutUint32(line[i*4:], w)
+		}
+		enc, err := c.EncodeLine(line)
+		if err != nil {
+			return false
+		}
+		dec, err := c.DecodeLine(enc, len(line))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, line)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodedBitsExact(t *testing.T) {
+	c, corpus := trained(t)
+	line := corpus[:32]
+	bits, err := c.EncodedBits(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := c.EncodeLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (bits + 7) / 8; len(enc) != want {
+		t.Errorf("EncodedBits says %d bytes, encoder produced %d", want, len(enc))
+	}
+	lens, err := c.BitLengths(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, l := range lens {
+		sum += l
+	}
+	if sum != bits {
+		t.Errorf("BitLengths sum %d != EncodedBits %d", sum, bits)
+	}
+}
+
+func TestCompressesTypicalCode(t *testing.T) {
+	c, corpus := trained(t)
+	bits, err := c.EncodedBits(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(bits) / float64(len(corpus)*8)
+	if ratio >= 0.80 {
+		t.Errorf("codepack ratio on its own corpus = %.3f, expected well under 0.80", ratio)
+	}
+}
+
+func TestEscapesStillDecode(t *testing.T) {
+	c, _ := trained(t)
+	// A line of entirely unseen halfwords: every one escapes.
+	line := make([]byte, 32)
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint32(line[i*4:], 0xF00D0000+uint32(i)*0x01010101)
+	}
+	enc, err := c.EncodeLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.DecodeLine(enc, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, line) {
+		t.Fatal("escape-only line corrupted")
+	}
+	bits, _ := c.EncodedBits(line)
+	if bits <= 16*16 {
+		t.Errorf("escape-only line coded in %d bits; must exceed 256 raw bits", bits)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	c, _ := trained(t)
+	if _, err := c.EncodeLine(make([]byte, 30)); err == nil {
+		t.Error("unaligned line accepted")
+	}
+	if _, err := c.DecodeLine(nil, 30); err == nil {
+		t.Error("unaligned decode accepted")
+	}
+	if _, err := c.DecodeLine([]byte{0xFF}, 32); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if _, err := c.EncodedBits(make([]byte, 3)); err == nil {
+		t.Error("unaligned EncodedBits accepted")
+	}
+	if _, err := c.BitLengths(make([]byte, 3)); err == nil {
+		t.Error("unaligned BitLengths accepted")
+	}
+	if _, err := Train(); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if c.DictionaryBytes() == 0 {
+		t.Error("empty dictionaries")
+	}
+}
+
+func BenchmarkEncodeLine(b *testing.B) {
+	c, corpus := trained(b)
+	line := corpus[:32]
+	b.SetBytes(32)
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeLine(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeLine(b *testing.B) {
+	c, corpus := trained(b)
+	enc, err := c.EncodeLine(corpus[:32])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.DecodeLine(enc, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

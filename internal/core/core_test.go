@@ -1,0 +1,652 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccrp/internal/huffman"
+	"ccrp/internal/memory"
+	"ccrp/internal/trace"
+)
+
+// riscLikeText builds a deterministic pseudo-program whose byte histogram
+// is skewed like real R2000 code (many zero bytes, clustered opcodes).
+func riscLikeText(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // ALU op with small fields
+			out = append(out, byte(rng.Intn(32)), byte(rng.Intn(64)), byte(rng.Intn(16)), 0x00)
+		case 4, 5, 6: // load/store with small offset
+			out = append(out, byte(rng.Intn(128)), 0x00, byte(0xBD+rng.Intn(2)), byte(0x8C+rng.Intn(4)))
+		case 7, 8: // branch
+			out = append(out, byte(rng.Intn(16)), 0x00, byte(0x40+rng.Intn(8)), 0x10)
+		default: // lui / constants
+			out = append(out, byte(rng.Intn(256)), byte(rng.Intn(4)), byte(rng.Intn(8)), 0x3C)
+		}
+	}
+	return out[:n]
+}
+
+func testCode(t testing.TB, data []byte) *huffman.Code {
+	t.Helper()
+	c, err := huffman.BuildBounded(huffman.HistogramOf(data).Smooth(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBuildROMAndVerify(t *testing.T) {
+	text := riscLikeText(4096, 1)
+	code := testCode(t, text)
+	rom, err := BuildROM(text, Options{Codes: []*huffman.Code{code}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rom.Lines) != 4096/32 {
+		t.Fatalf("lines = %d", len(rom.Lines))
+	}
+	if err := rom.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if rom.Ratio() >= 1.0 {
+		t.Errorf("risc-like text did not compress: ratio = %.3f", rom.Ratio())
+	}
+	if rom.CompressedSize() != rom.BlocksSize()+rom.TableSize() {
+		t.Error("size accounting inconsistent")
+	}
+	// LAT overhead is 3.125% of original.
+	if got := float64(rom.TableSize()) / float64(rom.OriginalSize); got != 0.03125 {
+		t.Errorf("LAT overhead = %v", got)
+	}
+}
+
+func TestPaddingShortText(t *testing.T) {
+	text := riscLikeText(100, 2) // not a multiple of 32
+	rom, err := BuildROM(text, Options{Codes: []*huffman.Code{testCode(t, text)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rom.OriginalSize != 128 || len(rom.Lines) != 4 {
+		t.Fatalf("padded to %d bytes, %d lines", rom.OriginalSize, len(rom.Lines))
+	}
+	if err := rom.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRawFallback(t *testing.T) {
+	// A code trained on a completely different distribution makes the
+	// data incompressible, forcing the bypass path.
+	skew := bytes.Repeat([]byte{0}, 4096)
+	code := testCode(t, skew) // ~1 bit for 0x00, long codes for the rest
+	hostile := make([]byte, 1024)
+	rng := rand.New(rand.NewSource(3))
+	for i := range hostile {
+		hostile[i] = byte(1 + rng.Intn(255))
+	}
+	rom, err := BuildROM(hostile, Options{Codes: []*huffman.Code{code}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rom.RawLines() != len(rom.Lines) {
+		t.Errorf("raw lines = %d of %d", rom.RawLines(), len(rom.Lines))
+	}
+	// No encoded block may ever exceed its original size (§2.2).
+	for i, l := range rom.Lines {
+		if len(l.Stored) > LineSize {
+			t.Errorf("line %d stored %d bytes", i, len(l.Stored))
+		}
+	}
+	if err := rom.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if rom.Ratio() > 1.0+0.04 { // raw blocks + 3.125% LAT
+		t.Errorf("worst-case ratio = %.4f", rom.Ratio())
+	}
+}
+
+func TestWordAlignment(t *testing.T) {
+	text := riscLikeText(2048, 4)
+	code := testCode(t, text)
+	byteROM, err := BuildROM(text, Options{Codes: []*huffman.Code{code}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wordROM, err := BuildROM(text, Options{Codes: []*huffman.Code{code}, WordAligned: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range wordROM.Lines {
+		if len(l.Stored)%4 != 0 {
+			t.Errorf("word-aligned line %d has %d bytes", i, len(l.Stored))
+		}
+	}
+	if wordROM.BlocksSize() < byteROM.BlocksSize() {
+		t.Error("word alignment cannot shrink the image")
+	}
+	if err := wordROM.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiCodeSelection(t *testing.T) {
+	// Two halves with very different statistics; two specialized codes.
+	a := riscLikeText(1024, 5)
+	b := bytes.Repeat([]byte{0xAA, 0xBB, 0xCC, 0xDD}, 256)
+	text := append(append([]byte{}, a...), b...)
+	codeA := testCode(t, a)
+	codeB := testCode(t, b)
+	single, err := BuildROM(text, Options{Codes: []*huffman.Code{codeA}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := BuildROM(text, Options{Codes: []*huffman.Code{codeA, codeB}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.TagBits() != len(multi.Lines) {
+		t.Errorf("tag bits = %d, want 1 per line", multi.TagBits())
+	}
+	if single.TagBits() != 0 {
+		t.Error("single-code image has tag overhead")
+	}
+	if multi.BlocksSize() >= single.BlocksSize() {
+		t.Errorf("multi-code blocks %d not smaller than single %d",
+			multi.BlocksSize(), single.BlocksSize())
+	}
+	if err := multi.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	usedB := false
+	for _, l := range multi.Lines {
+		if l.CodeIdx == 1 {
+			usedB = true
+		}
+	}
+	if !usedB {
+		t.Error("second code never selected")
+	}
+}
+
+func TestBuildROMErrors(t *testing.T) {
+	if _, err := BuildROM([]byte{1, 2, 3}, Options{}); !errors.Is(err, ErrNoCodes) {
+		t.Errorf("err = %v", err)
+	}
+	text := riscLikeText(64, 6)
+	rom, err := BuildROM(text, Options{Codes: []*huffman.Code{testCode(t, text)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rom.LineIndex(uint32(rom.OriginalSize)); err == nil {
+		t.Error("LineIndex past end accepted")
+	}
+	if _, err := rom.DecompressLine(-1); err == nil {
+		t.Error("DecompressLine(-1) accepted")
+	}
+	if _, err := rom.DecompressLine(len(rom.Lines)); err == nil {
+		t.Error("DecompressLine past end accepted")
+	}
+}
+
+// Property: BuildROM + DecompressLine is the identity for arbitrary text
+// under a smoothed code.
+func TestROMRoundTripQuick(t *testing.T) {
+	code := testCode(t, riscLikeText(8192, 7))
+	f := func(text []byte) bool {
+		if len(text) == 0 {
+			return true
+		}
+		rom, err := BuildROM(text, Options{Codes: []*huffman.Code{code}})
+		if err != nil {
+			return false
+		}
+		return rom.Verify() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- refill engine ---
+
+func TestRawRefillMatchesStandard(t *testing.T) {
+	for _, m := range memory.Models() {
+		e := RefillEngine{Mem: m}
+		if got, want := e.RawLineCycles(32), m.BurstCycles(8); got != want {
+			t.Errorf("%s raw refill = %d, want %d", m.Name(), got, want)
+		}
+	}
+}
+
+func TestCompressedRefillMinimum(t *testing.T) {
+	// With bits arriving faster than the decoder drains them, the refill
+	// takes exactly 16 cycles + first-word access time (§3.4).
+	bitLens := make([]int, 32)
+	for i := range bitLens {
+		bitLens[i] = 4 // 128 bits = 16 stored bytes
+	}
+	e := RefillEngine{Mem: memory.BurstEPROM{}}
+	if got := e.CompressedLineCycles(bitLens, 16); got != 16+3 {
+		t.Errorf("burst EPROM compressed refill = %d, want 19", got)
+	}
+	d := RefillEngine{Mem: memory.SCDRAM{}}
+	if got := d.CompressedLineCycles(bitLens, 16); got != 16+4 {
+		t.Errorf("DRAM compressed refill = %d, want 20", got)
+	}
+}
+
+func TestCompressedRefillBeatsStandardOnEPROM(t *testing.T) {
+	// On slow EPROM, fetching fewer bytes dominates: a 16-byte block
+	// refills faster than the 24-cycle standard refill.
+	bitLens := make([]int, 32)
+	for i := range bitLens {
+		bitLens[i] = 4
+	}
+	e := RefillEngine{Mem: memory.EPROM{}}
+	comp := e.CompressedLineCycles(bitLens, 16)
+	if std := e.RawLineCycles(32); comp >= std {
+		t.Errorf("EPROM compressed refill %d not faster than standard %d", comp, std)
+	}
+}
+
+func TestCompressedRefillStallsOnSlowMemory(t *testing.T) {
+	// A barely-compressed block on EPROM is fetch-bound, slower than the
+	// decode minimum.
+	bitLens := make([]int, 32)
+	for i := range bitLens {
+		bitLens[i] = 7 // 224 bits = 28 bytes, 7 words
+	}
+	e := RefillEngine{Mem: memory.EPROM{}}
+	got := e.CompressedLineCycles(bitLens, 28)
+	if got <= 16+3 {
+		t.Errorf("fetch-bound refill = %d, expected > 19", got)
+	}
+	if last := (memory.EPROM{}).WordArrival(6); got < last {
+		t.Errorf("refill %d finished before last word at %d", got, last)
+	}
+}
+
+func TestRefillMonotoneInSize(t *testing.T) {
+	e := RefillEngine{Mem: memory.EPROM{}}
+	prev := uint64(0)
+	for bytes := 4; bytes <= 28; bytes += 4 {
+		bitLens := make([]int, 32)
+		for i := range bitLens {
+			bitLens[i] = bytes * 8 / 32
+		}
+		got := e.CompressedLineCycles(bitLens, bytes)
+		if got < prev {
+			t.Errorf("refill(%dB) = %d < refill(%dB) = %d", bytes, got, bytes-4, prev)
+		}
+		prev = got
+	}
+}
+
+func TestLATFetchCycles(t *testing.T) {
+	cases := []struct {
+		mem  memory.Model
+		want uint64
+	}{
+		{memory.EPROM{}, 6 + 1},
+		{memory.BurstEPROM{}, 4 + 1},
+		{memory.SCDRAM{}, 5 + 1},
+	}
+	for _, c := range cases {
+		if got := (RefillEngine{Mem: c.mem}).LATFetchCycles(); got != c.want {
+			t.Errorf("%s LAT fetch = %d, want %d", c.mem.Name(), got, c.want)
+		}
+	}
+}
+
+// --- system comparison ---
+
+// syntheticTrace walks the first n bytes of text in a loop, marking every
+// fourth instruction as a load.
+func syntheticTrace(textBytes, loopBytes, iterations int) *trace.Trace {
+	tr := &trace.Trace{}
+	if loopBytes > textBytes {
+		loopBytes = textBytes
+	}
+	for it := 0; it < iterations; it++ {
+		for pc := 0; pc < loopBytes; pc += 4 {
+			e := trace.Event{PC: uint32(pc)}
+			if pc/4%4 == 3 {
+				e.Flags = trace.FlagLoad
+				e.Addr = 0x100000
+			}
+			tr.Events = append(tr.Events, e)
+		}
+	}
+	return tr
+}
+
+func compareWith(t *testing.T, cfg Config, loopBytes int) *Comparison {
+	t.Helper()
+	text := riscLikeText(8192, 42)
+	if cfg.Codes == nil {
+		cfg.Codes = []*huffman.Code{testCode(t, text)}
+	}
+	tr := syntheticTrace(len(text), loopBytes, 50)
+	cmp, err := Compare(tr, text, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cmp
+}
+
+func TestCompareBasicInvariants(t *testing.T) {
+	cmp := compareWith(t, Config{CacheBytes: 1024, Mem: memory.BurstEPROM{}}, 4096)
+	if cmp.Standard.Misses == 0 {
+		t.Fatal("no misses; test premise broken")
+	}
+	if cmp.Standard.Misses != cmp.CCRP.Misses {
+		t.Error("miss counts differ between systems")
+	}
+	if cmp.TrafficRatio() >= 1.0 {
+		t.Errorf("traffic ratio = %.3f, want < 1 (paper §4.3: reduced in all cases)", cmp.TrafficRatio())
+	}
+	if cmp.CCRP.CLBMisses == 0 || cmp.CCRP.CLBMisses > cmp.CCRP.Misses {
+		t.Errorf("CLB misses = %d of %d cache misses", cmp.CCRP.CLBMisses, cmp.CCRP.Misses)
+	}
+	if cmp.MissRate() <= 0 || cmp.MissRate() > 1 {
+		t.Errorf("miss rate = %v", cmp.MissRate())
+	}
+	if cmp.Standard.Cycles <= cmp.Standard.BaseCycles {
+		t.Error("standard cycles missing refill costs")
+	}
+}
+
+func TestEPROMFavorsCompression(t *testing.T) {
+	eprom := compareWith(t, Config{CacheBytes: 256, Mem: memory.EPROM{}}, 4096)
+	burst := compareWith(t, Config{CacheBytes: 256, Mem: memory.BurstEPROM{}}, 4096)
+	if eprom.RelativePerformance() >= burst.RelativePerformance() {
+		t.Errorf("EPROM relperf %.3f should beat burst %.3f",
+			eprom.RelativePerformance(), burst.RelativePerformance())
+	}
+	if eprom.RelativePerformance() >= 1.0 {
+		t.Errorf("EPROM relperf = %.3f, expected < 1 (compression wins on slow memory)",
+			eprom.RelativePerformance())
+	}
+	if burst.RelativePerformance() <= 1.0 {
+		t.Errorf("burst relperf = %.3f, expected > 1 (decode-bound)", burst.RelativePerformance())
+	}
+}
+
+func TestLargerCacheReducesImpact(t *testing.T) {
+	small := compareWith(t, Config{CacheBytes: 256, Mem: memory.BurstEPROM{}}, 2048)
+	large := compareWith(t, Config{CacheBytes: 4096, Mem: memory.BurstEPROM{}}, 2048)
+	if large.MissRate() >= small.MissRate() {
+		t.Errorf("miss rate did not fall with cache size: %.4f vs %.4f",
+			large.MissRate(), small.MissRate())
+	}
+	// With a fitting cache the two systems converge.
+	devSmall := small.RelativePerformance() - 1
+	devLarge := large.RelativePerformance() - 1
+	abs := func(f float64) float64 {
+		if f < 0 {
+			return -f
+		}
+		return f
+	}
+	if abs(devLarge) > abs(devSmall) {
+		t.Errorf("relperf deviation grew with cache size: %.4f vs %.4f", devLarge, devSmall)
+	}
+}
+
+func TestDCacheMissRateScalesImpact(t *testing.T) {
+	// More data cycles dilute the instruction-side difference (§4.2.4).
+	noD := compareWith(t, Config{CacheBytes: 1024, Mem: memory.EPROM{}, DataCache: true, DCacheMissRate: 0.001}, 4096)
+	fullD := compareWith(t, Config{CacheBytes: 1024, Mem: memory.EPROM{}, DataCache: true, DCacheMissRate: 1.0}, 4096)
+	devNoD := 1 - noD.RelativePerformance()
+	devFull := 1 - fullD.RelativePerformance()
+	if devNoD <= devFull {
+		t.Errorf("without d-cache misses the CCRP effect should be larger: %.4f vs %.4f",
+			devNoD, devFull)
+	}
+}
+
+func TestCLBSizeEffect(t *testing.T) {
+	big := compareWith(t, Config{CacheBytes: 256, Mem: memory.EPROM{}, CLBEntries: 16}, 8192)
+	small := compareWith(t, Config{CacheBytes: 256, Mem: memory.EPROM{}, CLBEntries: 1}, 8192)
+	if small.CCRP.CLBMisses < big.CCRP.CLBMisses {
+		t.Errorf("smaller CLB misses less: %d vs %d", small.CCRP.CLBMisses, big.CCRP.CLBMisses)
+	}
+	if small.CCRP.Cycles < big.CCRP.Cycles {
+		t.Error("smaller CLB produced faster system")
+	}
+}
+
+func TestOverlapReducesCycles(t *testing.T) {
+	block := compareWith(t, Config{CacheBytes: 256, Mem: memory.BurstEPROM{}}, 4096)
+	overlap := compareWith(t, Config{CacheBytes: 256, Mem: memory.BurstEPROM{}, OverlapCycles: 4}, 4096)
+	if overlap.CCRP.Cycles >= block.CCRP.Cycles {
+		t.Error("overlap did not reduce CCRP cycles")
+	}
+	if overlap.Standard.Cycles >= block.Standard.Cycles {
+		t.Error("overlap did not reduce standard cycles")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	text := riscLikeText(256, 9)
+	code := testCode(t, text)
+	if _, err := Compare(&trace.Trace{}, text, Config{Codes: []*huffman.Code{code}}); !errors.Is(err, ErrEmptyTrace) {
+		t.Errorf("empty trace err = %v", err)
+	}
+	tr := &trace.Trace{Events: []trace.Event{{PC: 0x10000}}}
+	if _, err := Compare(tr, text, Config{Codes: []*huffman.Code{code}}); err == nil {
+		t.Error("out-of-text fetch accepted")
+	}
+	if _, err := Compare(tr, text, Config{}); !errors.Is(err, ErrNoCodes) {
+		t.Errorf("missing codes err = %v", err)
+	}
+	if _, err := Compare(tr, text, Config{Codes: []*huffman.Code{code}, CacheBytes: 300}); err == nil {
+		t.Error("bad cache geometry accepted")
+	}
+}
+
+func BenchmarkBuildROM(b *testing.B) {
+	text := riscLikeText(65536, 10)
+	code := testCode(b, text)
+	opts := Options{Codes: []*huffman.Code{code}}
+	b.SetBytes(int64(len(text)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildROM(text, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompare(b *testing.B) {
+	text := riscLikeText(8192, 11)
+	code := testCode(b, text)
+	tr := syntheticTrace(len(text), 4096, 20)
+	cfg := Config{CacheBytes: 1024, Mem: memory.BurstEPROM{}, Codes: []*huffman.Code{code}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compare(tr, text, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDecodeRateEffect(t *testing.T) {
+	bitLens := make([]int, 32)
+	for i := range bitLens {
+		bitLens[i] = 6 // 192 bits = 24 stored bytes
+	}
+	// On burst memory a faster decoder shortens the decode-bound refill.
+	var prev uint64
+	for i, rate := range []int{1, 2, 4, 8} {
+		e := RefillEngine{Mem: memory.BurstEPROM{}, Rate: rate}
+		got := e.CompressedLineCycles(bitLens, 24)
+		if i > 0 && got > prev {
+			t.Errorf("rate %d refill %d exceeds slower rate's %d", rate, got, prev)
+		}
+		prev = got
+	}
+	// Rate 2 default must equal the explicit value.
+	d := RefillEngine{Mem: memory.BurstEPROM{}}
+	e := RefillEngine{Mem: memory.BurstEPROM{}, Rate: 2}
+	if d.CompressedLineCycles(bitLens, 24) != e.CompressedLineCycles(bitLens, 24) {
+		t.Error("default rate differs from explicit 2")
+	}
+	// A rate-1 decoder needs at least 32 cycles for 32 bytes.
+	one := RefillEngine{Mem: memory.BurstEPROM{}, Rate: 1}
+	if got := one.CompressedLineCycles(bitLens, 24); got < 32 {
+		t.Errorf("rate-1 refill = %d, want >= 32", got)
+	}
+}
+
+func TestAssociativityHelpsConflictHeavyTrace(t *testing.T) {
+	text := riscLikeText(8192, 77)
+	code := testCode(t, text)
+	// Ping-pong between two conflicting regions.
+	tr := &trace.Trace{}
+	for i := 0; i < 2000; i++ {
+		tr.Events = append(tr.Events,
+			trace.Event{PC: uint32(i%8) * 4},
+			trace.Event{PC: 4096 + uint32(i%8)*4})
+	}
+	dm, err := Compare(tr, text, Config{CacheBytes: 1024, Mem: memory.EPROM{}, Codes: []*huffman.Code{code}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, err := Compare(tr, text, Config{CacheBytes: 1024, CacheWays: 2, Mem: memory.EPROM{}, Codes: []*huffman.Code{code}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tw.Standard.Misses >= dm.Standard.Misses {
+		t.Errorf("2-way misses %d not below direct-mapped %d", tw.Standard.Misses, dm.Standard.Misses)
+	}
+}
+
+func TestCLBProbePolicy(t *testing.T) {
+	text := riscLikeText(8192, 88)
+	code := testCode(t, text)
+	// Alternate between two regions so a tiny CLB is recency-sensitive.
+	tr := &trace.Trace{}
+	for i := 0; i < 3000; i++ {
+		tr.Events = append(tr.Events,
+			trace.Event{PC: uint32(i%64) * 4},      // group 0
+			trace.Event{PC: 4096 + uint32(i%64)*4}, // far group
+			trace.Event{PC: uint32(i%64)*4 + 256},  // group 1
+		)
+	}
+	base := Config{CacheBytes: 256, CLBEntries: 2, Mem: memory.EPROM{}, Codes: []*huffman.Code{code}}
+	onMiss, err := Compare(tr, text, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	every := base
+	every.CLBProbeEveryFetch = true
+	onFetch, err := Compare(tr, text, every)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical cache behaviour; only CLB state policy differs.
+	if onMiss.CCRP.Misses != onFetch.CCRP.Misses {
+		t.Fatal("cache misses changed with CLB policy")
+	}
+	if onFetch.CCRP.CLBMisses > onMiss.CCRP.CLBMisses {
+		t.Errorf("probe-every-fetch worsened CLB misses: %d > %d",
+			onFetch.CCRP.CLBMisses, onMiss.CCRP.CLBMisses)
+	}
+}
+
+// A minimal codec that doubles as a test of the LineCodec plug point:
+// XOR with a constant plus a 2-byte header (so it always "compresses" to
+// 30 bytes when the line has at least 4 trailing zero... actually it
+// stores 24 bytes by dropping the last 8 if they are zero).
+type testCodec struct{}
+
+func (testCodec) Name() string { return "test" }
+func (testCodec) EncodedBits(line []byte) (int, error) {
+	n := len(line)
+	for n > 0 && line[n-1] == 0 {
+		n--
+	}
+	return (n + 1) * 8, nil
+}
+func (testCodec) EncodeLine(line []byte) ([]byte, error) {
+	n := len(line)
+	for n > 0 && line[n-1] == 0 {
+		n--
+	}
+	out := append([]byte{byte(n)}, line[:n]...)
+	return out, nil
+}
+func (testCodec) DecodeLine(comp []byte, n int) ([]byte, error) {
+	if len(comp) == 0 {
+		return nil, errors.New("empty")
+	}
+	k := int(comp[0])
+	if k+1 > len(comp) || k > n {
+		return nil, errors.New("corrupt")
+	}
+	out := make([]byte, n)
+	copy(out, comp[1:1+k])
+	return out, nil
+}
+func (testCodec) BitLengths(line []byte) ([]int, error) {
+	lens := make([]int, len(line))
+	n := len(line)
+	for n > 0 && line[n-1] == 0 {
+		n--
+	}
+	for i := 0; i < n; i++ {
+		lens[i] = 8
+	}
+	if n < len(line) {
+		lens[n] = 8 // the header byte, charged to the first zero
+	} else if n > 0 {
+		lens[0] += 8
+	}
+	return lens, nil
+}
+
+func TestCodecPlugPoint(t *testing.T) {
+	// Lines with zero tails compress under the test codec; others go raw.
+	text := make([]byte, 256)
+	for i := 0; i < 64; i++ {
+		text[i] = byte(i + 1) // line 0-1: dense, but still has... fill all
+	}
+	for i := 64; i < 96; i++ {
+		text[i] = byte(i) // line 2 dense
+	}
+	// lines 3..7 left zero -> compress very well
+	rom, err := BuildROM(text, Options{Codec: testCodec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rom.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if rom.Ratio() >= 1 {
+		t.Errorf("codec image did not compress: %.3f", rom.Ratio())
+	}
+	// Codec images must refuse serialization.
+	var buf bytes.Buffer
+	if err := rom.WriteFile(&buf); err == nil {
+		t.Error("codec ROM serialized")
+	}
+	// And must run through the system simulator.
+	tr := &trace.Trace{}
+	for i := 0; i < 1000; i++ {
+		tr.Events = append(tr.Events, trace.Event{PC: uint32(i%64) * 4})
+	}
+	cmp, err := Compare(tr, text, Config{CacheBytes: 256, Mem: memory.EPROM{}, Codec: testCodec{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.CCRP.Cycles == 0 {
+		t.Error("codec comparison produced no cycles")
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"ccrp/internal/memory"
+)
+
+// DecodeBytesPerCycle is the paper's decoder rate: one byte decoded on
+// each clock edge, two per processor cycle.
+const DecodeBytesPerCycle = 2
+
+// RefillEngine models the cache refill datapath: compressed words stream
+// in from instruction memory while the Huffman decoder drains them at
+// Rate bytes per cycle (the paper's decoder does 2, one per clock edge),
+// stalling whenever the bits for the next output byte have not arrived.
+type RefillEngine struct {
+	Mem  memory.Model
+	Rate int // decoded bytes per cycle; 0 means DecodeBytesPerCycle
+}
+
+func (e RefillEngine) rate() int {
+	if e.Rate <= 0 {
+		return DecodeBytesPerCycle
+	}
+	return e.Rate
+}
+
+// RawLineCycles is the refill time of an uncompressed (bypass) block,
+// identical to a standard processor's line refill: a burst of
+// lineBytes/4 words.
+func (e RefillEngine) RawLineCycles(lineBytes int) uint64 {
+	return e.Mem.BurstCycles(lineBytes / 4)
+}
+
+// CompressedLineCycles is the refill time of a compressed block.
+// bitLens[k] is the encoded length of output byte k; storedBytes is the
+// block's stored size (word-rounded when the image is word aligned).
+//
+// The model works in decode ticks of 1/Rate cycle: output byte k
+// completes one tick after both (a) the previous byte and (b) the memory
+// word containing bit position cum(k) have arrived. At the paper's 2
+// bytes/cycle the minimum for a 32-byte line is therefore 16 cycles plus
+// the first word's access time, as in §3.4.
+func (e RefillEngine) CompressedLineCycles(bitLens []int, storedBytes int) uint64 {
+	rate := uint64(e.rate())
+	words := (storedBytes + 3) / 4
+	cum := 0
+	var t uint64 // ticks of 1/rate cycle
+	for _, n := range bitLens {
+		cum += n
+		wordIdx := (cum - 1) / 32
+		if wordIdx >= words {
+			wordIdx = words - 1 // padding bits live in the last stored word
+		}
+		avail := rate * e.Mem.WordArrival(wordIdx)
+		if avail > t {
+			t = avail
+		}
+		t++ // the decode tick itself
+	}
+	return (t + rate - 1) / rate
+}
+
+// LineCycles dispatches on the block kind and returns the refill time of
+// ROM line i, excluding CLB effects and post-burst recovery.
+func (e RefillEngine) LineCycles(r *ROM, i int) uint64 {
+	l := r.Lines[i]
+	if l.Raw {
+		return e.RawLineCycles(len(l.Stored))
+	}
+	return e.CompressedLineCycles(r.bitLengths(i), len(l.Stored))
+}
+
+// LATFetchCycles is the CLB refill penalty: reading one 8-byte LAT entry
+// (a two-word sequential access) plus one cycle in the CLB's address
+// computation unit.
+func (e RefillEngine) LATFetchCycles() uint64 {
+	return e.Mem.BurstCycles(2) + 1
+}
+
+// LineTrafficBytes returns the bus traffic a CCRP refill of line i causes:
+// whole words, since the bus performs word accesses even for byte-aligned
+// blocks (§4.1).
+func LineTrafficBytes(r *ROM, i int) uint64 {
+	return uint64((len(r.Lines[i].Stored) + 3) / 4 * 4)
+}

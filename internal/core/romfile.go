@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ccrp/internal/bitio"
+	"ccrp/internal/huffman"
+	"ccrp/internal/lat"
+)
+
+// ROM image file format, the artifact the host-side compression tool
+// (cmd/ccpack) hands to the embedded system: the packed compressed blocks
+// followed by the Line Address Table, plus the header a loader needs and
+// the code tables for non-hardwired codes.
+
+const (
+	romMagic   = 0x43524F4D // "CROM"
+	romVersion = 1
+)
+
+// ErrBadROMFile is returned when parsing a malformed ROM file.
+var ErrBadROMFile = errors.New("core: malformed ROM file")
+
+// WriteFile serializes the ROM image. Images built with a custom Codec
+// are not serializable: their decode tables live in the codec.
+func (r *ROM) WriteFile(w io.Writer) error {
+	if r.opts.Codec != nil {
+		return fmt.Errorf("core: cannot serialize a ROM built with codec %q", r.opts.Codec.Name())
+	}
+	latBytes := r.Table.Bytes()
+	var hdr [28]byte
+	binary.LittleEndian.PutUint32(hdr[0:], romMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], romVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(r.OriginalSize))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(r.Blocks)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(latBytes)))
+	flags := uint32(len(r.opts.Codes))
+	if r.opts.WordAligned {
+		flags |= 1 << 16
+	}
+	binary.LittleEndian.PutUint32(hdr[20:], flags)
+	// Per-line code tags (omitted for a single code).
+	var tagBytes []byte
+	if len(r.opts.Codes) > 1 {
+		var tw bitio.Writer
+		width := uint(1)
+		for 1<<width < len(r.opts.Codes) {
+			width++
+		}
+		for _, l := range r.Lines {
+			idx := l.CodeIdx
+			if idx < 0 {
+				idx = 0 // raw lines are flagged in the LAT; tag unused
+			}
+			tw.WriteBits(uint64(idx), width)
+		}
+		tagBytes = tw.Bytes()
+	}
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(tagBytes)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, code := range r.opts.Codes {
+		blob, err := code.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		var sz [4]byte
+		binary.LittleEndian.PutUint32(sz[:], uint32(len(blob)))
+		if _, err := w.Write(sz[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(blob); err != nil {
+			return err
+		}
+	}
+	if _, err := w.Write(tagBytes); err != nil {
+		return err
+	}
+	if _, err := w.Write(r.Blocks); err != nil {
+		return err
+	}
+	_, err := w.Write(latBytes)
+	return err
+}
+
+// ReadROMFile reconstructs a ROM image, decompressing every block to
+// recover the original line contents (and thereby verifying the file).
+func ReadROMFile(rd io.Reader) (*ROM, error) {
+	var hdr [28]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadROMFile, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != romMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadROMFile)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != romVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadROMFile, v)
+	}
+	origSize := int(binary.LittleEndian.Uint32(hdr[8:]))
+	blockLen := int(binary.LittleEndian.Uint32(hdr[12:]))
+	latLen := int(binary.LittleEndian.Uint32(hdr[16:]))
+	flags := binary.LittleEndian.Uint32(hdr[20:])
+	tagLen := int(binary.LittleEndian.Uint32(hdr[24:]))
+	nCodes := int(flags & 0xFFFF)
+	if nCodes < 1 || nCodes > 16 || origSize > 1<<26 || blockLen > 1<<26 || latLen > 1<<26 {
+		return nil, fmt.Errorf("%w: implausible header", ErrBadROMFile)
+	}
+	opts := Options{WordAligned: flags&(1<<16) != 0}
+	for i := 0; i < nCodes; i++ {
+		var sz [4]byte
+		if _, err := io.ReadFull(rd, sz[:]); err != nil {
+			return nil, fmt.Errorf("%w: code table %d: %v", ErrBadROMFile, i, err)
+		}
+		blob := make([]byte, binary.LittleEndian.Uint32(sz[:]))
+		if _, err := io.ReadFull(rd, blob); err != nil {
+			return nil, fmt.Errorf("%w: code table %d: %v", ErrBadROMFile, i, err)
+		}
+		code, err := huffman.UnmarshalCode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("%w: code table %d: %v", ErrBadROMFile, i, err)
+		}
+		opts.Codes = append(opts.Codes, code)
+	}
+	tags := make([]byte, tagLen)
+	if _, err := io.ReadFull(rd, tags); err != nil {
+		return nil, fmt.Errorf("%w: tags: %v", ErrBadROMFile, err)
+	}
+	blocks := make([]byte, blockLen)
+	if _, err := io.ReadFull(rd, blocks); err != nil {
+		return nil, fmt.Errorf("%w: blocks: %v", ErrBadROMFile, err)
+	}
+	latBytes := make([]byte, latLen)
+	if _, err := io.ReadFull(rd, latBytes); err != nil {
+		return nil, fmt.Errorf("%w: LAT: %v", ErrBadROMFile, err)
+	}
+	table, err := lat.Parse(latBytes)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadROMFile, err)
+	}
+	table.Blocks = origSize / LineSize
+
+	rom := &ROM{Table: table, Blocks: blocks, OriginalSize: origSize, opts: opts}
+	tagReader := bitio.NewReader(tags)
+	tagWidth := uint(1)
+	for 1<<tagWidth < nCodes {
+		tagWidth++
+	}
+	for i := 0; i < table.Blocks; i++ {
+		addr, length, raw, err := table.Lookup(uint32(i * LineSize))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadROMFile, err)
+		}
+		if int(addr)+length > len(blocks) {
+			return nil, fmt.Errorf("%w: block %d outside block region", ErrBadROMFile, i)
+		}
+		stored := blocks[addr : int(addr)+length]
+		line := Line{Stored: stored, Raw: raw, CodeIdx: -1}
+		if nCodes > 1 {
+			idx, err := tagReader.ReadBits(tagWidth)
+			if err != nil {
+				return nil, fmt.Errorf("%w: tag %d: %v", ErrBadROMFile, i, err)
+			}
+			if !raw {
+				line.CodeIdx = int(idx)
+			}
+		} else if !raw {
+			line.CodeIdx = 0
+		}
+		if line.CodeIdx >= nCodes {
+			return nil, fmt.Errorf("%w: block %d selects code %d of %d", ErrBadROMFile, i, line.CodeIdx, nCodes)
+		}
+		rom.Lines = append(rom.Lines, line)
+		orig, err := rom.DecompressLine(i)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadROMFile, err)
+		}
+		rom.Lines[i].Orig = orig
+	}
+	return rom, nil
+}
+
+// Text reassembles the original program text from the (decompressed)
+// lines.
+func (r *ROM) Text() []byte {
+	var buf bytes.Buffer
+	buf.Grow(r.OriginalSize)
+	for i := range r.Lines {
+		buf.Write(r.Lines[i].Orig)
+	}
+	return buf.Bytes()
+}

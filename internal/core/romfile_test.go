@@ -1,0 +1,89 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ccrp/internal/huffman"
+)
+
+func TestROMFileRoundTrip(t *testing.T) {
+	text := riscLikeText(4096, 21)
+	code := testCode(t, text)
+	rom, err := BuildROM(text, Options{Codes: []*huffman.Code{code}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rom.WriteFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadROMFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OriginalSize != rom.OriginalSize || len(got.Lines) != len(rom.Lines) {
+		t.Fatalf("geometry changed: %d/%d vs %d/%d",
+			got.OriginalSize, len(got.Lines), rom.OriginalSize, len(rom.Lines))
+	}
+	if !bytes.Equal(got.Text(), rom.Text()) {
+		t.Fatal("text changed through ROM file round trip")
+	}
+	if !bytes.Equal(got.Text()[:len(text)], text) {
+		t.Fatal("reconstructed text differs from the original program")
+	}
+	if err := got.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestROMFileMultiCodeRoundTrip(t *testing.T) {
+	a := riscLikeText(1024, 22)
+	b := bytes.Repeat([]byte{0x12, 0x34, 0x56, 0x78}, 256)
+	text := append(append([]byte{}, a...), b...)
+	rom, err := BuildROM(text, Options{
+		Codes:       []*huffman.Code{testCode(t, a), testCode(t, b)},
+		WordAligned: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rom.WriteFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadROMFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Text()[:len(text)], text) {
+		t.Fatal("multi-code round trip corrupted text")
+	}
+	for i := range got.Lines {
+		if got.Lines[i].Raw != rom.Lines[i].Raw || got.Lines[i].CodeIdx != rom.Lines[i].CodeIdx {
+			t.Fatalf("line %d metadata changed: %+v vs %+v", i, got.Lines[i], rom.Lines[i])
+		}
+	}
+}
+
+func TestReadROMFileRejectsGarbage(t *testing.T) {
+	if _, err := ReadROMFile(bytes.NewReader(nil)); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, err := ReadROMFile(bytes.NewReader(make([]byte, 28))); err == nil {
+		t.Error("zero header accepted")
+	}
+	// Valid ROM truncated mid-blocks.
+	text := riscLikeText(512, 23)
+	rom, err := BuildROM(text, Options{Codes: []*huffman.Code{testCode(t, text)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rom.WriteFile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadROMFile(bytes.NewReader(buf.Bytes()[:buf.Len()-10])); err == nil {
+		t.Error("truncated ROM accepted")
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"ccrp/internal/cache"
+	"ccrp/internal/clb"
+	"ccrp/internal/huffman"
+	"ccrp/internal/lat"
+	"ccrp/internal/memory"
+	"ccrp/internal/trace"
+)
+
+// Config describes one simulated system configuration (paper §3/§4.1).
+type Config struct {
+	CacheBytes  int          // i-cache size, 256..4096 in the paper
+	CacheWays   int          // associativity; 0/1 = the paper's direct-mapped
+	CLBEntries  int          // 4, 8, or 16
+	Mem         memory.Model // instruction memory timing
+	DecodeRate  int          // decoder bytes/cycle; 0 = the paper's 2
+	Codes       []*huffman.Code
+	Codec       LineCodec // alternative per-line scheme (see Options.Codec)
+	WordAligned bool
+
+	// DataAccessCycles is the cost of one data access to its random DRAM
+	// (4 cycles in the paper). With DataCache set, §4.2.4's analytical
+	// model applies instead: hits are free and only the DCacheMissRate
+	// fraction of accesses pays DataAccessCycles. Without DataCache every
+	// access pays full cost (the paper's base configuration).
+	DataAccessCycles uint64
+	DataCache        bool
+	DCacheMissRate   float64
+
+	// OverlapCycles lets the processor pipeline continue for up to this
+	// many cycles into each line refill (the paper's §5 "allow the
+	// processor to continue during memory delays" extension; 0 = the
+	// paper's blocking model).
+	OverlapCycles uint64
+
+	// CLBProbeEveryFetch updates CLB recency on every instruction fetch,
+	// exactly as the paper's hardware does ("during each instruction
+	// fetch, the CLB is searched"); the default probes only on cache
+	// misses. The policies differ only in LRU state — a difference
+	// visible only when the CLB is too small for the working set.
+	CLBProbeEveryFetch bool
+}
+
+// withDefaults fills unset fields with the paper's base parameters.
+func (c Config) withDefaults() Config {
+	if c.CacheBytes == 0 {
+		c.CacheBytes = 1024
+	}
+	if c.CacheWays == 0 {
+		c.CacheWays = 1
+	}
+	if c.CLBEntries == 0 {
+		c.CLBEntries = 16
+	}
+	if c.Mem == nil {
+		c.Mem = memory.BurstEPROM{}
+	}
+	if c.DataAccessCycles == 0 {
+		c.DataAccessCycles = 4
+	}
+	if !c.DataCache {
+		c.DCacheMissRate = 1.0
+	}
+	return c
+}
+
+// Stats accumulates one system's execution costs over a trace.
+type Stats struct {
+	Cycles       uint64 // total execution cycles
+	BaseCycles   uint64 // instructions + pipeline stalls
+	RefillCycles uint64 // i-cache refill cycles (incl. CLB refills)
+	DataCycles   uint64 // data memory cycles
+	Accesses     uint64 // instruction fetches
+	Misses       uint64 // i-cache misses
+	CLBMisses    uint64 // CCRP only
+	TrafficBytes uint64 // instruction bytes moved from main memory
+}
+
+// MissRate returns the instruction cache miss rate.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Comparison is the outcome of running one trace through the standard
+// and CCRP systems.
+type Comparison struct {
+	Standard Stats
+	CCRP     Stats
+	ROM      *ROM
+}
+
+// RelativePerformance follows the paper's tables: CCRP execution time
+// over standard execution time. Values below 1.0 mean the compressed
+// system is faster.
+func (c *Comparison) RelativePerformance() float64 {
+	if c.Standard.Cycles == 0 {
+		return 1
+	}
+	return float64(c.CCRP.Cycles) / float64(c.Standard.Cycles)
+}
+
+// TrafficRatio is CCRP instruction memory traffic over standard traffic.
+func (c *Comparison) TrafficRatio() float64 {
+	if c.Standard.TrafficBytes == 0 {
+		return 1
+	}
+	return float64(c.CCRP.TrafficBytes) / float64(c.Standard.TrafficBytes)
+}
+
+// MissRate is the shared instruction cache miss rate (identical for both
+// systems: in-cache code is identical, so hit/miss sequences coincide).
+func (c *Comparison) MissRate() float64 { return c.Standard.MissRate() }
+
+// ErrEmptyTrace is returned for traces with no instruction events.
+var ErrEmptyTrace = errors.New("core: empty trace")
+
+// Compare runs the trace through both systems over the given program text.
+//
+// Both processors share the same cache geometry, so one cache pass drives
+// both cycle models; they differ only in what a miss costs. The CLB is
+// consulted on instruction cache misses; the paper's hardware probes it
+// every fetch so a hit is free, which is what charging CLB penalties only
+// on misses models.
+func Compare(tr *trace.Trace, text []byte, cfg Config) (*Comparison, error) {
+	cfg = cfg.withDefaults()
+	if tr == nil || len(tr.Events) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	rom, err := BuildROM(text, Options{Codes: cfg.Codes, Codec: cfg.Codec, WordAligned: cfg.WordAligned})
+	if err != nil {
+		return nil, err
+	}
+	ic, err := cache.NewAssoc(cfg.CacheBytes, LineSize, cfg.CacheWays)
+	if err != nil {
+		return nil, err
+	}
+	buf := clb.New(cfg.CLBEntries)
+	engine := RefillEngine{Mem: cfg.Mem, Rate: cfg.DecodeRate}
+	post := cfg.Mem.PostBurstCycles()
+
+	cmp := &Comparison{ROM: rom}
+	std, ccrp := &cmp.Standard, &cmp.CCRP
+
+	base := uint64(tr.Instructions()) + tr.Stalls
+	std.BaseCycles, ccrp.BaseCycles = base, base
+
+	stdLineRefill := engine.RawLineCycles(LineSize) + post
+	stdLineRefill -= min64(cfg.OverlapCycles, stdLineRefill)
+	latFetch := engine.LATFetchCycles() + post
+
+	var dataAccesses uint64
+	for _, ev := range tr.Events {
+		if ev.IsMemOp() {
+			dataAccesses++
+		}
+		latIdx := ev.PC / lat.GroupSpan
+		if ic.Access(ev.PC) {
+			if cfg.CLBProbeEveryFetch {
+				// Hardware probes in parallel with the cache; a hit only
+				// refreshes recency, a miss costs nothing until the
+				// cache also misses.
+				buf.Lookup(latIdx)
+			}
+			continue
+		}
+		// Miss: identical for both systems; refill costs differ.
+		std.RefillCycles += stdLineRefill
+		std.TrafficBytes += LineSize
+
+		li, err := rom.LineIndex(ev.PC)
+		if err != nil {
+			return nil, fmt.Errorf("core: trace fetch %#x outside program text: %w", ev.PC, err)
+		}
+		if _, hit := buf.Lookup(latIdx); !hit {
+			ccrp.CLBMisses++
+			ccrp.RefillCycles += latFetch
+			ccrp.TrafficBytes += lat.EntryBytes
+			buf.Insert(latIdx, rom.Table.Entries[latIdx])
+		}
+		refill := engine.LineCycles(rom, li) + post
+		if cfg.OverlapCycles > 0 {
+			if cfg.OverlapCycles >= refill {
+				refill = 0
+			} else {
+				refill -= cfg.OverlapCycles
+			}
+		}
+		ccrp.RefillCycles += refill
+		ccrp.TrafficBytes += LineTrafficBytes(rom, li)
+	}
+
+	cs := ic.Stats()
+	std.Accesses, ccrp.Accesses = cs.Accesses, cs.Accesses
+	std.Misses, ccrp.Misses = cs.Misses, cs.Misses
+
+	dataCost := uint64(float64(dataAccesses) * float64(cfg.DataAccessCycles) * cfg.DCacheMissRate)
+	std.DataCycles, ccrp.DataCycles = dataCost, dataCost
+
+	std.Cycles = std.BaseCycles + std.RefillCycles + std.DataCycles
+	ccrp.Cycles = ccrp.BaseCycles + ccrp.RefillCycles + ccrp.DataCycles
+	return cmp, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,284 @@
+// Package decoder models the hardware implementations of the CCRP's
+// instruction block decoder that §3.4 of the paper sketches:
+//
+//   - a bit-serial finite state machine (the PLA / gate-level option the
+//     authors say they intend to synthesize): one state per internal node
+//     of the canonical code tree, one transition per input bit;
+//   - a 256-entry content-addressable memory keyed by codeword;
+//   - a 64K-entry mapping ROM indexed by the next 16 input bits.
+//
+// All three are behavioural models that decode real bit streams, are
+// proven equivalent to the canonical software decoder by tests, and
+// report the hardware cost figures (states, CAM entries, ROM bits) that
+// §3.4 uses to argue the decoder is buildable.
+package decoder
+
+import (
+	"errors"
+	"fmt"
+
+	"ccrp/internal/bitio"
+	"ccrp/internal/huffman"
+)
+
+// ErrBadStream is returned when the input does not decode under the code.
+var ErrBadStream = errors.New("decoder: invalid bit stream")
+
+// FSM is the bit-serial decoder: a table of states, each with a 0-edge
+// and a 1-edge that either moves to another state or emits a symbol and
+// returns to the root. It consumes one bit per step — two steps per
+// processor cycle in the paper's double-edge-clocked implementation.
+type FSM struct {
+	// next[s][b] is the transition for bit b in state s: values >= 0 are
+	// state indices; values < 0 encode an emitted symbol as -(sym+1).
+	next   [][2]int32
+	states int
+}
+
+// NewFSM compiles a canonical Huffman code into its decoder FSM.
+func NewFSM(code *huffman.Code) (*FSM, error) {
+	f := &FSM{next: [][2]int32{{unassigned, unassigned}}} // state 0 = root
+	for s := 0; s < 256; s++ {
+		bits, n := code.Codeword(byte(s))
+		if n == 0 {
+			continue
+		}
+		state := 0
+		for i := n - 1; i >= 0; i-- {
+			bit := int(bits>>uint(i)) & 1
+			if i == 0 {
+				if f.next[state][bit] != unassigned {
+					return nil, fmt.Errorf("decoder: code is not prefix-free at symbol %#02x", s)
+				}
+				f.next[state][bit] = -(int32(s) + 1)
+				break
+			}
+			t := f.next[state][bit]
+			if t == unassigned {
+				f.next = append(f.next, [2]int32{unassigned, unassigned})
+				t = int32(len(f.next) - 1)
+				f.next[state][bit] = t
+			} else if t < 0 {
+				return nil, fmt.Errorf("decoder: code is not prefix-free under symbol %#02x", s)
+			}
+			state = int(t)
+		}
+	}
+	f.states = len(f.next)
+	return f, nil
+}
+
+const unassigned = int32(0x7FFFFFFF)
+
+// States returns the number of FSM states (internal tree nodes) — the
+// PLA's state register must hold ceil(log2(States)) bits.
+func (f *FSM) States() int { return f.states }
+
+// DecodeSymbol consumes bits from r until a symbol is emitted.
+func (f *FSM) DecodeSymbol(r *bitio.Reader) (byte, int, error) {
+	state := 0
+	steps := 0
+	for {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, steps, err
+		}
+		steps++
+		t := f.next[state][bit]
+		switch {
+		case t == unassigned:
+			return 0, steps, ErrBadStream
+		case t < 0:
+			return byte(-t - 1), steps, nil
+		default:
+			state = int(t)
+		}
+	}
+}
+
+// Decode fills out with decoded symbols, returning the total bit-steps
+// consumed (the serial decoder's work, two steps per cycle).
+func (f *FSM) Decode(r *bitio.Reader, out []byte) (steps int, err error) {
+	for i := range out {
+		b, n, err := f.DecodeSymbol(r)
+		if err != nil {
+			return steps, fmt.Errorf("decoder: symbol %d: %w", i, err)
+		}
+		steps += n
+		out[i] = b
+	}
+	return steps, nil
+}
+
+// CAM is the 256-entry content-addressable implementation: each entry
+// holds a codeword, its length, and the output byte; a probe matches the
+// entry whose codeword prefixes the input window.
+type CAM struct {
+	entries []camEntry
+	maxLen  int
+}
+
+type camEntry struct {
+	bits uint64 // left-aligned in maxLen bits
+	len  uint8
+	sym  byte
+}
+
+// NewCAM compiles a code into its CAM form.
+func NewCAM(code *huffman.Code) *CAM {
+	c := &CAM{maxLen: code.MaxLen()}
+	for s := 0; s < 256; s++ {
+		bits, n := code.Codeword(byte(s))
+		if n == 0 {
+			continue
+		}
+		c.entries = append(c.entries, camEntry{
+			bits: bits << uint(c.maxLen-n),
+			len:  uint8(n),
+			sym:  byte(s),
+		})
+	}
+	return c
+}
+
+// Entries returns the number of CAM rows (≤256, as §3.4 states).
+func (c *CAM) Entries() int { return len(c.entries) }
+
+// WidthBits returns the match width each row needs.
+func (c *CAM) WidthBits() int { return c.maxLen }
+
+// DecodeSymbol probes the CAM with the next MaxLen-bit window.
+func (c *CAM) DecodeSymbol(r *bitio.Reader) (byte, error) {
+	window, avail := r.PeekBits(uint(c.maxLen))
+	if avail == 0 {
+		return 0, bitio.ErrShortStream
+	}
+	for _, e := range c.entries {
+		if uint(e.len) > avail {
+			continue
+		}
+		mask := ^uint64(0) << uint(c.maxLen-int(e.len))
+		if window&mask == e.bits {
+			if err := r.Skip(uint(e.len)); err != nil {
+				return 0, err
+			}
+			return e.sym, nil
+		}
+	}
+	return 0, ErrBadStream
+}
+
+// Decode fills out with decoded symbols.
+func (c *CAM) Decode(r *bitio.Reader, out []byte) error {
+	for i := range out {
+		b, err := c.DecodeSymbol(r)
+		if err != nil {
+			return fmt.Errorf("decoder: symbol %d: %w", i, err)
+		}
+		out[i] = b
+	}
+	return nil
+}
+
+// ROM is the mapping-ROM implementation: a table indexed by the next
+// maxLen input bits giving (symbol, codeword length) directly — the 64K
+// entry option for a 16-bit bounded code.
+type ROM struct {
+	table  []romEntry
+	maxLen int
+}
+
+type romEntry struct {
+	sym byte
+	len uint8 // 0 = invalid index (unreachable codespace)
+}
+
+// NewROM compiles a code into its mapping ROM. Memory is 2^MaxLen
+// entries; for the paper's 16-bit bound that is the 64K x (8+5)-bit ROM
+// it describes.
+func NewROM(code *huffman.Code) *ROM {
+	m := &ROM{maxLen: code.MaxLen()}
+	m.table = make([]romEntry, 1<<uint(m.maxLen))
+	for s := 0; s < 256; s++ {
+		bits, n := code.Codeword(byte(s))
+		if n == 0 {
+			continue
+		}
+		base := bits << uint(m.maxLen-n)
+		count := uint64(1) << uint(m.maxLen-n)
+		for i := uint64(0); i < count; i++ {
+			m.table[base+i] = romEntry{sym: byte(s), len: uint8(n)}
+		}
+	}
+	return m
+}
+
+// SizeBits returns the ROM capacity in bits: 2^maxLen entries of
+// (8-bit symbol + length field). For a 16-bit bounded code this is the
+// paper's 64K-entry mapping ROM.
+func (m *ROM) SizeBits() int {
+	lenBits := 1
+	for (1 << lenBits) <= m.maxLen {
+		lenBits++
+	}
+	return len(m.table) * (8 + lenBits)
+}
+
+// DecodeSymbol looks the next window up in the ROM.
+func (m *ROM) DecodeSymbol(r *bitio.Reader) (byte, error) {
+	window, avail := r.PeekBits(uint(m.maxLen))
+	if avail == 0 {
+		return 0, bitio.ErrShortStream
+	}
+	e := m.table[window]
+	if e.len == 0 || uint(e.len) > avail {
+		return 0, ErrBadStream
+	}
+	if err := r.Skip(uint(e.len)); err != nil {
+		return 0, err
+	}
+	return e.sym, nil
+}
+
+// Decode fills out with decoded symbols.
+func (m *ROM) Decode(r *bitio.Reader, out []byte) error {
+	for i := range out {
+		b, err := m.DecodeSymbol(r)
+		if err != nil {
+			return fmt.Errorf("decoder: symbol %d: %w", i, err)
+		}
+		out[i] = b
+	}
+	return nil
+}
+
+// Cost summarizes the three implementations for one code — the §3.4
+// buildability argument in numbers.
+type Cost struct {
+	FSMStates    int // PLA state count
+	FSMStateBits int // state register width
+	CAMEntries   int
+	CAMWidthBits int
+	ROMBits      int
+}
+
+// CostOf reports the hardware cost of decoding the given code.
+func CostOf(code *huffman.Code) (Cost, error) {
+	fsm, err := NewFSM(code)
+	if err != nil {
+		return Cost{}, err
+	}
+	cam := NewCAM(code)
+	rom := NewROM(code)
+	bits := 0
+	for (1 << bits) < fsm.States() {
+		bits++
+	}
+	return Cost{
+		FSMStates:    fsm.States(),
+		FSMStateBits: bits,
+		CAMEntries:   cam.Entries(),
+		CAMWidthBits: cam.WidthBits(),
+		ROMBits:      rom.SizeBits(),
+	}, nil
+}

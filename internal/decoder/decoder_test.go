@@ -1,0 +1,218 @@
+package decoder
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccrp/internal/bitio"
+	"ccrp/internal/huffman"
+)
+
+func testCode(t testing.TB) *huffman.Code {
+	t.Helper()
+	rng := rand.New(rand.NewSource(17))
+	var h huffman.Histogram
+	for s := 0; s < 256; s++ {
+		h[s] = uint64(rng.Intn(5000) + 1)
+	}
+	h[0] = 500000 // realistic skew: zero bytes dominate machine code
+	c, err := huffman.BuildBounded(&h, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func encode(t testing.TB, code *huffman.Code, data []byte) []byte {
+	t.Helper()
+	enc, err := code.EncodeToBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// All three hardware models must decode exactly what the canonical
+// software decoder decodes.
+func TestImplementationsAgree(t *testing.T) {
+	code := testCode(t)
+	fsm, err := NewFSM(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := NewCAM(code)
+	rom := NewROM(code)
+
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		enc := encode(t, code, data)
+		ref, err := code.DecodeBytes(enc, len(data))
+		if err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if _, err := fsm.Decode(bitio.NewReader(enc), got); err != nil || !bytes.Equal(got, ref) {
+			t.Logf("fsm mismatch: %v", err)
+			return false
+		}
+		if err := cam.Decode(bitio.NewReader(enc), got); err != nil || !bytes.Equal(got, ref) {
+			t.Logf("cam mismatch: %v", err)
+			return false
+		}
+		if err := rom.Decode(bitio.NewReader(enc), got); err != nil || !bytes.Equal(got, ref) {
+			t.Logf("rom mismatch: %v", err)
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFSMStepsEqualEncodedBits(t *testing.T) {
+	// The serial FSM consumes exactly one step per encoded bit, which is
+	// what makes the 2-bits-per-cycle refill model §3.4 describes exact.
+	code := testCode(t)
+	fsm, err := NewFSM(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("\x00\x00\x00some instruction bytes\x00\x00")
+	enc := encode(t, code, data)
+	wantBits, err := code.EncodedBits(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]byte, len(data))
+	steps, err := fsm.Decode(bitio.NewReader(enc), out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != wantBits {
+		t.Errorf("steps = %d, encoded bits = %d", steps, wantBits)
+	}
+}
+
+func TestCosts(t *testing.T) {
+	code := testCode(t)
+	cost, err := CostOf(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A complete binary code tree over 256 leaves has exactly 255
+	// internal nodes.
+	if cost.FSMStates != 255 {
+		t.Errorf("FSM states = %d, want 255", cost.FSMStates)
+	}
+	if cost.FSMStateBits != 8 {
+		t.Errorf("state register = %d bits", cost.FSMStateBits)
+	}
+	if cost.CAMEntries != 256 {
+		t.Errorf("CAM entries = %d (paper: a 256 entry CAM)", cost.CAMEntries)
+	}
+	if cost.CAMWidthBits != code.MaxLen() {
+		t.Errorf("CAM width = %d", cost.CAMWidthBits)
+	}
+	// 2^16 entries x 13 bits for a 16-bit code.
+	if code.MaxLen() == 16 && cost.ROMBits != (1<<16)*13 {
+		t.Errorf("ROM bits = %d, want %d (the paper's 64K mapping ROM)", cost.ROMBits, (1<<16)*13)
+	}
+}
+
+func TestSparseCode(t *testing.T) {
+	// A code over few symbols: FSM/CAM/ROM must all handle unused
+	// codespace and reject streams that wander into it.
+	var h huffman.Histogram
+	h['a'], h['b'], h['c'] = 10, 3, 1
+	code, err := huffman.BuildTraditional(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsm, err := NewFSM(code)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := NewCAM(code)
+	rom := NewROM(code)
+	if cam.Entries() != 3 {
+		t.Errorf("CAM entries = %d", cam.Entries())
+	}
+	data := []byte("abacabaccba")
+	enc := encode(t, code, data)
+	out := make([]byte, len(data))
+	if _, err := fsm.Decode(bitio.NewReader(enc), out); err != nil || !bytes.Equal(out, data) {
+		t.Errorf("fsm sparse decode: %q, %v", out, err)
+	}
+	if err := cam.Decode(bitio.NewReader(enc), out); err != nil || !bytes.Equal(out, data) {
+		t.Errorf("cam sparse decode: %q, %v", out, err)
+	}
+	if err := rom.Decode(bitio.NewReader(enc), out); err != nil || !bytes.Equal(out, data) {
+		t.Errorf("rom sparse decode: %q, %v", out, err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	code := testCode(t)
+	fsm, _ := NewFSM(code)
+	cam := NewCAM(code)
+	rom := NewROM(code)
+	enc := encode(t, code, []byte("truncate me please and thank you"))
+	out := make([]byte, 32)
+	if _, err := fsm.Decode(bitio.NewReader(enc[:2]), out); err == nil {
+		t.Error("fsm accepted truncated stream")
+	}
+	if err := cam.Decode(bitio.NewReader(enc[:2]), out); err == nil {
+		t.Error("cam accepted truncated stream")
+	}
+	if err := rom.Decode(bitio.NewReader(enc[:2]), out); err == nil {
+		t.Error("rom accepted truncated stream")
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	code := testCode(t)
+	cam := NewCAM(code)
+	rom := NewROM(code)
+	if _, err := cam.DecodeSymbol(bitio.NewReader(nil)); err == nil {
+		t.Error("cam decoded from empty stream")
+	}
+	if _, err := rom.DecodeSymbol(bitio.NewReader(nil)); err == nil {
+		t.Error("rom decoded from empty stream")
+	}
+}
+
+func BenchmarkFSMDecode(b *testing.B) {
+	code := testCode(b)
+	fsm, err := NewFSM(code)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0, 1, 2, 0x27, 0xBD, 0, 0, 0x8C}, 4)
+	enc := encode(b, code, data)
+	out := make([]byte, len(data))
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := fsm.Decode(bitio.NewReader(enc), out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkROMDecode(b *testing.B) {
+	code := testCode(b)
+	rom := NewROM(code)
+	data := bytes.Repeat([]byte{0, 1, 2, 0x27, 0xBD, 0, 0, 0x8C}, 4)
+	enc := encode(b, code, data)
+	out := make([]byte, len(data))
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if err := rom.Decode(bitio.NewReader(enc), out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"ccrp/internal/codepack"
+	"ccrp/internal/core"
+	"ccrp/internal/huffman"
+	"ccrp/internal/memory"
+	"ccrp/internal/workload"
+)
+
+// CodePackRow compares the paper's byte-Huffman scheme against the
+// CodePack-style halfword-dictionary coder (§5's "more sophisticated
+// encoding techniques", and where this research line actually went).
+// Ratios include the LAT; refill figures are the mean compressed-line
+// refill time under burst EPROM (the decode-bound regime).
+type CodePackRow struct {
+	Program     string
+	ByteHuffman float64
+	CodePack    float64
+	ByteRefill  float64
+	CPRefill    float64
+}
+
+var (
+	cpOnce  sync.Once
+	cpCoder *codepack.Coder
+	cpErr   error
+)
+
+// CodePackCoder returns the corpus-trained CodePack coder (the analogue
+// of the preselected byte code: fixed, hardwired dictionaries).
+func CodePackCoder() (*codepack.Coder, error) {
+	cpOnce.Do(func() {
+		var images [][]byte
+		for _, w := range workload.Figure5Set() {
+			text, err := w.Text()
+			if err != nil {
+				cpErr = err
+				return
+			}
+			images = append(images, text)
+		}
+		cpCoder, cpErr = codepack.Train(images...)
+	})
+	return cpCoder, cpErr
+}
+
+// CodePackStudy compresses each Figure 5 program under both schemes,
+// with the identical block-bounded pipeline (raw bypass, LAT).
+func CodePackStudy() ([]CodePackRow, error) {
+	byteCode, err := PreselectedCode()
+	if err != nil {
+		return nil, err
+	}
+	cp, err := CodePackCoder()
+	if err != nil {
+		return nil, err
+	}
+	engine := core.RefillEngine{Mem: memory.BurstEPROM{}}
+
+	var rows []CodePackRow
+	for _, w := range workload.Figure5Set() {
+		text, err := w.Text()
+		if err != nil {
+			return nil, err
+		}
+		row := CodePackRow{Program: w.Name}
+
+		byteROM, err := core.BuildROM(text, core.Options{Codes: []*huffman.Code{byteCode}})
+		if err != nil {
+			return nil, err
+		}
+		row.ByteHuffman = byteROM.Ratio()
+		row.ByteRefill = meanRefill(engine, byteROM)
+
+		cpROM, err := core.BuildROM(text, core.Options{Codec: cp})
+		if err != nil {
+			return nil, err
+		}
+		if err := cpROM.Verify(); err != nil {
+			return nil, err
+		}
+		row.CodePack = cpROM.Ratio()
+		row.CPRefill = meanRefill(engine, cpROM)
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func meanRefill(engine core.RefillEngine, rom *core.ROM) float64 {
+	var cycles uint64
+	for i := range rom.Lines {
+		cycles += engine.LineCycles(rom, i)
+	}
+	return float64(cycles) / float64(len(rom.Lines))
+}
+
+// CodePackPerfRow is a trace-driven system comparison of the two schemes.
+type CodePackPerfRow struct {
+	Program     string
+	Memory      string
+	ByteRelPerf float64
+	CPRelPerf   float64
+	ByteTraffic float64
+	CPTraffic   float64
+}
+
+// CodePackPerf runs the full trace-driven comparison for the two most
+// refill-sensitive programs under both memory models.
+func CodePackPerf() ([]CodePackPerfRow, error) {
+	byteCode, err := PreselectedCode()
+	if err != nil {
+		return nil, err
+	}
+	cp, err := CodePackCoder()
+	if err != nil {
+		return nil, err
+	}
+	var rows []CodePackPerfRow
+	for _, prog := range []string{"espresso", "fpppp"} {
+		w, ok := workload.ByName(prog)
+		if !ok {
+			return nil, errUnknown(prog)
+		}
+		tr, err := w.Trace()
+		if err != nil {
+			return nil, err
+		}
+		text, err := w.Text()
+		if err != nil {
+			return nil, err
+		}
+		for _, mem := range []memory.Model{memory.EPROM{}, memory.BurstEPROM{}} {
+			bc, err := core.Compare(tr, text, core.Config{
+				CacheBytes: 256, Mem: mem, Codes: []*huffman.Code{byteCode},
+			})
+			if err != nil {
+				return nil, err
+			}
+			cc, err := core.Compare(tr, text, core.Config{
+				CacheBytes: 256, Mem: mem, Codec: cp,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, CodePackPerfRow{
+				Program:     prog,
+				Memory:      mem.Name(),
+				ByteRelPerf: bc.RelativePerformance(),
+				CPRelPerf:   cc.RelativePerformance(),
+				ByteTraffic: bc.TrafficRatio(),
+				CPTraffic:   cc.TrafficRatio(),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RenderCodePack prints the encoding-scheme comparison.
+func RenderCodePack(w io.Writer) error {
+	rows, err := CodePackStudy()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Extension (§5): byte-Huffman vs CodePack-style halfword dictionaries")
+	fmt.Fprintln(w, "  Program    Byte ratio  CodePack ratio  Byte refill  CodePack refill (burst EPROM cycles/line)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-9s  %9.1f%%  %13.1f%%  %11.1f  %15.1f\n",
+			r.Program, 100*r.ByteHuffman, 100*r.CodePack, r.ByteRefill, r.CPRefill)
+	}
+	fmt.Fprintln(w)
+	perf, err := CodePackPerf()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Trace-driven (256B cache): relative performance and traffic by scheme")
+	fmt.Fprintln(w, "  Program   Memory       Byte rel  CP rel  Byte traffic  CP traffic")
+	for _, r := range perf {
+		fmt.Fprintf(w, "  %-8s  %-11s  %8.3f  %6.3f  %11.1f%%  %9.1f%%\n",
+			r.Program, r.Memory, r.ByteRelPerf, r.CPRelPerf, 100*r.ByteTraffic, 100*r.CPTraffic)
+	}
+	return nil
+}

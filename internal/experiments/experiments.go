@@ -1,0 +1,220 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4) from the reproduction's own corpus, simulator, and CCRP
+// core. Each experiment function returns structured rows; the render
+// functions (render.go) print them in the paper's layout. DESIGN.md maps
+// experiment ids to these functions, and EXPERIMENTS.md records
+// paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"ccrp/internal/core"
+	"ccrp/internal/huffman"
+	"ccrp/internal/memory"
+	"ccrp/internal/workload"
+)
+
+// CacheSizes is the paper's instruction cache sweep (§4.2.1).
+var CacheSizes = []int{256, 512, 1024, 2048, 4096}
+
+// CLBSizes is the paper's CLB sweep (§4.2.2).
+var CLBSizes = []int{4, 8, 16}
+
+// DCacheMissRates is the paper's §4.2.4 sweep.
+var DCacheMissRates = []float64{0, 0.02, 0.10, 0.25, 1.00}
+
+// PerfPrograms are the eight programs of Tables 1-8, in table order.
+var PerfPrograms = []string{
+	"nasa7", "matrix25a", "fpppp", "espresso",
+	"nasa1", "eightq", "tomcatv", "lloop01",
+}
+
+// HuffmanBound is the paper's 16-bit codeword cap.
+const HuffmanBound = 16
+
+var (
+	preselOnce sync.Once
+	preselCode *huffman.Code
+	preselErr  error
+)
+
+// CorpusHistogram pools the byte histograms of the ten Figure 5 programs,
+// the data the paper built its preselected code from.
+func CorpusHistogram() (*huffman.Histogram, error) {
+	var h huffman.Histogram
+	for _, w := range workload.Figure5Set() {
+		text, err := w.Text()
+		if err != nil {
+			return nil, err
+		}
+		h.Add(text)
+	}
+	return &h, nil
+}
+
+// PreselectedCode returns the Preselected Bounded Huffman code: a 16-bit
+// bounded code over the smoothed corpus histogram, fixed for every
+// program and hardwired in the decoder.
+func PreselectedCode() (*huffman.Code, error) {
+	preselOnce.Do(func() {
+		h, err := CorpusHistogram()
+		if err != nil {
+			preselErr = err
+			return
+		}
+		preselCode, preselErr = huffman.BuildBounded(h.Smooth(), HuffmanBound)
+	})
+	return preselCode, preselErr
+}
+
+// compareConfig runs one workload through core.Compare with the
+// preselected code and the given knobs.
+func compareConfig(name string, cacheBytes, clbEntries int, mem memory.Model, dmiss float64) (*core.Comparison, error) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	code, err := PreselectedCode()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := w.Trace()
+	if err != nil {
+		return nil, err
+	}
+	text, err := w.Text()
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		CacheBytes: cacheBytes,
+		CLBEntries: clbEntries,
+		Mem:        mem,
+		Codes:      []*huffman.Code{code},
+	}
+	if dmiss < 1 {
+		cfg.DataCache = true
+		cfg.DCacheMissRate = dmiss
+	}
+	return core.Compare(tr, text, cfg)
+}
+
+// PerfPoint is one row of Tables 1-10 and one point of Figure 9.
+type PerfPoint struct {
+	Program        string
+	Memory         string
+	CacheBytes     int
+	CLBEntries     int
+	DCacheMissRate float64
+	RelPerf        float64 // CCRP cycles / standard cycles (paper convention)
+	MissRate       float64 // shared i-cache miss rate
+	Traffic        float64 // CCRP / standard instruction memory traffic
+	CLBMissRate    float64 // CLB misses / i-cache misses
+}
+
+// Point computes one performance point (exported for the benchmark harness).
+func Point(name string, cacheBytes, clbEntries int, mem memory.Model, dmiss float64) (PerfPoint, error) {
+	cmp, err := compareConfig(name, cacheBytes, clbEntries, mem, dmiss)
+	if err != nil {
+		return PerfPoint{}, err
+	}
+	p := PerfPoint{
+		Program:        name,
+		Memory:         mem.Name(),
+		CacheBytes:     cacheBytes,
+		CLBEntries:     clbEntries,
+		DCacheMissRate: dmiss,
+		RelPerf:        cmp.RelativePerformance(),
+		MissRate:       cmp.MissRate(),
+		Traffic:        cmp.TrafficRatio(),
+	}
+	if cmp.CCRP.Misses > 0 {
+		p.CLBMissRate = float64(cmp.CCRP.CLBMisses) / float64(cmp.CCRP.Misses)
+	}
+	return p, nil
+}
+
+// Tables1to8 reproduces the cache-size sweeps of Tables 1-8: relative
+// performance, miss rate, and memory traffic at 256B-4KB under EPROM and
+// Burst EPROM, with a 16-entry CLB and no data cache. As in the paper,
+// the DRAM model (whose results track Burst EPROM closely) is included
+// for one program only.
+func Tables1to8() (map[string][]PerfPoint, error) {
+	out := make(map[string][]PerfPoint, len(PerfPrograms))
+	for _, prog := range PerfPrograms {
+		models := []memory.Model{memory.EPROM{}, memory.BurstEPROM{}}
+		if prog == "matrix25a" {
+			models = append(models, memory.SCDRAM{})
+		}
+		for _, mem := range models {
+			for _, cs := range CacheSizes {
+				p, err := Point(prog, cs, 16, mem, 1.0)
+				if err != nil {
+					return nil, err
+				}
+				out[prog] = append(out[prog], p)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Tables9and10 reproduces the CLB size sweep for nasa7 (Table 9) and
+// espresso (Table 10): relative performance vs cache size for 4-, 8-,
+// and 16-entry CLBs.
+func Tables9and10() (map[string][]PerfPoint, error) {
+	out := make(map[string][]PerfPoint, 2)
+	for _, prog := range []string{"nasa7", "espresso"} {
+		for _, mem := range []memory.Model{memory.EPROM{}, memory.BurstEPROM{}} {
+			for _, cs := range CacheSizes {
+				for _, clb := range CLBSizes {
+					p, err := Point(prog, cs, clb, mem, 1.0)
+					if err != nil {
+						return nil, err
+					}
+					out[prog] = append(out[prog], p)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Figure9 reproduces the performance-vs-miss-rate scatter: every program
+// and cache size under all three memory models.
+func Figure9() ([]PerfPoint, error) {
+	var pts []PerfPoint
+	for _, prog := range PerfPrograms {
+		for _, mem := range memory.Models() {
+			for _, cs := range CacheSizes {
+				p, err := Point(prog, cs, 16, mem, 1.0)
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, p)
+			}
+		}
+	}
+	return pts, nil
+}
+
+// Tables11to13 reproduces the data-cache effect study (§4.2.4): a 1 KB
+// instruction cache with the analytical data cache model swept over the
+// paper's miss rates, for nasa7, espresso, and fpppp.
+func Tables11to13() (map[string][]PerfPoint, error) {
+	out := make(map[string][]PerfPoint, 3)
+	for _, prog := range []string{"nasa7", "espresso", "fpppp"} {
+		for _, mem := range []memory.Model{memory.EPROM{}, memory.BurstEPROM{}} {
+			for _, dm := range DCacheMissRates {
+				p, err := Point(prog, 1024, 16, mem, dm)
+				if err != nil {
+					return nil, err
+				}
+				out[prog] = append(out[prog], p)
+			}
+		}
+	}
+	return out, nil
+}

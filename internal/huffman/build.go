@@ -1,0 +1,206 @@
+package huffman
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// BuildTraditional constructs an optimal (unbounded) Huffman code from the
+// histogram. Ties are broken deterministically so that the same histogram
+// always yields the same code. Symbols with zero count get no codeword.
+//
+// Unbounded codes can in principle need up to 255 bits per symbol (the
+// paper's worst-case analysis); codewords longer than 64 bits are rejected
+// with ErrOverlongCode, which no realistic program histogram approaches.
+func BuildTraditional(h *Histogram) (*Code, error) {
+	lens, err := traditionalLengths(h)
+	if err != nil {
+		return nil, err
+	}
+	return NewCode(lens)
+}
+
+type treeNode struct {
+	weight uint64
+	order  int // tie-break: creation order (leaves first, by symbol)
+	depth  int // max depth below, to prefer shallow merges on ties
+	left   *treeNode
+	right  *treeNode
+	sym    int // leaf symbol, -1 for internal
+}
+
+type nodeHeap []*treeNode
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	if h[i].depth != h[j].depth {
+		return h[i].depth < h[j].depth
+	}
+	return h[i].order < h[j].order
+}
+func (h nodeHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)     { *h = append(*h, x.(*treeNode)) }
+func (h *nodeHeap) Pop() (top any) { old := *h; n := len(old); top = old[n-1]; *h = old[:n-1]; return }
+
+func traditionalLengths(h *Histogram) ([256]uint8, error) {
+	var lens [256]uint8
+	var hp nodeHeap
+	order := 0
+	for s, c := range h {
+		if c > 0 {
+			hp = append(hp, &treeNode{weight: c, order: order, sym: s})
+			order++
+		}
+	}
+	if len(hp) == 0 {
+		return lens, ErrEmptyHistogram
+	}
+	if len(hp) == 1 {
+		lens[hp[0].sym] = 1
+		return lens, nil
+	}
+	heap.Init(&hp)
+	for hp.Len() > 1 {
+		a := heap.Pop(&hp).(*treeNode)
+		b := heap.Pop(&hp).(*treeNode)
+		d := a.depth
+		if b.depth > d {
+			d = b.depth
+		}
+		heap.Push(&hp, &treeNode{weight: a.weight + b.weight, order: order, depth: d + 1, left: a, right: b, sym: -1})
+		order++
+	}
+	root := hp[0]
+	var walk func(n *treeNode, depth int) error
+	walk = func(n *treeNode, depth int) error {
+		if n.sym >= 0 {
+			if depth > 64 {
+				return ErrOverlongCode
+			}
+			if depth == 0 {
+				depth = 1
+			}
+			lens[n.sym] = uint8(depth)
+			return nil
+		}
+		if err := walk(n.left, depth+1); err != nil {
+			return err
+		}
+		return walk(n.right, depth+1)
+	}
+	if err := walk(root, 0); err != nil {
+		return lens, err
+	}
+	return lens, nil
+}
+
+// BuildBounded constructs an optimal length-limited Huffman code with no
+// codeword longer than maxLen bits, using the package-merge algorithm.
+// The paper's Bounded Huffman code is BuildBounded(h, 16); the Preselected
+// Bounded Huffman code is BuildBounded(corpus.Smooth(), 16).
+func BuildBounded(h *Histogram, maxLen int) (*Code, error) {
+	if maxLen < 1 || maxLen > 64 {
+		return nil, fmt.Errorf("huffman: bound %d out of range [1,64]", maxLen)
+	}
+	type coin struct {
+		weight uint64
+		syms   []int16 // symbols contained in this package
+	}
+	var leaves []coin
+	for s, c := range h {
+		if c > 0 {
+			leaves = append(leaves, coin{weight: c, syms: []int16{int16(s)}})
+		}
+	}
+	n := len(leaves)
+	if n == 0 {
+		return nil, ErrEmptyHistogram
+	}
+	var lens [256]uint8
+	if n == 1 {
+		lens[leaves[0].syms[0]] = 1
+		return NewCode(lens)
+	}
+	// A prefix code over n symbols needs ceil(log2 n) bits of depth.
+	if 1<<maxLen < n {
+		return nil, fmt.Errorf("huffman: bound %d too small for %d symbols", maxLen, n)
+	}
+	sort.SliceStable(leaves, func(i, j int) bool {
+		if leaves[i].weight != leaves[j].weight {
+			return leaves[i].weight < leaves[j].weight
+		}
+		return leaves[i].syms[0] < leaves[j].syms[0]
+	})
+
+	// Package-merge: list at level maxLen is the sorted leaves; moving up
+	// one level packages adjacent pairs and merges fresh leaves back in.
+	list := append([]coin(nil), leaves...)
+	for level := maxLen - 1; level >= 1; level-- {
+		var packages []coin
+		for i := 0; i+1 < len(list); i += 2 {
+			syms := make([]int16, 0, len(list[i].syms)+len(list[i+1].syms))
+			syms = append(syms, list[i].syms...)
+			syms = append(syms, list[i+1].syms...)
+			packages = append(packages, coin{weight: list[i].weight + list[i+1].weight, syms: syms})
+		}
+		merged := make([]coin, 0, len(leaves)+len(packages))
+		li, pi := 0, 0
+		for li < len(leaves) || pi < len(packages) {
+			switch {
+			case pi == len(packages):
+				merged = append(merged, leaves[li])
+				li++
+			case li == len(leaves):
+				merged = append(merged, packages[pi])
+				pi++
+			case leaves[li].weight <= packages[pi].weight:
+				merged = append(merged, leaves[li])
+				li++
+			default:
+				merged = append(merged, packages[pi])
+				pi++
+			}
+		}
+		list = merged
+	}
+	// The first 2n-2 items of the level-1 list define the solution: each
+	// appearance of a symbol adds one to its code length.
+	take := 2*n - 2
+	if take > len(list) {
+		return nil, fmt.Errorf("huffman: package-merge produced short list (%d < %d)", len(list), take)
+	}
+	for _, c := range list[:take] {
+		for _, s := range c.syms {
+			lens[s]++
+		}
+	}
+	return NewCode(lens)
+}
+
+// DepthBound returns the maximum codeword length any Huffman code built
+// from a histogram with the given total count can have. This is the
+// paper's §2.2 worst-case analysis ("encoded bit strings may require up
+// to 255 bits to represent one byte"): a depth-d codeword requires
+// Fibonacci-like counts, so total >= Fib(d+2)-1, and for byte symbols the
+// depth can never exceed 255 regardless of total.
+func DepthBound(total uint64) int {
+	// Find the largest d with Fib(d+2)-1 <= total.
+	a, b := uint64(1), uint64(1) // Fib(1), Fib(2)
+	d := 0
+	for d < 255 {
+		next := a + b
+		if next < b { // overflow: counts this large allow the full 255
+			return 255
+		}
+		a, b = b, next
+		if b-1 > total {
+			return d
+		}
+		d++
+	}
+	return 255
+}

@@ -1,0 +1,74 @@
+// Package huffman implements the byte-oriented Huffman coders used by the
+// Compressed Code RISC Processor (Wolfe & Chanin, MICRO 1992):
+//
+//   - traditional (unbounded) Huffman codes built from a byte
+//     frequency-of-occurrence histogram [Huffman52];
+//   - Bounded Huffman codes whose codeword length is capped (the paper
+//     uses 16 bits) built with the package-merge algorithm, so that the
+//     decode hardware stays practical;
+//   - canonical code assignment, a bit-serial decoder, and compact code
+//     table serialization (the table must ship with the program for
+//     non-preselected codes).
+//
+// The Preselected Bounded Huffman code of the paper is simply a bounded
+// code built from the pooled histogram of a program corpus and then reused
+// for every program; see BuildBounded plus Histogram smoothing.
+package huffman
+
+// Histogram counts byte frequency of occurrence.
+type Histogram [256]uint64
+
+// HistogramOf builds a histogram over all the given buffers.
+func HistogramOf(bufs ...[]byte) *Histogram {
+	var h Histogram
+	for _, b := range bufs {
+		h.Add(b)
+	}
+	return &h
+}
+
+// Add accumulates the bytes of data into the histogram.
+func (h *Histogram) Add(data []byte) {
+	for _, b := range data {
+		h[b]++
+	}
+}
+
+// Merge adds every count of o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i, c := range o {
+		h[i] += c
+	}
+}
+
+// Smooth adds one count to every symbol so that each of the 256 byte
+// values receives a codeword. A preselected code must be smoothed: it is
+// hardwired in the decoder and has to handle bytes that never occurred in
+// the corpus it was trained on.
+func (h *Histogram) Smooth() *Histogram {
+	out := *h
+	for i := range out {
+		out[i]++
+	}
+	return &out
+}
+
+// Total returns the sum of all counts.
+func (h *Histogram) Total() uint64 {
+	var t uint64
+	for _, c := range h {
+		t += c
+	}
+	return t
+}
+
+// Distinct returns the number of symbols with nonzero count.
+func (h *Histogram) Distinct() int {
+	n := 0
+	for _, c := range h {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}

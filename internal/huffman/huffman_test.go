@@ -1,0 +1,516 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ccrp/internal/bitio"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := HistogramOf([]byte("aabbbc"), []byte("c"))
+	if h['a'] != 2 || h['b'] != 3 || h['c'] != 2 {
+		t.Fatalf("counts a=%d b=%d c=%d", h['a'], h['b'], h['c'])
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Distinct() != 3 {
+		t.Fatalf("distinct = %d", h.Distinct())
+	}
+	s := h.Smooth()
+	if s.Total() != 7+256 || s[0] != 1 {
+		t.Fatalf("smooth total=%d zero=%d", s.Total(), s[0])
+	}
+	var m Histogram
+	m.Merge(h)
+	m.Merge(h)
+	if m['b'] != 6 {
+		t.Fatalf("merge b=%d", m['b'])
+	}
+}
+
+func TestTraditionalKnownCode(t *testing.T) {
+	// Frequencies 1,1,2,4: optimal lengths 3,3,2,1.
+	var h Histogram
+	h['a'], h['b'], h['c'], h['d'] = 1, 1, 2, 4
+	c, err := BuildTraditional(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[byte]int{'a': 3, 'b': 3, 'c': 2, 'd': 1}
+	for s, l := range want {
+		if c.Len(s) != l {
+			t.Errorf("len(%c) = %d, want %d", s, c.Len(s), l)
+		}
+	}
+	if c.MaxLen() != 3 {
+		t.Errorf("maxlen = %d", c.MaxLen())
+	}
+}
+
+func TestSingleSymbol(t *testing.T) {
+	var h Histogram
+	h[42] = 100
+	for _, build := range []func(*Histogram) (*Code, error){
+		BuildTraditional,
+		func(h *Histogram) (*Code, error) { return BuildBounded(h, 16) },
+	} {
+		c, err := build(&h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Len(42) != 1 {
+			t.Fatalf("single-symbol len = %d", c.Len(42))
+		}
+		enc, err := c.EncodeToBytes(bytes.Repeat([]byte{42}, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.DecodeBytes(enc, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec, bytes.Repeat([]byte{42}, 9)) {
+			t.Fatal("single-symbol round trip failed")
+		}
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if _, err := BuildTraditional(&h); err != ErrEmptyHistogram {
+		t.Errorf("traditional err = %v", err)
+	}
+	if _, err := BuildBounded(&h, 16); err != ErrEmptyHistogram {
+		t.Errorf("bounded err = %v", err)
+	}
+}
+
+func TestBoundedRespectsBound(t *testing.T) {
+	// Fibonacci-ish weights force long codes in unbounded Huffman.
+	var h Histogram
+	w := uint64(1)
+	prev := uint64(1)
+	for s := 0; s < 40; s++ {
+		h[s] = w
+		w, prev = w+prev, w
+	}
+	unbounded, err := BuildTraditional(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unbounded.MaxLen() <= 16 {
+		t.Fatalf("test premise broken: unbounded maxlen = %d", unbounded.MaxLen())
+	}
+	for _, bound := range []int{6, 8, 16} {
+		c, err := BuildBounded(&h, bound)
+		if err != nil {
+			t.Fatalf("bound %d: %v", bound, err)
+		}
+		if c.MaxLen() > bound {
+			t.Errorf("bound %d violated: maxlen = %d", bound, c.MaxLen())
+		}
+	}
+}
+
+func TestBoundedOptimalWhenBoundLoose(t *testing.T) {
+	// With a generous bound, package-merge must match Huffman's cost.
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	for s := 0; s < 256; s++ {
+		h[s] = uint64(rng.Intn(10000) + 1)
+	}
+	trad, err := BuildTraditional(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounded, err := BuildBounded(&h, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := func(c *Code) uint64 {
+		var total uint64
+		for s := 0; s < 256; s++ {
+			total += h[s] * uint64(c.Len(byte(s)))
+		}
+		return total
+	}
+	if ct, cb := cost(trad), cost(bounded); ct != cb {
+		t.Errorf("package-merge cost %d != huffman cost %d", cb, ct)
+	}
+}
+
+func TestBoundedCostMonotoneInBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h Histogram
+	for s := 0; s < 200; s++ {
+		h[s] = uint64(rng.Intn(1<<uint(rng.Intn(20)))) + 1
+	}
+	cost := func(c *Code) uint64 {
+		var total uint64
+		for s := 0; s < 256; s++ {
+			total += h[s] * uint64(c.Len(byte(s)))
+		}
+		return total
+	}
+	var prev uint64
+	for i, bound := range []int{8, 10, 12, 16, 24} {
+		c, err := BuildBounded(&h, bound)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := cost(c)
+		if i > 0 && ct > prev {
+			t.Errorf("cost increased when bound loosened to %d: %d > %d", bound, ct, prev)
+		}
+		prev = ct
+	}
+}
+
+func TestBoundTooSmall(t *testing.T) {
+	var h Histogram
+	for s := 0; s < 256; s++ {
+		h[s] = 1
+	}
+	if _, err := BuildBounded(&h, 7); err == nil {
+		t.Error("bound 7 for 256 symbols must fail")
+	}
+	if c, err := BuildBounded(&h, 8); err != nil || c.MaxLen() != 8 {
+		t.Errorf("uniform 256 symbols: c=%v err=%v", c, err)
+	}
+	if _, err := BuildBounded(&h, 0); err == nil {
+		t.Error("bound 0 accepted")
+	}
+	if _, err := BuildBounded(&h, 65); err == nil {
+		t.Error("bound 65 accepted")
+	}
+}
+
+func TestEncodeUnknownSymbol(t *testing.T) {
+	var h Histogram
+	h['x'], h['y'] = 5, 3
+	c, err := BuildTraditional(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EncodeToBytes([]byte("xyz")); err == nil {
+		t.Error("encoding symbol without codeword must fail")
+	}
+	if _, err := c.EncodedBits([]byte("xyz")); err == nil {
+		t.Error("EncodedBits of unknown symbol must fail")
+	}
+}
+
+func TestDecodeTruncatedStream(t *testing.T) {
+	h := HistogramOf([]byte("the quick brown fox jumps over the lazy dog"))
+	c, err := BuildTraditional(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := c.EncodeToBytes([]byte("the fox"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DecodeBytes(enc[:1], 7); err == nil {
+		t.Error("decoding truncated stream must fail")
+	}
+}
+
+func TestNewCodeRejectsBadLengths(t *testing.T) {
+	var lens [256]uint8
+	lens['a'], lens['b'] = 1, 2 // incomplete (Kraft sum 3/4)
+	if _, err := NewCode(lens); err == nil {
+		t.Error("incomplete code accepted")
+	}
+	lens['a'], lens['b'], lens['c'] = 1, 1, 1 // overfull
+	if _, err := NewCode(lens); err == nil {
+		t.Error("overfull code accepted")
+	}
+	var quad [256]uint8
+	quad['a'], quad['b'], quad['c'], quad['d'] = 1, 1, 1, 1 // doubly complete
+	if _, err := NewCode(quad); err == nil {
+		t.Error("doubly-complete code accepted")
+	}
+	var over [256]uint8
+	over['a'] = 65
+	if _, err := NewCode(over); err == nil {
+		t.Error("overlong length accepted")
+	}
+}
+
+func TestTableRoundTrip(t *testing.T) {
+	h := HistogramOf([]byte("abracadabra banana cabana")).Smooth()
+	c, err := BuildBounded(h, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(blob)*8, c.TableBits()+8; got < want {
+		t.Errorf("marshaled size %d bits < TableBits %d", got, want)
+	}
+	c2, err := UnmarshalCode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Lengths() != c.Lengths() {
+		t.Error("lengths changed after marshal round trip")
+	}
+	for s := 0; s < 256; s++ {
+		w1, l1 := c.Codeword(byte(s))
+		w2, l2 := c2.Codeword(byte(s))
+		if w1 != w2 || l1 != l2 {
+			t.Fatalf("codeword %d differs: %x/%d vs %x/%d", s, w1, l1, w2, l2)
+		}
+	}
+}
+
+func TestUnmarshalCorrupt(t *testing.T) {
+	if _, err := UnmarshalCode(nil); err == nil {
+		t.Error("nil blob accepted")
+	}
+	if _, err := UnmarshalCode([]byte{0}); err == nil {
+		t.Error("zero maxlen accepted")
+	}
+	if _, err := UnmarshalCode([]byte{16, 1, 2}); err == nil {
+		t.Error("truncated table accepted")
+	}
+}
+
+// Property: encode→decode is the identity for any data, under both
+// builders, using the data's own histogram.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(data []byte, bounded bool) bool {
+		if len(data) == 0 {
+			return true
+		}
+		h := HistogramOf(data)
+		var c *Code
+		var err error
+		if bounded {
+			c, err = BuildBounded(h, 16)
+		} else {
+			c, err = BuildTraditional(h)
+		}
+		if err != nil {
+			return false
+		}
+		enc, err := c.EncodeToBytes(data)
+		if err != nil {
+			return false
+		}
+		dec, err := c.DecodeBytes(enc, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a smoothed bounded code encodes arbitrary data (every byte has
+// a codeword) and round-trips — this is the preselected-code situation.
+func TestSmoothedCodeEncodesAnything(t *testing.T) {
+	corpus := HistogramOf([]byte("instruction bytes from some other program entirely"))
+	c, err := BuildBounded(corpus.Smooth(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data []byte) bool {
+		enc, err := c.EncodeToBytes(data)
+		if err != nil {
+			return false
+		}
+		dec, err := c.DecodeBytes(enc, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(dec, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: EncodedBits equals the exact bit length produced by Encode.
+func TestEncodedBitsMatchesEncoder(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		c, err := BuildBounded(HistogramOf(data), 16)
+		if err != nil {
+			return false
+		}
+		want, err := c.EncodedBits(data)
+		if err != nil {
+			return false
+		}
+		var w bitio.Writer
+		if err := c.Encode(&w, data); err != nil {
+			return false
+		}
+		return w.Len() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: canonical codewords form a prefix code (no codeword is a
+// prefix of another).
+func TestPrefixProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Histogram
+	for s := 0; s < 256; s++ {
+		h[s] = uint64(rng.Intn(1000) + 1)
+	}
+	c, err := BuildBounded(&h, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cw struct {
+		bits uint64
+		n    int
+	}
+	var words []cw
+	for s := 0; s < 256; s++ {
+		b, n := c.Codeword(byte(s))
+		if n > 0 {
+			words = append(words, cw{b, n})
+		}
+	}
+	for i, a := range words {
+		for j, b := range words {
+			if i == j {
+				continue
+			}
+			if a.n <= b.n && b.bits>>(uint(b.n-a.n)) == a.bits {
+				t.Fatalf("codeword %x/%d is a prefix of %x/%d", a.bits, a.n, b.bits, b.n)
+			}
+		}
+	}
+}
+
+// Deterministic construction: same histogram, same code, across calls.
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var h Histogram
+	for s := 0; s < 256; s++ {
+		h[s] = uint64(rng.Intn(500))
+	}
+	a, err := BuildBounded(&h, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildBounded(&h, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lengths() != b.Lengths() {
+		t.Error("bounded build is nondeterministic")
+	}
+	at, err := BuildTraditional(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bt, err := BuildTraditional(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at.Lengths() != bt.Lengths() {
+		t.Error("traditional build is nondeterministic")
+	}
+}
+
+func BenchmarkBuildBounded16(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	var h Histogram
+	for s := 0; s < 256; s++ {
+		h[s] = uint64(rng.Intn(100000) + 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildBounded(&h, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeThroughput(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 32)
+	for i := range data {
+		data[i] = byte(rng.Intn(64)) // skewed: only low bytes
+	}
+	c, err := BuildBounded(HistogramOf(data).Smooth(), 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	enc, err := c.EncodeToBytes(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]byte, 32)
+	b.SetBytes(32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Decode(bitio.NewReader(enc), out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestDepthBound(t *testing.T) {
+	// A Fibonacci-weighted histogram achieves the worst case, so the
+	// bound must be tight there and an upper bound everywhere.
+	var h Histogram
+	a, b := uint64(1), uint64(1)
+	for s := 0; s < 40; s++ {
+		h[s] = a
+		a, b = b, a+b
+	}
+	c, err := BuildTraditional(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := DepthBound(h.Total())
+	if c.MaxLen() > bound {
+		t.Errorf("actual depth %d exceeds bound %d", c.MaxLen(), bound)
+	}
+	if bound-c.MaxLen() > 2 {
+		t.Errorf("bound %d far from achieved depth %d on Fibonacci weights", bound, c.MaxLen())
+	}
+	// Small totals give small bounds; huge totals saturate at 255.
+	if DepthBound(2) > 2 || DepthBound(10) > 5 {
+		t.Errorf("small-total bounds too large: %d %d", DepthBound(2), DepthBound(10))
+	}
+	if DepthBound(1<<63) != 255 && DepthBound(1<<63) < 90 {
+		t.Errorf("huge-total bound = %d", DepthBound(1<<63))
+	}
+	// Random histograms never exceed the bound.
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		var rh Histogram
+		for s := 0; s < 256; s++ {
+			rh[s] = uint64(rng.Intn(1 << uint(rng.Intn(24))))
+		}
+		if rh.Distinct() < 2 {
+			continue
+		}
+		c, err := BuildTraditional(&rh)
+		if err != nil {
+			continue
+		}
+		if c.MaxLen() > DepthBound(rh.Total()) {
+			t.Fatalf("depth %d exceeds bound %d for total %d", c.MaxLen(), DepthBound(rh.Total()), rh.Total())
+		}
+	}
+}

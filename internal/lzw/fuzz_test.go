@@ -1,0 +1,55 @@
+package lzw
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecompress hardens the LZW decoder against arbitrary streams.
+func FuzzDecompress(f *testing.F) {
+	good, err := Compress([]byte("seed corpus for the fuzzer"), 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good, 16)
+	f.Add([]byte{}, 16)
+	f.Add([]byte{0xFF, 0xFF, 0xFF}, 9)
+	f.Fuzz(func(t *testing.T, data []byte, maxBits int) {
+		if maxBits < 9 || maxBits > 24 {
+			return
+		}
+		out, err := Decompress(data, maxBits)
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must re-compress and round-trip.
+		c, err := Compress(out, maxBits)
+		if err != nil {
+			t.Fatalf("recompression failed: %v", err)
+		}
+		d, err := Decompress(c, maxBits)
+		if err != nil || !bytes.Equal(d, out) {
+			t.Fatalf("round trip of accepted output failed: %v", err)
+		}
+	})
+}
+
+// FuzzRoundTrip checks Compress then Decompress is the identity.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte("TOBEORNOTTOBE"))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Compress(data, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Decompress(c, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(d, data) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(d), len(data))
+		}
+	})
+}

@@ -1,0 +1,154 @@
+// Package lzw implements an LZW compressor in the style of the Unix
+// compress(1) utility [Welch84]. The paper uses compress as the reference
+// point for its Figure 5 comparison: it is very effective on whole program
+// files, but being a beginning-to-end adaptive method it cannot be used
+// for per-cache-line decompression, which is why the CCRP falls back to
+// block-oriented Huffman codes.
+//
+// Codes begin at 9 bits and grow to maxBits (compress's default 16); a
+// CLEAR code resets the dictionary when it fills, mimicking block mode.
+package lzw
+
+import (
+	"errors"
+	"fmt"
+
+	"ccrp/internal/bitio"
+)
+
+const (
+	clearCode = 256 // emitted to reset the dictionary
+	eofCode   = 257 // emitted once at end of stream
+	firstFree = 258
+	minBits   = 9
+)
+
+// ErrCorrupt is returned when a compressed stream is malformed.
+var ErrCorrupt = errors.New("lzw: corrupt stream")
+
+// MaxBitsDefault matches compress(1)'s default -b 16.
+const MaxBitsDefault = 16
+
+// Compress encodes data with LZW codes growing from 9 up to maxBits bits.
+func Compress(data []byte, maxBits int) ([]byte, error) {
+	if maxBits < minBits || maxBits > 24 {
+		return nil, fmt.Errorf("lzw: maxBits %d out of range [%d,24]", maxBits, minBits)
+	}
+	var w bitio.Writer
+	dict := make(map[string]int, 1<<12)
+	reset := func() {
+		for k := range dict {
+			delete(dict, k)
+		}
+		for i := 0; i < 256; i++ {
+			dict[string([]byte{byte(i)})] = i
+		}
+	}
+	reset()
+	next := firstFree
+	width := uint(minBits)
+	cur := []byte{}
+	emit := func(code int) {
+		w.WriteBits(uint64(code), width)
+	}
+	for _, b := range data {
+		ext := append(cur, b)
+		if _, ok := dict[string(ext)]; ok {
+			cur = ext
+			continue
+		}
+		emit(dict[string(cur)])
+		if next < 1<<maxBits {
+			dict[string(ext)] = next
+			next++
+			if next > 1<<width && width < uint(maxBits) {
+				width++
+			}
+		} else {
+			emit(clearCode)
+			reset()
+			next = firstFree
+			width = minBits
+		}
+		cur = cur[:0]
+		cur = append(cur, b)
+	}
+	if len(cur) > 0 {
+		emit(dict[string(cur)])
+	}
+	emit(eofCode)
+	return w.Bytes(), nil
+}
+
+// Decompress decodes a stream produced by Compress with the same maxBits.
+func Decompress(comp []byte, maxBits int) ([]byte, error) {
+	if maxBits < minBits || maxBits > 24 {
+		return nil, fmt.Errorf("lzw: maxBits %d out of range [%d,24]", maxBits, minBits)
+	}
+	r := bitio.NewReader(comp)
+	table := make([][]byte, firstFree, 1<<12)
+	reset := func() {
+		table = table[:firstFree]
+		for i := 0; i < 256; i++ {
+			table[i] = []byte{byte(i)}
+		}
+	}
+	reset()
+	width := uint(minBits)
+	var out []byte
+	var prev []byte
+	for {
+		codeU, err := r.ReadBits(width)
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated", ErrCorrupt)
+		}
+		code := int(codeU)
+		switch {
+		case code == eofCode:
+			return out, nil
+		case code == clearCode:
+			reset()
+			width = minBits
+			prev = nil
+			continue
+		case code < len(table) && table[code] != nil:
+			seq := table[code]
+			out = append(out, seq...)
+			if prev != nil && len(table) < 1<<maxBits {
+				ent := make([]byte, 0, len(prev)+1)
+				ent = append(ent, prev...)
+				ent = append(ent, seq[0])
+				table = append(table, ent)
+			}
+			prev = seq
+		case code == len(table) && prev != nil:
+			// The KwKwK special case.
+			ent := make([]byte, 0, len(prev)+1)
+			ent = append(ent, prev...)
+			ent = append(ent, prev[0])
+			out = append(out, ent...)
+			if len(table) < 1<<maxBits {
+				table = append(table, ent)
+			}
+			prev = ent
+		default:
+			return nil, fmt.Errorf("%w: code %d out of range", ErrCorrupt, code)
+		}
+		if len(table)+1 > 1<<width && width < uint(maxBits) {
+			width++
+		}
+	}
+}
+
+// Ratio compresses data and returns compressedSize/originalSize. It is the
+// Figure 5 "Unix compress" reference column.
+func Ratio(data []byte, maxBits int) (float64, error) {
+	if len(data) == 0 {
+		return 1, nil
+	}
+	c, err := Compress(data, maxBits)
+	if err != nil {
+		return 0, err
+	}
+	return float64(len(c)) / float64(len(data)), nil
+}

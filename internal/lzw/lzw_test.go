@@ -1,0 +1,166 @@
+package lzw
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, data []byte, maxBits int) {
+	t.Helper()
+	c, err := Compress(data, maxBits)
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	d, err := Decompress(c, maxBits)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(d, data) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(d), len(data))
+	}
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},
+		[]byte("a"),
+		[]byte("aaaaaaaaaaaaaaaaaaaaaaa"),
+		[]byte("TOBEORNOTTOBEORTOBEORNOT"),
+		[]byte(strings.Repeat("the quick brown fox ", 100)),
+		bytes.Repeat([]byte{0xDE, 0xAD, 0xBE, 0xEF}, 512),
+	}
+	for _, data := range cases {
+		roundTrip(t, data, MaxBitsDefault)
+		roundTrip(t, data, 12)
+	}
+}
+
+func TestKwKwKCase(t *testing.T) {
+	// "abababab..." exercises the code==len(table) special case early.
+	roundTrip(t, bytes.Repeat([]byte("ab"), 50), MaxBitsDefault)
+	roundTrip(t, bytes.Repeat([]byte{0}, 1000), MaxBitsDefault)
+}
+
+func TestDictionaryResetPath(t *testing.T) {
+	// Random data at a small maxBits fills the table and forces CLEAR.
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, 200000)
+	for i := range data {
+		data[i] = byte(rng.Intn(256))
+	}
+	roundTrip(t, data, 9) // table of 512: resets constantly
+	roundTrip(t, data, 12)
+}
+
+func TestWidthGrowthBoundary(t *testing.T) {
+	// Incompressible-ish data long enough to cross 512, 1024, ... entries.
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 64000)
+	for i := range data {
+		data[i] = byte(rng.Intn(251)) // avoid trivial repeats lining up
+	}
+	roundTrip(t, data, 16)
+}
+
+func TestCompressesRepetitiveProgramText(t *testing.T) {
+	data := bytes.Repeat([]byte{0x27, 0xBD, 0xFF, 0xE8, 0xAF, 0xBF, 0x00, 0x14}, 4000)
+	c, err := Compress(data, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c) >= len(data)/4 {
+		t.Errorf("repetitive data barely compressed: %d of %d", len(c), len(data))
+	}
+	r, err := Ratio(data, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r >= 0.25 {
+		t.Errorf("ratio = %.3f", r)
+	}
+}
+
+func TestRatioEmpty(t *testing.T) {
+	r, err := Ratio(nil, 16)
+	if err != nil || r != 1 {
+		t.Fatalf("Ratio(nil) = %v, %v", r, err)
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	if _, err := Compress([]byte("x"), 8); err == nil {
+		t.Error("maxBits 8 accepted")
+	}
+	if _, err := Compress([]byte("x"), 25); err == nil {
+		t.Error("maxBits 25 accepted")
+	}
+	if _, err := Decompress([]byte{0xFF}, 8); err == nil {
+		t.Error("decompress maxBits 8 accepted")
+	}
+}
+
+func TestCorruptStream(t *testing.T) {
+	c, err := Compress([]byte("hello hello hello"), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(c[:len(c)-2], 16); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	// A stream starting with a wildly out-of-range code.
+	bad := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := Decompress(bad, 16); err == nil {
+		t.Error("garbage stream accepted")
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	f := func(data []byte, wide bool) bool {
+		maxBits := 10
+		if wide {
+			maxBits = 16
+		}
+		c, err := Compress(data, maxBits)
+		if err != nil {
+			return false
+		}
+		d, err := Decompress(c, maxBits)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(d, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	data := bytes.Repeat([]byte("embedded controller firmware image segment "), 1000)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress(data, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	data := bytes.Repeat([]byte("embedded controller firmware image segment "), 1000)
+	c, err := Compress(data, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(c, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

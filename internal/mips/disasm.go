@@ -1,0 +1,70 @@
+package mips
+
+import "fmt"
+
+// Disassemble renders the instruction at address pc in conventional MIPS
+// assembler syntax. Branch and jump targets are printed as absolute hex
+// addresses computed from pc.
+func Disassemble(w Word, pc uint32) string {
+	i := Decode(w)
+	switch i.Op {
+	case OpInvalid:
+		return fmt.Sprintf(".word 0x%08x", uint32(w))
+	case OpSLL:
+		if w == 0 {
+			return "nop"
+		}
+		return fmt.Sprintf("sll %s, %s, %d", RegName(i.Rd), RegName(i.Rt), i.Shamt)
+	case OpSRL, OpSRA:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, RegName(i.Rd), RegName(i.Rt), i.Shamt)
+	case OpSLLV, OpSRLV, OpSRAV:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, RegName(i.Rd), RegName(i.Rt), RegName(i.Rs))
+	case OpJR:
+		return fmt.Sprintf("jr %s", RegName(i.Rs))
+	case OpJALR:
+		if i.Rd == RegRA {
+			return fmt.Sprintf("jalr %s", RegName(i.Rs))
+		}
+		return fmt.Sprintf("jalr %s, %s", RegName(i.Rd), RegName(i.Rs))
+	case OpSYSCALL:
+		return "syscall"
+	case OpBREAK:
+		return fmt.Sprintf("break 0x%x", uint32(w)>>6&0xFFFFF)
+	case OpMFHI, OpMFLO:
+		return fmt.Sprintf("%s %s", i.Op, RegName(i.Rd))
+	case OpMTHI, OpMTLO:
+		return fmt.Sprintf("%s %s", i.Op, RegName(i.Rs))
+	case OpMULT, OpMULTU, OpDIV, OpDIVU:
+		return fmt.Sprintf("%s %s, %s", i.Op, RegName(i.Rs), RegName(i.Rt))
+	case OpADD, OpADDU, OpSUB, OpSUBU, OpAND, OpOR, OpXOR, OpNOR, OpSLT, OpSLTU:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, RegName(i.Rd), RegName(i.Rs), RegName(i.Rt))
+	case OpBLTZ, OpBGEZ, OpBLTZAL, OpBGEZAL, OpBLEZ, OpBGTZ:
+		return fmt.Sprintf("%s %s, 0x%08x", i.Op, RegName(i.Rs), i.BranchTarget(pc))
+	case OpJ, OpJAL:
+		return fmt.Sprintf("%s 0x%08x", i.Op, i.JumpTarget(pc))
+	case OpBEQ, OpBNE:
+		return fmt.Sprintf("%s %s, %s, 0x%08x", i.Op, RegName(i.Rs), RegName(i.Rt), i.BranchTarget(pc))
+	case OpADDI, OpADDIU, OpSLTI, OpSLTIU:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, RegName(i.Rt), RegName(i.Rs), i.SImm())
+	case OpANDI, OpORI, OpXORI:
+		return fmt.Sprintf("%s %s, %s, 0x%x", i.Op, RegName(i.Rt), RegName(i.Rs), i.ZImm())
+	case OpLUI:
+		return fmt.Sprintf("lui %s, 0x%x", RegName(i.Rt), i.ZImm())
+	case OpLB, OpLH, OpLWL, OpLW, OpLBU, OpLHU, OpLWR, OpSB, OpSH, OpSWL, OpSW, OpSWR:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, RegName(i.Rt), i.SImm(), RegName(i.Rs))
+	case OpLWC1, OpSWC1:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, FPRegName(i.Rt), i.SImm(), RegName(i.Rs))
+	case OpMFC1, OpMTC1:
+		return fmt.Sprintf("%s %s, %s", i.Op, RegName(i.Rt), FPRegName(i.Rd))
+	case OpBC1F, OpBC1T:
+		return fmt.Sprintf("%s 0x%08x", i.Op, i.BranchTarget(pc))
+	case OpADDS, OpADDD, OpSUBS, OpSUBD, OpMULS, OpMULD, OpDIVS, OpDIVD:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, FPRegName(i.Fd()), FPRegName(i.Fs()), FPRegName(i.Ft()))
+	case OpABSS, OpABSD, OpMOVS, OpMOVD, OpNEGS, OpNEGD,
+		OpCVTSD, OpCVTSW, OpCVTDS, OpCVTDW, OpCVTWS, OpCVTWD:
+		return fmt.Sprintf("%s %s, %s", i.Op, FPRegName(i.Fd()), FPRegName(i.Fs()))
+	case OpCEQS, OpCEQD, OpCLTS, OpCLTD, OpCLES, OpCLED:
+		return fmt.Sprintf("%s %s, %s", i.Op, FPRegName(i.Fs()), FPRegName(i.Ft()))
+	}
+	return fmt.Sprintf(".word 0x%08x", uint32(w))
+}

@@ -1,0 +1,276 @@
+package mips
+
+// Op identifies a decoded machine operation (mnemonic level).
+type Op uint8
+
+// All supported operations.
+const (
+	OpInvalid Op = iota
+
+	// SPECIAL (R-format)
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLLV
+	OpSRLV
+	OpSRAV
+	OpJR
+	OpJALR
+	OpSYSCALL
+	OpBREAK
+	OpMFHI
+	OpMTHI
+	OpMFLO
+	OpMTLO
+	OpMULT
+	OpMULTU
+	OpDIV
+	OpDIVU
+	OpADD
+	OpADDU
+	OpSUB
+	OpSUBU
+	OpAND
+	OpOR
+	OpXOR
+	OpNOR
+	OpSLT
+	OpSLTU
+
+	// REGIMM
+	OpBLTZ
+	OpBGEZ
+	OpBLTZAL
+	OpBGEZAL
+
+	// J-format
+	OpJ
+	OpJAL
+
+	// I-format
+	OpBEQ
+	OpBNE
+	OpBLEZ
+	OpBGTZ
+	OpADDI
+	OpADDIU
+	OpSLTI
+	OpSLTIU
+	OpANDI
+	OpORI
+	OpXORI
+	OpLUI
+
+	// Loads and stores
+	OpLB
+	OpLH
+	OpLWL
+	OpLW
+	OpLBU
+	OpLHU
+	OpLWR
+	OpSB
+	OpSH
+	OpSWL
+	OpSW
+	OpSWR
+	OpLWC1
+	OpSWC1
+
+	// COP1 moves and branches
+	OpMFC1
+	OpMTC1
+	OpBC1F
+	OpBC1T
+
+	// COP1 arithmetic
+	OpADDS
+	OpADDD
+	OpSUBS
+	OpSUBD
+	OpMULS
+	OpMULD
+	OpDIVS
+	OpDIVD
+	OpABSS
+	OpABSD
+	OpMOVS
+	OpMOVD
+	OpNEGS
+	OpNEGD
+	OpCVTSD
+	OpCVTSW
+	OpCVTDS
+	OpCVTDW
+	OpCVTWS
+	OpCVTWD
+	OpCEQS
+	OpCEQD
+	OpCLTS
+	OpCLTD
+	OpCLES
+	OpCLED
+
+	numOps
+)
+
+// Class groups operations by pipeline behaviour; the simulator's stall
+// model and the trace generator key off it.
+type Class uint8
+
+const (
+	ClassALU    Class = iota // single-cycle integer
+	ClassShift               // single-cycle shifts
+	ClassMulDiv              // multi-cycle HI/LO producers
+	ClassHILO                // HI/LO moves (interlock consumers)
+	ClassLoad                // memory read (has a load delay slot)
+	ClassStore               // memory write
+	ClassBranch              // conditional PC-relative
+	ClassJump                // unconditional jump / jump-and-link / register jump
+	ClassSys                 // SYSCALL, BREAK
+	ClassFPU                 // COP1 arithmetic / moves
+	ClassFPBr                // COP1 condition branch
+)
+
+type opInfo struct {
+	name  string
+	class Class
+}
+
+var opTable = [numOps]opInfo{
+	OpInvalid: {"<invalid>", ClassSys},
+
+	OpSLL:     {"sll", ClassShift},
+	OpSRL:     {"srl", ClassShift},
+	OpSRA:     {"sra", ClassShift},
+	OpSLLV:    {"sllv", ClassShift},
+	OpSRLV:    {"srlv", ClassShift},
+	OpSRAV:    {"srav", ClassShift},
+	OpJR:      {"jr", ClassJump},
+	OpJALR:    {"jalr", ClassJump},
+	OpSYSCALL: {"syscall", ClassSys},
+	OpBREAK:   {"break", ClassSys},
+	OpMFHI:    {"mfhi", ClassHILO},
+	OpMTHI:    {"mthi", ClassHILO},
+	OpMFLO:    {"mflo", ClassHILO},
+	OpMTLO:    {"mtlo", ClassHILO},
+	OpMULT:    {"mult", ClassMulDiv},
+	OpMULTU:   {"multu", ClassMulDiv},
+	OpDIV:     {"div", ClassMulDiv},
+	OpDIVU:    {"divu", ClassMulDiv},
+	OpADD:     {"add", ClassALU},
+	OpADDU:    {"addu", ClassALU},
+	OpSUB:     {"sub", ClassALU},
+	OpSUBU:    {"subu", ClassALU},
+	OpAND:     {"and", ClassALU},
+	OpOR:      {"or", ClassALU},
+	OpXOR:     {"xor", ClassALU},
+	OpNOR:     {"nor", ClassALU},
+	OpSLT:     {"slt", ClassALU},
+	OpSLTU:    {"sltu", ClassALU},
+
+	OpBLTZ:   {"bltz", ClassBranch},
+	OpBGEZ:   {"bgez", ClassBranch},
+	OpBLTZAL: {"bltzal", ClassBranch},
+	OpBGEZAL: {"bgezal", ClassBranch},
+
+	OpJ:   {"j", ClassJump},
+	OpJAL: {"jal", ClassJump},
+
+	OpBEQ:   {"beq", ClassBranch},
+	OpBNE:   {"bne", ClassBranch},
+	OpBLEZ:  {"blez", ClassBranch},
+	OpBGTZ:  {"bgtz", ClassBranch},
+	OpADDI:  {"addi", ClassALU},
+	OpADDIU: {"addiu", ClassALU},
+	OpSLTI:  {"slti", ClassALU},
+	OpSLTIU: {"sltiu", ClassALU},
+	OpANDI:  {"andi", ClassALU},
+	OpORI:   {"ori", ClassALU},
+	OpXORI:  {"xori", ClassALU},
+	OpLUI:   {"lui", ClassALU},
+
+	OpLB:   {"lb", ClassLoad},
+	OpLH:   {"lh", ClassLoad},
+	OpLWL:  {"lwl", ClassLoad},
+	OpLW:   {"lw", ClassLoad},
+	OpLBU:  {"lbu", ClassLoad},
+	OpLHU:  {"lhu", ClassLoad},
+	OpLWR:  {"lwr", ClassLoad},
+	OpSB:   {"sb", ClassStore},
+	OpSH:   {"sh", ClassStore},
+	OpSWL:  {"swl", ClassStore},
+	OpSW:   {"sw", ClassStore},
+	OpSWR:  {"swr", ClassStore},
+	OpLWC1: {"lwc1", ClassLoad},
+	OpSWC1: {"swc1", ClassStore},
+
+	OpMFC1: {"mfc1", ClassFPU},
+	OpMTC1: {"mtc1", ClassFPU},
+	OpBC1F: {"bc1f", ClassFPBr},
+	OpBC1T: {"bc1t", ClassFPBr},
+
+	OpADDS:  {"add.s", ClassFPU},
+	OpADDD:  {"add.d", ClassFPU},
+	OpSUBS:  {"sub.s", ClassFPU},
+	OpSUBD:  {"sub.d", ClassFPU},
+	OpMULS:  {"mul.s", ClassFPU},
+	OpMULD:  {"mul.d", ClassFPU},
+	OpDIVS:  {"div.s", ClassFPU},
+	OpDIVD:  {"div.d", ClassFPU},
+	OpABSS:  {"abs.s", ClassFPU},
+	OpABSD:  {"abs.d", ClassFPU},
+	OpMOVS:  {"mov.s", ClassFPU},
+	OpMOVD:  {"mov.d", ClassFPU},
+	OpNEGS:  {"neg.s", ClassFPU},
+	OpNEGD:  {"neg.d", ClassFPU},
+	OpCVTSD: {"cvt.s.d", ClassFPU},
+	OpCVTSW: {"cvt.s.w", ClassFPU},
+	OpCVTDS: {"cvt.d.s", ClassFPU},
+	OpCVTDW: {"cvt.d.w", ClassFPU},
+	OpCVTWS: {"cvt.w.s", ClassFPU},
+	OpCVTWD: {"cvt.w.d", ClassFPU},
+	OpCEQS:  {"c.eq.s", ClassFPU},
+	OpCEQD:  {"c.eq.d", ClassFPU},
+	OpCLTS:  {"c.lt.s", ClassFPU},
+	OpCLTD:  {"c.lt.d", ClassFPU},
+	OpCLES:  {"c.le.s", ClassFPU},
+	OpCLED:  {"c.le.d", ClassFPU},
+}
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if op < numOps {
+		return opTable[op].name
+	}
+	return "<bad-op>"
+}
+
+// Class reports the pipeline class of op.
+func (op Op) Class() Class {
+	if op < numOps {
+		return opTable[op].class
+	}
+	return ClassSys
+}
+
+// Valid reports whether op names a real operation.
+func (op Op) Valid() bool { return op > OpInvalid && op < numOps }
+
+// OpByName resolves an assembler mnemonic to its Op. It recognizes every
+// mnemonic in the table (machine instructions only, not pseudo-ops).
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := Op(1); op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// NumOps returns the count of defined operations (for exhaustive tests).
+func NumOps() int { return int(numOps) }

@@ -1,0 +1,505 @@
+package sim
+
+import (
+	"math"
+
+	"ccrp/internal/mips"
+	"ccrp/internal/trace"
+)
+
+// step executes a single instruction.
+func (m *Machine) step() error {
+	if m.pc >= m.textLimit || m.pc&3 != 0 {
+		return m.faultf(ErrBadAddress, "instruction fetch outside text (limit %#x)", m.textLimit)
+	}
+	raw, err := m.loadWord(m.pc)
+	if err != nil {
+		return err
+	}
+	inst := mips.Decode(mips.Word(raw))
+	if inst.Op == mips.OpInvalid {
+		return m.faultf(ErrInvalidOp, "word %#08x", raw)
+	}
+
+	// Load-use interlock: one stall cycle if this instruction sources the
+	// register the previous instruction loaded.
+	if m.lastLoad >= 0 && m.usesReg(inst, m.lastLoad) {
+		m.stalls += loadUseStall
+	}
+	m.lastLoad = -1
+
+	ev := trace.Event{PC: m.pc}
+	taken := false
+	var target uint32
+
+	switch inst.Op {
+	// --- integer ALU ---
+	case mips.OpADD:
+		a, b := int32(m.regs[inst.Rs]), int32(m.regs[inst.Rt])
+		s := a + b
+		if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+			return m.faultf(ErrOverflow, "add")
+		}
+		m.SetReg(inst.Rd, uint32(s))
+	case mips.OpADDU:
+		m.SetReg(inst.Rd, m.regs[inst.Rs]+m.regs[inst.Rt])
+	case mips.OpSUB:
+		a, b := int32(m.regs[inst.Rs]), int32(m.regs[inst.Rt])
+		s := a - b
+		if (a >= 0) != (b >= 0) && (s >= 0) != (a >= 0) {
+			return m.faultf(ErrOverflow, "sub")
+		}
+		m.SetReg(inst.Rd, uint32(s))
+	case mips.OpSUBU:
+		m.SetReg(inst.Rd, m.regs[inst.Rs]-m.regs[inst.Rt])
+	case mips.OpAND:
+		m.SetReg(inst.Rd, m.regs[inst.Rs]&m.regs[inst.Rt])
+	case mips.OpOR:
+		m.SetReg(inst.Rd, m.regs[inst.Rs]|m.regs[inst.Rt])
+	case mips.OpXOR:
+		m.SetReg(inst.Rd, m.regs[inst.Rs]^m.regs[inst.Rt])
+	case mips.OpNOR:
+		m.SetReg(inst.Rd, ^(m.regs[inst.Rs] | m.regs[inst.Rt]))
+	case mips.OpSLT:
+		m.SetReg(inst.Rd, b2u(int32(m.regs[inst.Rs]) < int32(m.regs[inst.Rt])))
+	case mips.OpSLTU:
+		m.SetReg(inst.Rd, b2u(m.regs[inst.Rs] < m.regs[inst.Rt]))
+	case mips.OpADDI:
+		a, b := int32(m.regs[inst.Rs]), inst.SImm()
+		s := a + b
+		if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) {
+			return m.faultf(ErrOverflow, "addi")
+		}
+		m.SetReg(inst.Rt, uint32(s))
+	case mips.OpADDIU:
+		m.SetReg(inst.Rt, m.regs[inst.Rs]+uint32(inst.SImm()))
+	case mips.OpSLTI:
+		m.SetReg(inst.Rt, b2u(int32(m.regs[inst.Rs]) < inst.SImm()))
+	case mips.OpSLTIU:
+		m.SetReg(inst.Rt, b2u(m.regs[inst.Rs] < uint32(inst.SImm())))
+	case mips.OpANDI:
+		m.SetReg(inst.Rt, m.regs[inst.Rs]&inst.ZImm())
+	case mips.OpORI:
+		m.SetReg(inst.Rt, m.regs[inst.Rs]|inst.ZImm())
+	case mips.OpXORI:
+		m.SetReg(inst.Rt, m.regs[inst.Rs]^inst.ZImm())
+	case mips.OpLUI:
+		m.SetReg(inst.Rt, inst.ZImm()<<16)
+
+	// --- shifts ---
+	case mips.OpSLL:
+		m.SetReg(inst.Rd, m.regs[inst.Rt]<<inst.Shamt)
+	case mips.OpSRL:
+		m.SetReg(inst.Rd, m.regs[inst.Rt]>>inst.Shamt)
+	case mips.OpSRA:
+		m.SetReg(inst.Rd, uint32(int32(m.regs[inst.Rt])>>inst.Shamt))
+	case mips.OpSLLV:
+		m.SetReg(inst.Rd, m.regs[inst.Rt]<<(m.regs[inst.Rs]&31))
+	case mips.OpSRLV:
+		m.SetReg(inst.Rd, m.regs[inst.Rt]>>(m.regs[inst.Rs]&31))
+	case mips.OpSRAV:
+		m.SetReg(inst.Rd, uint32(int32(m.regs[inst.Rt])>>(m.regs[inst.Rs]&31)))
+
+	// --- multiply / divide ---
+	case mips.OpMULT:
+		p := int64(int32(m.regs[inst.Rs])) * int64(int32(m.regs[inst.Rt]))
+		m.lo, m.hi = uint32(p), uint32(uint64(p)>>32)
+		m.hiloReady = m.icount + multLatency
+	case mips.OpMULTU:
+		p := uint64(m.regs[inst.Rs]) * uint64(m.regs[inst.Rt])
+		m.lo, m.hi = uint32(p), uint32(p>>32)
+		m.hiloReady = m.icount + multLatency
+	case mips.OpDIV:
+		d := int32(m.regs[inst.Rt])
+		if d == 0 {
+			m.lo, m.hi = 0, 0
+		} else {
+			n := int32(m.regs[inst.Rs])
+			m.lo, m.hi = uint32(n/d), uint32(n%d)
+		}
+		m.hiloReady = m.icount + divLatency
+	case mips.OpDIVU:
+		d := m.regs[inst.Rt]
+		if d == 0 {
+			m.lo, m.hi = 0, 0
+		} else {
+			n := m.regs[inst.Rs]
+			m.lo, m.hi = n/d, n%d
+		}
+		m.hiloReady = m.icount + divLatency
+	case mips.OpMFHI:
+		m.interlockHILO()
+		m.SetReg(inst.Rd, m.hi)
+	case mips.OpMFLO:
+		m.interlockHILO()
+		m.SetReg(inst.Rd, m.lo)
+	case mips.OpMTHI:
+		m.hi = m.regs[inst.Rs]
+	case mips.OpMTLO:
+		m.lo = m.regs[inst.Rs]
+
+	// --- control transfer ---
+	case mips.OpJ:
+		taken, target = true, inst.JumpTarget(m.pc)
+	case mips.OpJAL:
+		m.SetReg(mips.RegRA, m.pc+8)
+		taken, target = true, inst.JumpTarget(m.pc)
+	case mips.OpJR:
+		taken, target = true, m.regs[inst.Rs]
+	case mips.OpJALR:
+		m.SetReg(inst.Rd, m.pc+8)
+		taken, target = true, m.regs[inst.Rs]
+	case mips.OpBEQ:
+		taken, target = m.regs[inst.Rs] == m.regs[inst.Rt], inst.BranchTarget(m.pc)
+	case mips.OpBNE:
+		taken, target = m.regs[inst.Rs] != m.regs[inst.Rt], inst.BranchTarget(m.pc)
+	case mips.OpBLEZ:
+		taken, target = int32(m.regs[inst.Rs]) <= 0, inst.BranchTarget(m.pc)
+	case mips.OpBGTZ:
+		taken, target = int32(m.regs[inst.Rs]) > 0, inst.BranchTarget(m.pc)
+	case mips.OpBLTZ:
+		taken, target = int32(m.regs[inst.Rs]) < 0, inst.BranchTarget(m.pc)
+	case mips.OpBGEZ:
+		taken, target = int32(m.regs[inst.Rs]) >= 0, inst.BranchTarget(m.pc)
+	case mips.OpBLTZAL:
+		m.SetReg(mips.RegRA, m.pc+8)
+		taken, target = int32(m.regs[inst.Rs]) < 0, inst.BranchTarget(m.pc)
+	case mips.OpBGEZAL:
+		m.SetReg(mips.RegRA, m.pc+8)
+		taken, target = int32(m.regs[inst.Rs]) >= 0, inst.BranchTarget(m.pc)
+
+	// --- loads ---
+	case mips.OpLW, mips.OpLB, mips.OpLBU, mips.OpLH, mips.OpLHU,
+		mips.OpLWL, mips.OpLWR, mips.OpLWC1:
+		addr := m.regs[inst.Rs] + uint32(inst.SImm())
+		ev.Flags |= trace.FlagLoad
+		ev.Addr = addr
+		m.loads++
+		if err := m.execLoad(inst, addr); err != nil {
+			return err
+		}
+
+	// --- stores ---
+	case mips.OpSW, mips.OpSB, mips.OpSH, mips.OpSWL, mips.OpSWR, mips.OpSWC1:
+		addr := m.regs[inst.Rs] + uint32(inst.SImm())
+		ev.Flags |= trace.FlagStore
+		ev.Addr = addr
+		m.stores++
+		if err := m.execStore(inst, addr); err != nil {
+			return err
+		}
+
+	// --- system ---
+	case mips.OpSYSCALL:
+		if err := m.syscall(); err != nil {
+			return err
+		}
+	case mips.OpBREAK:
+		return m.faultf(ErrInvalidOp, "break executed")
+
+	// --- COP1 ---
+	case mips.OpMFC1:
+		m.SetReg(inst.Rt, m.fpr[inst.Fs()])
+	case mips.OpMTC1:
+		m.fpr[inst.Fs()] = m.regs[inst.Rt]
+	case mips.OpBC1T:
+		taken, target = m.fpc, inst.BranchTarget(m.pc)
+	case mips.OpBC1F:
+		taken, target = !m.fpc, inst.BranchTarget(m.pc)
+	default:
+		if err := m.execFP(inst); err != nil {
+			return err
+		}
+	}
+
+	if m.cfg.CollectTrace {
+		m.events = append(m.events, ev)
+	}
+	m.icount++
+	m.pc, m.npc = m.npc, m.npc+4
+	if taken {
+		m.npc = target
+	}
+	return nil
+}
+
+func (m *Machine) interlockHILO() {
+	if m.hiloReady > m.icount {
+		m.stalls += m.hiloReady - m.icount
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (m *Machine) execLoad(inst mips.Inst, addr uint32) error {
+	switch inst.Op {
+	case mips.OpLW:
+		v, err := m.loadWord(addr)
+		if err != nil {
+			return err
+		}
+		m.SetReg(inst.Rt, v)
+		m.lastLoad = int16(inst.Rt)
+	case mips.OpLB:
+		v, err := m.loadByte(addr)
+		if err != nil {
+			return err
+		}
+		m.SetReg(inst.Rt, uint32(int32(int8(v))))
+		m.lastLoad = int16(inst.Rt)
+	case mips.OpLBU:
+		v, err := m.loadByte(addr)
+		if err != nil {
+			return err
+		}
+		m.SetReg(inst.Rt, uint32(v))
+		m.lastLoad = int16(inst.Rt)
+	case mips.OpLH:
+		v, err := m.loadHalf(addr)
+		if err != nil {
+			return err
+		}
+		m.SetReg(inst.Rt, uint32(int32(int16(v))))
+		m.lastLoad = int16(inst.Rt)
+	case mips.OpLHU:
+		v, err := m.loadHalf(addr)
+		if err != nil {
+			return err
+		}
+		m.SetReg(inst.Rt, uint32(v))
+		m.lastLoad = int16(inst.Rt)
+	case mips.OpLWL:
+		// Little-endian LWL: merge bytes [addr&^3 .. addr] into the high
+		// end of rt.
+		w, err := m.loadWord(addr &^ 3)
+		if err != nil {
+			return err
+		}
+		b := addr & 3
+		shift := 8 * (3 - b)
+		mask := uint32(0xFFFFFFFF) >> (8 * (b + 1)) // shift of 32 yields 0
+		m.SetReg(inst.Rt, m.regs[inst.Rt]&mask|w<<shift)
+		m.lastLoad = int16(inst.Rt)
+	case mips.OpLWR:
+		// Little-endian LWR: merge bytes [addr .. addr|3] into the low
+		// end of rt.
+		w, err := m.loadWord(addr &^ 3)
+		if err != nil {
+			return err
+		}
+		b := addr & 3
+		shift := 8 * b
+		var mask uint32
+		if b != 0 {
+			mask = 0xFFFFFFFF << (8 * (4 - b))
+		}
+		m.SetReg(inst.Rt, m.regs[inst.Rt]&mask|w>>shift)
+		m.lastLoad = int16(inst.Rt)
+	case mips.OpLWC1:
+		v, err := m.loadWord(addr)
+		if err != nil {
+			return err
+		}
+		m.fpr[inst.Ft()] = v
+		m.lastLoad = int16(inst.Ft()) + 32
+	}
+	return nil
+}
+
+func (m *Machine) execStore(inst mips.Inst, addr uint32) error {
+	switch inst.Op {
+	case mips.OpSW:
+		return m.storeWord(addr, m.regs[inst.Rt])
+	case mips.OpSB:
+		return m.storeByte(addr, byte(m.regs[inst.Rt]))
+	case mips.OpSH:
+		return m.storeHalf(addr, uint16(m.regs[inst.Rt]))
+	case mips.OpSWL:
+		w, err := m.loadWord(addr &^ 3)
+		if err != nil {
+			return err
+		}
+		b := addr & 3
+		shift := 8 * (3 - b)
+		keep := w & (uint32(0xFFFFFFFF) << (8 * (b + 1))) // shift of 32 yields 0
+		return m.storeWord(addr&^3, keep|m.regs[inst.Rt]>>shift)
+	case mips.OpSWR:
+		w, err := m.loadWord(addr &^ 3)
+		if err != nil {
+			return err
+		}
+		b := addr & 3
+		shift := 8 * b
+		var keep uint32
+		if b != 0 {
+			keep = w & (0xFFFFFFFF >> (8 * (4 - b)))
+		}
+		return m.storeWord(addr&^3, keep|m.regs[inst.Rt]<<shift)
+	case mips.OpSWC1:
+		return m.storeWord(addr, m.fpr[inst.Ft()])
+	}
+	return nil
+}
+
+// usesReg reports whether inst reads the given register (0-31 GPR,
+// 32-63 FPR) — used by the load-use interlock model.
+func (m *Machine) usesReg(inst mips.Inst, reg int16) bool {
+	if reg < 32 {
+		r := uint8(reg)
+		if r == 0 {
+			return false
+		}
+		switch inst.Op {
+		case mips.OpJ, mips.OpJAL, mips.OpLUI, mips.OpSYSCALL, mips.OpBREAK,
+			mips.OpMFHI, mips.OpMFLO, mips.OpBC1T, mips.OpBC1F, mips.OpMFC1:
+			return false
+		case mips.OpSLL, mips.OpSRL, mips.OpSRA:
+			return inst.Rt == r
+		case mips.OpMTC1:
+			return inst.Rt == r
+		}
+		if inst.Rs == r {
+			return true
+		}
+		// rt is a source for R-format ALU, shifts, mult/div, branches
+		// on two registers, and stores.
+		switch inst.Op {
+		case mips.OpADD, mips.OpADDU, mips.OpSUB, mips.OpSUBU, mips.OpAND,
+			mips.OpOR, mips.OpXOR, mips.OpNOR, mips.OpSLT, mips.OpSLTU,
+			mips.OpSLLV, mips.OpSRLV, mips.OpSRAV, mips.OpMULT, mips.OpMULTU,
+			mips.OpDIV, mips.OpDIVU, mips.OpBEQ, mips.OpBNE,
+			mips.OpSB, mips.OpSH, mips.OpSW, mips.OpSWL, mips.OpSWR:
+			return inst.Rt == r
+		}
+		return false
+	}
+	f := uint8(reg - 32)
+	switch inst.Op.Class() {
+	case mips.ClassFPU:
+		switch inst.Op {
+		case mips.OpMFC1:
+			return inst.Fs() == f
+		case mips.OpMTC1:
+			return false
+		case mips.OpADDS, mips.OpSUBS, mips.OpMULS, mips.OpDIVS,
+			mips.OpADDD, mips.OpSUBD, mips.OpMULD, mips.OpDIVD:
+			return inst.Fs() == f || inst.Ft() == f
+		case mips.OpCEQS, mips.OpCLTS, mips.OpCLES,
+			mips.OpCEQD, mips.OpCLTD, mips.OpCLED:
+			return inst.Fs() == f || inst.Ft() == f
+		default: // unary: mov/neg/abs/cvt
+			return inst.Fs() == f
+		}
+	case mips.ClassStore:
+		return inst.Op == mips.OpSWC1 && inst.Ft() == f
+	}
+	return false
+}
+
+// --- floating point ---
+
+func (m *Machine) fs(r uint8) float32 { return math.Float32frombits(m.fpr[r]) }
+func (m *Machine) setFS(r uint8, v float32) {
+	m.fpr[r] = math.Float32bits(v)
+}
+
+func (m *Machine) fd(r uint8) float64 {
+	return math.Float64frombits(uint64(m.fpr[r+1])<<32 | uint64(m.fpr[r]))
+}
+
+func (m *Machine) setFD(r uint8, v float64) {
+	bits := math.Float64bits(v)
+	m.fpr[r] = uint32(bits)
+	m.fpr[r+1] = uint32(bits >> 32)
+}
+
+func (m *Machine) execFP(inst mips.Inst) error {
+	fd, fs, ft := inst.Fd(), inst.Fs(), inst.Ft()
+	switch inst.Op {
+	case mips.OpADDS:
+		m.setFS(fd, m.fs(fs)+m.fs(ft))
+		m.stalls += fpAddStall
+	case mips.OpSUBS:
+		m.setFS(fd, m.fs(fs)-m.fs(ft))
+		m.stalls += fpAddStall
+	case mips.OpMULS:
+		m.setFS(fd, m.fs(fs)*m.fs(ft))
+		m.stalls += fpMulSStall
+	case mips.OpDIVS:
+		m.setFS(fd, m.fs(fs)/m.fs(ft))
+		m.stalls += fpDivSStall
+	case mips.OpADDD:
+		m.setFD(fd, m.fd(fs)+m.fd(ft))
+		m.stalls += fpAddStall
+	case mips.OpSUBD:
+		m.setFD(fd, m.fd(fs)-m.fd(ft))
+		m.stalls += fpAddStall
+	case mips.OpMULD:
+		m.setFD(fd, m.fd(fs)*m.fd(ft))
+		m.stalls += fpMulDStall
+	case mips.OpDIVD:
+		m.setFD(fd, m.fd(fs)/m.fd(ft))
+		m.stalls += fpDivDStall
+	case mips.OpABSS:
+		m.setFS(fd, float32(math.Abs(float64(m.fs(fs)))))
+		m.stalls += fpAddStall
+	case mips.OpABSD:
+		m.setFD(fd, math.Abs(m.fd(fs)))
+		m.stalls += fpAddStall
+	case mips.OpNEGS:
+		m.setFS(fd, -m.fs(fs))
+		m.stalls += fpAddStall
+	case mips.OpNEGD:
+		m.setFD(fd, -m.fd(fs))
+		m.stalls += fpAddStall
+	case mips.OpMOVS:
+		m.fpr[fd] = m.fpr[fs]
+	case mips.OpMOVD:
+		m.fpr[fd] = m.fpr[fs]
+		m.fpr[fd+1] = m.fpr[fs+1]
+	case mips.OpCVTSD:
+		m.setFS(fd, float32(m.fd(fs)))
+		m.stalls += fpCvtStall
+	case mips.OpCVTSW:
+		m.setFS(fd, float32(int32(m.fpr[fs])))
+		m.stalls += fpCvtStall
+	case mips.OpCVTDS:
+		m.setFD(fd, float64(m.fs(fs)))
+		m.stalls += fpCvtStall
+	case mips.OpCVTDW:
+		m.setFD(fd, float64(int32(m.fpr[fs])))
+		m.stalls += fpCvtStall
+	case mips.OpCVTWS:
+		m.fpr[fd] = uint32(int32(m.fs(fs)))
+		m.stalls += fpCvtStall
+	case mips.OpCVTWD:
+		m.fpr[fd] = uint32(int32(m.fd(fs)))
+		m.stalls += fpCvtStall
+	case mips.OpCEQS:
+		m.fpc = m.fs(fs) == m.fs(ft)
+		m.stalls += fpAddStall
+	case mips.OpCLTS:
+		m.fpc = m.fs(fs) < m.fs(ft)
+		m.stalls += fpAddStall
+	case mips.OpCLES:
+		m.fpc = m.fs(fs) <= m.fs(ft)
+		m.stalls += fpAddStall
+	case mips.OpCEQD:
+		m.fpc = m.fd(fs) == m.fd(ft)
+		m.stalls += fpAddStall
+	case mips.OpCLTD:
+		m.fpc = m.fd(fs) < m.fd(ft)
+		m.stalls += fpAddStall
+	case mips.OpCLED:
+		m.fpc = m.fd(fs) <= m.fd(ft)
+		m.stalls += fpAddStall
+	default:
+		return m.faultf(ErrInvalidOp, "op %v", inst.Op)
+	}
+	return nil
+}

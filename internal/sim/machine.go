@@ -1,0 +1,261 @@
+// Package sim is a functional (architectural) simulator for MIPS R2000
+// user-mode programs produced by internal/asm. It executes branch delay
+// slots per MIPS-I, models HI/LO multiply/divide latency and load-use
+// interlocks as pipeline stall cycles, implements a COP1 floating-point
+// subset, and services SPIM-style syscalls.
+//
+// Its role in the reproduction is the one pixie played in the paper: it
+// documents the detailed behaviour of each program and generates
+// instruction address traces for the cache simulations (internal/core).
+package sim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"ccrp/internal/asm"
+	"ccrp/internal/mips"
+	"ccrp/internal/trace"
+)
+
+// Stall-model parameters, in processor cycles. The multiply/divide
+// latencies are the R2000's; the FP latencies approximate the R2010 FPA.
+const (
+	multLatency  = 12
+	divLatency   = 35
+	loadUseStall = 1
+	fpAddStall   = 1
+	fpMulSStall  = 3
+	fpMulDStall  = 4
+	fpDivSStall  = 11
+	fpDivDStall  = 18
+	fpCvtStall   = 2
+)
+
+// Simulation errors.
+var (
+	ErrMaxInstructions = errors.New("sim: instruction limit exceeded")
+	ErrBadAddress      = errors.New("sim: address out of range")
+	ErrUnaligned       = errors.New("sim: unaligned access")
+	ErrInvalidOp       = errors.New("sim: invalid instruction")
+	ErrOverflow        = errors.New("sim: arithmetic overflow trap")
+	ErrBadSyscall      = errors.New("sim: unknown syscall")
+)
+
+// Config controls a simulation run.
+type Config struct {
+	Stdout       io.Writer // syscall console output; nil discards it
+	MaxInstr     uint64    // dynamic instruction limit; 0 means 100M
+	CollectTrace bool      // record a trace.Trace in the Result
+	Input        []int32   // values returned by the read_int syscall, in order
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Trace        *trace.Trace // nil unless Config.CollectTrace
+	Instructions uint64
+	Stalls       uint64 // pipeline stall cycles (load-use, HI/LO, FP)
+	Loads        uint64
+	Stores       uint64
+	ExitCode     int32
+}
+
+// BaseCycles returns instructions + stalls: the execution cycles a
+// perfect (always-hit) instruction memory would give. Cache refill and
+// data access penalties are added by the system model on top of this.
+func (r *Result) BaseCycles() uint64 { return r.Instructions + r.Stalls }
+
+// Machine is one R2000 processor plus its 24-bit physical memory.
+type Machine struct {
+	cfg  Config
+	mem  []byte
+	regs [32]uint32
+	fpr  [32]uint32
+	hi   uint32
+	lo   uint32
+	fpc  bool // FP condition flag
+
+	pc  uint32
+	npc uint32
+
+	icount    uint64
+	stalls    uint64
+	loads     uint64
+	stores    uint64
+	hiloReady uint64 // icount at which HI/LO are interlocked-free
+	lastLoad  int16  // register written by the previous load, -1 if none
+	inputPos  int
+	events    []trace.Event
+	exitCode  int32
+	done      bool
+	textLimit uint32
+}
+
+// New loads prog into a fresh machine.
+func New(prog *asm.Program, cfg Config) *Machine {
+	if cfg.MaxInstr == 0 {
+		cfg.MaxInstr = 100_000_000
+	}
+	m := &Machine{
+		cfg:      cfg,
+		mem:      make([]byte, asm.AddrSpace),
+		pc:       prog.Entry,
+		npc:      prog.Entry + 4,
+		lastLoad: -1,
+	}
+	copy(m.mem[asm.TextBase:], prog.Text)
+	copy(m.mem[asm.DataBase:], prog.Data)
+	m.textLimit = asm.TextBase + uint32(len(prog.Text))
+	m.regs[mips.RegSP] = asm.StackTop
+	m.regs[mips.RegGP] = asm.DataBase + 0x8000
+	if cfg.CollectTrace {
+		m.events = make([]trace.Event, 0, 1<<16)
+	}
+	return m
+}
+
+// Reg returns the value of GPR r.
+func (m *Machine) Reg(r uint8) uint32 { return m.regs[r&31] }
+
+// SetReg writes GPR r (writes to $zero are ignored).
+func (m *Machine) SetReg(r uint8, v uint32) {
+	if r != 0 {
+		m.regs[r&31] = v
+	}
+}
+
+// PC returns the current program counter.
+func (m *Machine) PC() uint32 { return m.pc }
+
+// faultf builds an execution error annotated with the faulting PC.
+func (m *Machine) faultf(base error, format string, args ...any) error {
+	return fmt.Errorf("%w at pc=%#08x: %s", base, m.pc, fmt.Sprintf(format, args...))
+}
+
+func (m *Machine) checkAddr(addr uint32, size uint32) error {
+	if addr >= uint32(len(m.mem)) || addr+size > uint32(len(m.mem)) {
+		return m.faultf(ErrBadAddress, "%#08x", addr)
+	}
+	return nil
+}
+
+func (m *Machine) loadWord(addr uint32) (uint32, error) {
+	if addr&3 != 0 {
+		return 0, m.faultf(ErrUnaligned, "lw %#08x", addr)
+	}
+	if err := m.checkAddr(addr, 4); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(m.mem[addr:]), nil
+}
+
+func (m *Machine) storeWord(addr uint32, v uint32) error {
+	if addr&3 != 0 {
+		return m.faultf(ErrUnaligned, "sw %#08x", addr)
+	}
+	if err := m.checkAddr(addr, 4); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(m.mem[addr:], v)
+	return nil
+}
+
+func (m *Machine) loadHalf(addr uint32) (uint16, error) {
+	if addr&1 != 0 {
+		return 0, m.faultf(ErrUnaligned, "lh %#08x", addr)
+	}
+	if err := m.checkAddr(addr, 2); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(m.mem[addr:]), nil
+}
+
+func (m *Machine) storeHalf(addr uint32, v uint16) error {
+	if addr&1 != 0 {
+		return m.faultf(ErrUnaligned, "sh %#08x", addr)
+	}
+	if err := m.checkAddr(addr, 2); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint16(m.mem[addr:], v)
+	return nil
+}
+
+func (m *Machine) loadByte(addr uint32) (byte, error) {
+	if err := m.checkAddr(addr, 1); err != nil {
+		return 0, err
+	}
+	return m.mem[addr], nil
+}
+
+func (m *Machine) storeByte(addr uint32, v byte) error {
+	if err := m.checkAddr(addr, 1); err != nil {
+		return err
+	}
+	m.mem[addr] = v
+	return nil
+}
+
+// Run executes until the program exits (syscall 10/17), an error occurs,
+// or the instruction limit is hit.
+func (m *Machine) Run() (*Result, error) {
+	for !m.done {
+		if m.icount >= m.cfg.MaxInstr {
+			return m.result(), m.faultf(ErrMaxInstructions, "%d executed", m.icount)
+		}
+		if err := m.step(); err != nil {
+			return m.result(), err
+		}
+	}
+	return m.result(), nil
+}
+
+func (m *Machine) result() *Result {
+	r := &Result{
+		Instructions: m.icount,
+		Stalls:       m.stalls,
+		Loads:        m.loads,
+		Stores:       m.stores,
+		ExitCode:     m.exitCode,
+	}
+	if m.cfg.CollectTrace {
+		r.Trace = &trace.Trace{Events: m.events, Stalls: m.stalls}
+	}
+	return r
+}
+
+// Step executes exactly one instruction; it is a no-op once the program
+// has exited. Drivers like the ccdb debugger use it for single-stepping.
+func (m *Machine) Step() error {
+	if m.done {
+		return nil
+	}
+	if m.icount >= m.cfg.MaxInstr {
+		return m.faultf(ErrMaxInstructions, "%d executed", m.icount)
+	}
+	return m.step()
+}
+
+// Done reports whether the program has exited.
+func (m *Machine) Done() bool { return m.done }
+
+// Instructions returns the dynamic instruction count so far.
+func (m *Machine) Instructions() uint64 { return m.icount }
+
+// Snapshot returns the current result counters without ending the run.
+func (m *Machine) Snapshot() *Result { return m.result() }
+
+// HI and LO expose the multiply/divide result registers.
+func (m *Machine) HI() uint32 { return m.hi }
+func (m *Machine) LO() uint32 { return m.lo }
+
+// FPR returns the raw bits of FP register r.
+func (m *Machine) FPR(r uint8) uint32 { return m.fpr[r&31] }
+
+// ReadWord reads a word from memory without tracing (for debuggers).
+func (m *Machine) ReadWord(addr uint32) (uint32, error) { return m.loadWord(addr) }
+
+// PeekByte reads a byte from memory without tracing.
+func (m *Machine) PeekByte(addr uint32) (byte, error) { return m.loadByte(addr) }

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"fmt"
+
+	"ccrp/internal/mips"
+)
+
+// SPIM-compatible syscall numbers (in $v0 at the SYSCALL instruction).
+const (
+	SysPrintInt    = 1
+	SysPrintString = 4
+	SysReadInt     = 5
+	SysExit        = 10
+	SysPrintChar   = 11
+	SysExit2       = 17
+)
+
+// maxCString bounds print_string to keep a missing NUL from walking all
+// of memory.
+const maxCString = 1 << 16
+
+func (m *Machine) syscall() error {
+	switch m.regs[mips.RegV0] {
+	case SysPrintInt:
+		m.printf("%d", int32(m.regs[mips.RegA0]))
+	case SysPrintString:
+		s, err := m.cstring(m.regs[mips.RegA0])
+		if err != nil {
+			return err
+		}
+		m.printf("%s", s)
+	case SysReadInt:
+		var v int32
+		if m.inputPos < len(m.cfg.Input) {
+			v = m.cfg.Input[m.inputPos]
+			m.inputPos++
+		}
+		m.regs[mips.RegV0] = uint32(v)
+	case SysExit:
+		m.done = true
+		m.exitCode = 0
+	case SysPrintChar:
+		m.printf("%c", rune(m.regs[mips.RegA0]))
+	case SysExit2:
+		m.done = true
+		m.exitCode = int32(m.regs[mips.RegA0])
+	default:
+		return m.faultf(ErrBadSyscall, "number %d", m.regs[mips.RegV0])
+	}
+	return nil
+}
+
+func (m *Machine) printf(format string, args ...any) {
+	if m.cfg.Stdout != nil {
+		fmt.Fprintf(m.cfg.Stdout, format, args...)
+	}
+}
+
+// cstring reads the NUL-terminated string at addr.
+func (m *Machine) cstring(addr uint32) (string, error) {
+	var out []byte
+	for i := 0; i < maxCString; i++ {
+		b, err := m.loadByte(addr + uint32(i))
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(out), nil
+		}
+		out = append(out, b)
+	}
+	return "", m.faultf(ErrBadAddress, "unterminated string at %#x", addr)
+}

@@ -1,0 +1,93 @@
+// Package tablefmt renders fixed-width text tables in the layout of the
+// paper's result tables.
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Headers)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	if t.Title != "" {
+		fmt.Fprintln(w, t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, cols)
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	if len(t.Headers) > 0 {
+		line(t.Headers)
+		rule := make([]string, cols)
+		for i := range rule {
+			rule[i] = strings.Repeat("-", widths[i])
+		}
+		line(rule)
+	}
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	// Numbers read better right-aligned; detect by first rune.
+	if len(s) > 0 && (s[0] >= '0' && s[0] <= '9' || s[0] == '-' || s[0] == '+') {
+		return strings.Repeat(" ", w-len(s)) + s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Ratio formats a relative value the way the paper prints it (3 decimals).
+func Ratio(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// Pct formats a fraction as a percentage with 2 decimals.
+func Pct(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+
+// Bytes formats a byte count.
+func Bytes(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,63 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tb := &Table{
+		Title:   "Demo",
+		Headers: []string{"Name", "Value"},
+	}
+	tb.AddRow("alpha", "1.000")
+	tb.AddRow("b", "10.125")
+	out := tb.String()
+	if !strings.HasPrefix(out, "Demo\n") {
+		t.Errorf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Numeric cells right-align.
+	if !strings.HasSuffix(lines[3], " 1.000") {
+		t.Errorf("numeric cell not right-aligned: %q", lines[3])
+	}
+	if !strings.Contains(lines[1], "Name") || !strings.Contains(lines[1], "Value") {
+		t.Errorf("header line wrong: %q", lines[1])
+	}
+}
+
+func TestRenderRaggedRows(t *testing.T) {
+	tb := &Table{Headers: []string{"A"}}
+	tb.AddRow("x", "extra", "cells")
+	out := tb.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "cells") {
+		t.Errorf("ragged row dropped cells: %q", out)
+	}
+}
+
+func TestRenderNoHeaders(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("only", "row")
+	out := tb.String()
+	if strings.Contains(out, "--") {
+		t.Errorf("rule emitted without headers: %q", out)
+	}
+	if !strings.Contains(out, "only") {
+		t.Errorf("row missing: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Ratio(1.2345) != "1.234" && Ratio(1.2345) != "1.235" {
+		t.Errorf("Ratio = %q", Ratio(1.2345))
+	}
+	if Pct(0.03125) != "3.12%" { // %.2f rounds half to even
+		t.Errorf("Pct = %q", Pct(0.03125))
+	}
+	if Bytes(703752) != "703752" {
+		t.Errorf("Bytes = %q", Bytes(703752))
+	}
+}

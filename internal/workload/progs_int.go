@@ -1,0 +1,674 @@
+package workload
+
+// Integer workload cores. Each core defines main and is composed with the
+// shared runtime and cold synthesized padding by wrapMain; the padding
+// brings static code size in line with the binaries the paper measured
+// while the hand-written core determines the dynamic locality.
+
+// eightq: the classic 8-queens solution counter, in the array-based
+// Wirth formulation a 1990 C compiler would emit (free-column and
+// diagonal occupancy arrays, a board array, and a per-solution checksum
+// walk), giving the ~400-byte recursive working set the paper's eightq
+// shows (misses at 256 bytes, fits at 512).
+// Paper static size: 4,020 bytes.
+const eightqText = `
+	.equ EQN, 8
+main:
+	addiu $sp, $sp, -8
+	sw $ra, 0($sp)
+	# all columns and diagonals start free
+	la $t0, eq_colfree
+	la $t1, eq_up
+	la $t2, eq_down
+	li $t3, 0
+	li $t4, 1
+eq_init:
+	addu $t5, $t1, $t3
+	sb $t4, 0($t5)
+	addu $t5, $t2, $t3
+	sb $t4, 0($t5)
+	li $t6, EQN
+	bge $t3, $t6, eq_init_skip
+	nop
+	addu $t5, $t0, $t3
+	sb $t4, 0($t5)
+eq_init_skip:
+	addiu $t3, $t3, 1
+	li $t6, 15
+	blt $t3, $t6, eq_init
+	nop
+	li $a0, 0
+	jal eq_try
+	nop
+	la $t0, eq_count
+	lw $a0, 0($t0)
+	nop
+	jal rt_print_int
+	nop
+	li $a0, ' '
+	li $v0, 11
+	syscall
+	la $t0, eq_sum
+	lw $a0, 0($t0)
+	nop
+	jal rt_print_intnl
+	nop
+	lw $ra, 0($sp)
+	nop
+	addiu $sp, $sp, 8
+	jr $ra
+	nop
+
+# eq_try(row): place a queen in every safe column of this row, recursing.
+eq_try:
+	addiu $sp, $sp, -16
+	sw $ra, 0($sp)
+	sw $s0, 4($sp)
+	sw $s1, 8($sp)
+	move $s0, $a0           # row
+	li $s1, 0               # column
+eqt_col:
+	la $t0, eq_colfree
+	addu $t1, $t0, $s1
+	lbu $t2, 0($t1)
+	nop
+	beqz $t2, eqt_next
+	nop
+	addu $t3, $s0, $s1      # up diagonal index
+	la $t0, eq_up
+	addu $t4, $t0, $t3
+	lbu $t5, 0($t4)
+	nop
+	beqz $t5, eqt_next
+	nop
+	subu $t6, $s0, $s1      # down diagonal index
+	addiu $t6, $t6, 7
+	la $t0, eq_down
+	addu $t7, $t0, $t6
+	lbu $t5, 0($t7)
+	nop
+	beqz $t5, eqt_next
+	nop
+	# place the queen
+	sb $zero, 0($t1)
+	sb $zero, 0($t4)
+	sb $zero, 0($t7)
+	la $t0, eq_board
+	addu $t2, $t0, $s0
+	sb $s1, 0($t2)
+	li $t5, EQN-1
+	blt $s0, $t5, eqt_recurse
+	nop
+	# a full solution: count it and checksum the board
+	la $t0, eq_count
+	lw $t2, 0($t0)
+	nop
+	addiu $t2, $t2, 1
+	sw $t2, 0($t0)
+	la $t0, eq_board
+	li $t2, 0
+	li $t3, 0
+eqt_ck:
+	addu $t5, $t0, $t2
+	lbu $t6, 0($t5)
+	sll $t3, $t3, 1
+	addu $t3, $t3, $t6
+	addiu $t2, $t2, 1
+	li $t6, EQN
+	blt $t2, $t6, eqt_ck
+	nop
+	la $t0, eq_sum
+	lw $t2, 0($t0)
+	nop
+	addu $t2, $t2, $t3
+	sw $t2, 0($t0)
+	b eqt_unplace
+	nop
+eqt_recurse:
+	addiu $a0, $s0, 1
+	jal eq_try
+	nop
+eqt_unplace:
+	# recompute addresses (temporaries died across the call)
+	la $t0, eq_colfree
+	addu $t1, $t0, $s1
+	li $t5, 1
+	sb $t5, 0($t1)
+	addu $t3, $s0, $s1
+	la $t0, eq_up
+	addu $t4, $t0, $t3
+	sb $t5, 0($t4)
+	subu $t6, $s0, $s1
+	addiu $t6, $t6, 7
+	la $t0, eq_down
+	addu $t7, $t0, $t6
+	sb $t5, 0($t7)
+eqt_next:
+	addiu $s1, $s1, 1
+	li $t5, EQN
+	blt $s1, $t5, eqt_col
+	nop
+	lw $ra, 0($sp)
+	lw $s0, 4($sp)
+	lw $s1, 8($sp)
+	addiu $sp, $sp, 16
+	jr $ra
+	nop
+`
+
+const eightqData = `
+eq_colfree:
+	.space 8
+eq_up:
+	.space 15
+eq_down:
+	.space 15
+eq_board:
+	.space 8
+	.align 2
+eq_count:
+	.word 0
+eq_sum:
+	.word 0
+`
+
+// lloop01: Livermore loop 1 (hydro fragment) in fixed point:
+// x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]). Paper static size: 4,020 bytes.
+const lloop01Text = `
+	.equ LLN, 400
+	.equ LLPASSES, 60
+main:
+	addiu $sp, $sp, -8
+	sw $ra, 0($sp)
+	# init z[k] = (k*7) & 63, y[k] = (k*3) & 31
+	la $t0, ll_z
+	la $t1, ll_y
+	li $t2, 0
+ll_init:
+	sll $t3, $t2, 3
+	subu $t3, $t3, $t2      # k*7
+	andi $t3, $t3, 63
+	sw $t3, 0($t0)
+	sll $t4, $t2, 1
+	addu $t4, $t4, $t2      # k*3
+	andi $t4, $t4, 31
+	sw $t4, 0($t1)
+	addiu $t0, $t0, 4
+	addiu $t1, $t1, 4
+	addiu $t2, $t2, 1
+	li $t5, LLN+16
+	blt $t2, $t5, ll_init
+	nop
+
+	li $s0, 0               # pass
+ll_pass:
+	li $s1, 0               # k
+	la $s2, ll_x
+	la $s3, ll_y
+	la $s4, ll_z
+ll_inner:
+	sll $t0, $s1, 2
+	addu $t1, $s4, $t0
+	lw  $t2, 40($t1)        # z[k+10]
+	lw  $t3, 44($t1)        # z[k+11]
+	li  $t4, 13             # r
+	mul $t2, $t2, $t4
+	li  $t4, 7              # t
+	mul $t3, $t3, $t4
+	addu $t2, $t2, $t3
+	addu $t5, $s3, $t0
+	lw  $t6, 0($t5)         # y[k]
+	nop
+	mul $t2, $t2, $t6
+	addiu $t2, $t2, 5       # q
+	addu $t7, $s2, $t0
+	sw  $t2, 0($t7)
+	addiu $s1, $s1, 1
+	li  $t4, LLN
+	blt $s1, $t4, ll_inner
+	nop
+	addiu $s0, $s0, 1
+	li  $t4, LLPASSES
+	blt $s0, $t4, ll_pass
+	nop
+
+	# checksum = sum(x) mod 2^31
+	li $t0, 0
+	li $t1, 0
+	la $t2, ll_x
+ll_sum:
+	lw $t3, 0($t2)
+	addiu $t2, $t2, 4
+	addu $t0, $t0, $t3
+	addiu $t1, $t1, 1
+	li $t4, LLN
+	blt $t1, $t4, ll_sum
+	nop
+	srl $a0, $t0, 1
+	jal rt_print_intnl
+	nop
+	lw $ra, 0($sp)
+	nop
+	addiu $sp, $sp, 8
+	jr $ra
+	nop
+`
+
+const lloop01Data = `
+ll_x:
+	.space 1664
+ll_y:
+	.space 1664
+ll_z:
+	.space 1664
+`
+
+// matrix25a: 25x25 integer matrix multiply with checksum.
+// Paper static size: 36,766 bytes.
+const matrix25aText = `
+	.equ MN, 25
+main:
+	addiu $sp, $sp, -8
+	sw $ra, 0($sp)
+	# a[i][j] = i + j ; b[i][j] = i - j + MN
+	la $t0, mx_a
+	la $t1, mx_b
+	li $t2, 0               # i
+mx_init_i:
+	li $t3, 0               # j
+mx_init_j:
+	addu $t4, $t2, $t3
+	sw $t4, 0($t0)
+	subu $t4, $t2, $t3
+	addiu $t4, $t4, MN
+	sw $t4, 0($t1)
+	addiu $t0, $t0, 4
+	addiu $t1, $t1, 4
+	addiu $t3, $t3, 1
+	li $t5, MN
+	blt $t3, $t5, mx_init_j
+	nop
+	addiu $t2, $t2, 1
+	blt $t2, $t5, mx_init_i
+	nop
+
+	# c = a * b
+	li $s0, 0               # i
+mx_i:
+	li $s1, 0               # j
+mx_j:
+	li $s2, 0               # k
+	li $s3, 0               # acc
+	# row base of a: mx_a + i*MN*4
+	li $t0, MN*4
+	mul $t1, $s0, $t0
+	la $t2, mx_a
+	addu $t2, $t2, $t1      # &a[i][0]
+	la $t3, mx_b
+	sll $t4, $s1, 2
+	addu $t3, $t3, $t4      # &b[0][j]
+mx_k:	# unrolled by 5 (MN = 25), as a vectorizing compiler would emit
+	lw $t5, 0($t2)
+	lw $t6, 0($t3)
+	nop
+	mul $t7, $t5, $t6
+	addu $s3, $s3, $t7
+	lw $t5, 4($t2)
+	lw $t6, MN*4($t3)
+	nop
+	mul $t7, $t5, $t6
+	addu $s3, $s3, $t7
+	lw $t5, 8($t2)
+	lw $t6, MN*8($t3)
+	nop
+	mul $t7, $t5, $t6
+	addu $s3, $s3, $t7
+	lw $t5, 12($t2)
+	lw $t6, MN*12($t3)
+	nop
+	mul $t7, $t5, $t6
+	addu $s3, $s3, $t7
+	lw $t5, 16($t2)
+	lw $t6, MN*16($t3)
+	nop
+	mul $t7, $t5, $t6
+	addu $s3, $s3, $t7
+	addiu $t2, $t2, 20
+	addiu $t3, $t3, MN*20
+	addiu $s2, $s2, 5
+	li $t0, MN
+	blt $s2, $t0, mx_k
+	nop
+	# c[i][j] = acc
+	li $t0, MN*4
+	mul $t1, $s0, $t0
+	la $t2, mx_c
+	addu $t2, $t2, $t1
+	sll $t4, $s1, 2
+	addu $t2, $t2, $t4
+	sw $s3, 0($t2)
+	addiu $s1, $s1, 1
+	li $t0, MN
+	blt $s1, $t0, mx_j
+	nop
+	addiu $s0, $s0, 1
+	blt $s0, $t0, mx_i
+	nop
+
+	# checksum = sum c[i][j]
+	li $t0, 0
+	li $t1, 0
+	la $t2, mx_c
+	li $t3, MN*MN
+mx_sum:
+	lw $t4, 0($t2)
+	addiu $t2, $t2, 4
+	addu $t0, $t0, $t4
+	addiu $t1, $t1, 1
+	blt $t1, $t3, mx_sum
+	nop
+	move $a0, $t0
+	jal rt_print_intnl
+	nop
+	lw $ra, 0($sp)
+	nop
+	addiu $sp, $sp, 8
+	jr $ra
+	nop
+`
+
+const matrix25aData = `
+mx_a:
+	.space 2500
+mx_b:
+	.space 2500
+mx_c:
+	.space 2500
+`
+
+// tex: text formatter inner loop — scan a paragraph buffer accumulating
+// glyph widths and greedily breaking lines, as a stand-in for TeX's
+// line-breaking pass. Paper static size: 53,172 bytes.
+const texText = `
+	.equ TEXLEN, 512
+	.equ TEXPASS, 100
+main:
+	addiu $sp, $sp, -8
+	sw $ra, 0($sp)
+	li $s0, 0               # pass
+	li $s3, 0               # total lines
+	li $s4, 0               # badness accumulator
+tex_pass:
+	la $t0, tex_buf
+	li $t1, 0               # position
+	li $t2, 0               # current width
+tex_scan:
+	lbu $t3, 0($t0)
+	addiu $t0, $t0, 1
+	andi $t4, $t3, 7
+	addiu $t4, $t4, 1       # glyph width 1..8
+	addu $t2, $t2, $t4
+	li $t5, ' '
+	bne $t3, $t5, tex_nospace
+	nop
+	# at a space: break if width exceeds the measure
+	li $t6, 72
+	blt $t2, $t6, tex_nospace
+	nop
+	addiu $s3, $s3, 1
+	subu $t7, $t2, $t6      # overhang = badness
+	addu $s4, $s4, $t7
+	li $t2, 0
+tex_nospace:
+	addiu $t1, $t1, 1
+	li $t6, TEXLEN
+	blt $t1, $t6, tex_scan
+	nop
+	addiu $s0, $s0, 1
+	li $t6, TEXPASS
+	blt $s0, $t6, tex_pass
+	nop
+	move $a0, $s3
+	jal rt_print_int
+	nop
+	li $a0, ' '
+	li $v0, 11
+	syscall
+	move $a0, $s4
+	jal rt_print_intnl
+	nop
+	lw $ra, 0($sp)
+	nop
+	addiu $sp, $sp, 8
+	jr $ra
+	nop
+`
+
+const texData = `
+tex_buf:
+	.ascii "In the beginning the Universe was created. This has made a "
+	.ascii "great many people very angry and been widely regarded as a "
+	.ascii "bad move. Many were increasingly of the opinion that they "
+	.ascii "had all made a big mistake in coming down from the trees in "
+	.ascii "the first place, and some said that even the trees had been "
+	.ascii "a bad move and that no one should ever have left the oceans. "
+	.ascii "And then one Thursday nearly two thousand years after one "
+	.ascii "man had been nailed to a tree for saying how great it would "
+	.ascii "be to be nice to people for a change...."
+	.byte 0, 0, 0
+`
+
+// yacc: LR-parser flavor — drive a dense state-transition table with a
+// pseudorandom token stream, counting accepts and reductions.
+// Paper static size: 49,076 bytes.
+const yaccText = `
+	.equ YTOKENS, 30000
+main:
+	addiu $sp, $sp, -8
+	sw $ra, 0($sp)
+	li $s0, 0               # token counter
+	li $s1, 0               # state
+	li $s2, 0               # accepts
+	li $s3, 0               # reductions
+	la $s4, yy_table
+yy_loop:
+	jal rt_rand
+	nop
+	andi $t0, $v0, 7        # token class
+	sll $t1, $s1, 3         # state*8
+	addu $t1, $t1, $t0
+	addu $t1, $s4, $t1
+	lbu $s1, 0($t1)         # next state
+	nop
+	bnez $s1, yy_noacc
+	nop
+	addiu $s2, $s2, 1       # state 0 = accept
+yy_noacc:
+	li $t2, 12
+	blt $s1, $t2, yy_noreduce
+	nop
+	addiu $s3, $s3, 1       # high states reduce
+	andi $s1, $s1, 3        # pop to a low state
+yy_noreduce:
+	addiu $s0, $s0, 1
+	li $t3, YTOKENS
+	blt $s0, $t3, yy_loop
+	nop
+	move $a0, $s2
+	jal rt_print_int
+	nop
+	li $a0, ' '
+	li $v0, 11
+	syscall
+	move $a0, $s3
+	jal rt_print_intnl
+	nop
+	lw $ra, 0($sp)
+	nop
+	addiu $sp, $sp, 8
+	jr $ra
+	nop
+`
+
+// who: record filter — scan fixed-size login records, comparing name
+// fields and counting matches, like who(1) over utmp.
+// Paper static size: 65,940 bytes.
+const whoText = `
+	.equ WRECS, 300
+	.equ WPASS, 20
+main:
+	addiu $sp, $sp, -8
+	sw $ra, 0($sp)
+	# build records: 32 bytes each, first 8 bytes = name from LCG
+	la $s0, who_recs
+	li $s1, 0
+who_init:
+	li $t1, 0
+who_initname:
+	jal rt_rand
+	nop
+	andi $t2, $v0, 15
+	addiu $t2, $t2, 'a'     # name chars a..p
+	addu $t3, $s0, $t1
+	sb $t2, 0($t3)
+	addiu $t1, $t1, 1
+	li $t4, 8
+	blt $t1, $t4, who_initname
+	nop
+	sw $v0, 8($s0)          # login time field
+	addiu $s0, $s0, 32
+	addiu $s1, $s1, 1
+	li $t4, WRECS
+	blt $s1, $t4, who_init
+	nop
+
+	li $s5, 0               # match count
+	li $s6, 0               # time hash
+	li $s2, 0               # pass
+who_pass:
+	la $s0, who_recs
+	li $s1, 0
+who_scan:
+	# compare first 4 name bytes against the pattern "gafd"-ish:
+	# match when byte0 == byte2 (cheap but data dependent)
+	lbu $t0, 0($s0)
+	lbu $t1, 2($s0)
+	nop
+	bne $t0, $t1, who_nomatch
+	nop
+	addiu $s5, $s5, 1
+	lw $t2, 8($s0)
+	nop
+	addu $s6, $s6, $t2
+	andi $s6, $s6, 0xFFFF   # keep the hash bounded
+who_nomatch:
+	addiu $s0, $s0, 32
+	addiu $s1, $s1, 1
+	li $t4, WRECS
+	blt $s1, $t4, who_scan
+	nop
+	addiu $s2, $s2, 1
+	li $t4, WPASS
+	blt $s2, $t4, who_pass
+	nop
+	move $a0, $s5
+	jal rt_print_int
+	nop
+	li $a0, ' '
+	li $v0, 11
+	syscall
+	srl $a0, $s6, 1
+	jal rt_print_intnl
+	nop
+	lw $ra, 0($sp)
+	nop
+	addiu $sp, $sp, 8
+	jr $ra
+	nop
+`
+
+const whoData = `
+who_recs:
+	.space 9600
+`
+
+// pswarp: PostScript-warp flavor — fixed-point coordinate transform and
+// resampling over a synthetic bitmap. Paper static size: 61,364 bytes.
+const pswarpText = `
+	.equ PWW, 64
+	.equ PWH, 48
+	.equ PWPASS, 3
+main:
+	addiu $sp, $sp, -8
+	sw $ra, 0($sp)
+	# init source bitmap from the LCG
+	la $s0, pw_src
+	li $s1, 0
+	li $t4, PWW*PWH
+pw_init:
+	jal rt_rand
+	nop
+	sb $v0, 0($s0)
+	addiu $s0, $s0, 1
+	addiu $s1, $s1, 1
+	blt $s1, $t4, pw_init
+	nop
+
+	li $s5, 0               # accumulator
+	li $s2, 0               # pass
+pw_pass:
+	li $s3, 0               # y
+pw_y:
+	li $s4, 0               # x
+pw_x:
+	# warped source coordinates (fixed-point style mixing)
+	li $t0, 251
+	mul $t1, $s4, $t0
+	li $t0, 17
+	mul $t2, $s3, $t0
+	addu $t1, $t1, $t2
+	srl $t1, $t1, 3
+	andi $t1, $t1, PWW-1    # sx
+	li $t0, 263
+	mul $t2, $s3, $t0
+	li $t0, 31
+	mul $t3, $s4, $t0
+	addu $t2, $t2, $t3
+	srl $t2, $t2, 3
+	li $t0, PWH
+	divu $t2, $t0
+	mfhi $t2                # sy = v % PWH
+	li $t0, PWW
+	mul $t3, $t2, $t0
+	addu $t3, $t3, $t1
+	la $t0, pw_src
+	addu $t3, $t0, $t3
+	lbu $t5, 0($t3)         # sample
+	nop
+	addu $s5, $s5, $t5
+	addiu $s4, $s4, 1
+	li $t0, PWW
+	blt $s4, $t0, pw_x
+	nop
+	addiu $s3, $s3, 1
+	li $t0, PWH
+	blt $s3, $t0, pw_y
+	nop
+	addiu $s2, $s2, 1
+	li $t0, PWPASS
+	blt $s2, $t0, pw_pass
+	nop
+	move $a0, $s5
+	jal rt_print_intnl
+	nop
+	lw $ra, 0($sp)
+	nop
+	addiu $sp, $sp, 8
+	jr $ra
+	nop
+`
+
+const pswarpData = `
+pw_src:
+	.space 3072
+`

@@ -1,0 +1,312 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// espresso: two-level logic minimizer flavor. The defining property the
+// paper observes (a working set too large and too irregular for a small
+// direct-mapped cache) comes from dispatching over a large set of cube
+// transformation routines in data-dependent order: 3/4 of the calls hit a
+// small hot set, the rest spray across the whole table.
+// Paper static size: 176,052 bytes.
+const espressoDispatchN = 96
+
+const espressoText = `
+	.equ ESP_CALLS, 2500
+main:
+	addiu $sp, $sp, -16
+	sw $ra, 0($sp)
+	sw $s0, 4($sp)
+	sw $s1, 8($sp)
+	sw $s2, 12($sp)
+	li $s0, 0               # call counter
+	li $s2, 0               # result accumulator
+esp_loop:
+	jal rt_rand
+	nop
+	andi $t0, $v0, 3
+	bnez $t0, esp_hot
+	nop
+	# cold path: uniform over the whole routine table
+	srl $t1, $v0, 4
+	li $t2, 96
+	divu $t1, $t2
+	mfhi $t1                # index = r % 96
+	b esp_call
+	nop
+esp_hot:
+	srl $t1, $v0, 4
+	andi $t1, $t1, 7        # hot set: first 8 routines
+esp_call:
+	la $t3, esp_table
+	sll $t1, $t1, 2
+	addu $t3, $t3, $t1
+	lw $t4, 0($t3)
+	move $a0, $s0
+	jalr $t4
+	nop
+	addu $s2, $s2, $v0
+	addiu $s0, $s0, 1
+	li $t5, ESP_CALLS
+	blt $s0, $t5, esp_loop
+	nop
+	srl $a0, $s2, 1
+	jal rt_print_intnl
+	nop
+	lw $ra, 0($sp)
+	lw $s0, 4($sp)
+	lw $s1, 8($sp)
+	lw $s2, 12($sp)
+	addiu $sp, $sp, 16
+	jr $ra
+	nop
+`
+
+// xlisp: list interpreter flavor — cons cells in a managed heap, with
+// map/reverse/sum passes over a linked list, exercising pointer-chasing
+// loads. Paper static size: 65,940 bytes.
+const xlispText = `
+	.equ XL_LEN, 200
+	.equ XL_PASSES, 120
+main:
+	addiu $sp, $sp, -16
+	sw $ra, 0($sp)
+	sw $s0, 4($sp)
+	sw $s1, 8($sp)
+	sw $s2, 12($sp)
+
+	# Build the list (cons cells are [car, cdr] word pairs).
+	li $s0, 0               # list head (0 = nil)
+	li $s1, XL_LEN
+xl_build:
+	move $a0, $s1           # car = n .. 1
+	move $a1, $s0           # cdr = old head
+	jal xl_cons
+	nop
+	move $s0, $v0
+	addiu $s1, $s1, -1
+	bgtz $s1, xl_build
+	nop
+
+	li $s2, 0               # pass counter
+xl_pass:
+	# map: car += 1 for every cell
+	move $t0, $s0
+xl_map:
+	beqz $t0, xl_mapdone
+	nop
+	lw $t1, 0($t0)
+	nop
+	addiu $t1, $t1, 1
+	sw $t1, 0($t0)
+	lw $t0, 4($t0)
+	nop
+	b xl_map
+	nop
+xl_mapdone:
+	# reverse in place
+	li $t2, 0               # prev
+	move $t0, $s0
+xl_rev:
+	beqz $t0, xl_revdone
+	nop
+	lw $t3, 4($t0)          # next
+	sw $t2, 4($t0)
+	move $t2, $t0
+	move $t0, $t3
+	b xl_rev
+	nop
+xl_revdone:
+	move $s0, $t2
+	addiu $s2, $s2, 1
+	li $t4, XL_PASSES
+	blt $s2, $t4, xl_pass
+	nop
+
+	# sum the cars
+	li $t5, 0
+	move $t0, $s0
+xl_sum:
+	beqz $t0, xl_sumdone
+	nop
+	lw $t1, 0($t0)
+	lw $t0, 4($t0)
+	addu $t5, $t5, $t1
+	b xl_sum
+	nop
+xl_sumdone:
+	move $a0, $t5
+	jal rt_print_intnl
+	nop
+	lw $ra, 0($sp)
+	lw $s0, 4($sp)
+	lw $s1, 8($sp)
+	lw $s2, 12($sp)
+	addiu $sp, $sp, 16
+	jr $ra
+	nop
+
+# xl_cons(car, cdr) -> cell address; bump allocation from xl_heap.
+xl_cons:
+	la $t8, xl_free
+	lw $v0, 0($t8)
+	nop
+	sw $a0, 0($v0)
+	sw $a1, 4($v0)
+	addiu $t9, $v0, 8
+	sw $t9, 0($t8)
+	jr $ra
+	nop
+`
+
+const xlispData = `
+xl_heap:
+	.space 8192
+xl_free:
+	.word xl_heap
+`
+
+// spim: simulator-in-the-simulator — a bytecode VM with a table-dispatched
+// interpreter loop, the instruction-mix shape of SPIM itself.
+// Paper static size: 147,360 bytes.
+const spimHandlerN = 16
+
+const spimText = `
+	.equ SPIM_STEPS, 30000
+	.equ SPIM_PROGLEN, 4096
+main:
+	addiu $sp, $sp, -16
+	sw $ra, 0($sp)
+	sw $s0, 4($sp)
+	sw $s1, 8($sp)
+	sw $s2, 12($sp)
+
+	# Generate the bytecode program.
+	la $s0, vm_prog
+	li $s1, 0
+vm_gen:
+	jal rt_rand
+	nop
+	andi $t0, $v0, 15
+	addu $t1, $s0, $s1
+	sb $t0, 0($t1)
+	addiu $s1, $s1, 1
+	li $t2, SPIM_PROGLEN
+	blt $s1, $t2, vm_gen
+	nop
+
+	# Interpreter state: $s0 = code base, $s1 = vm pc, $s2 = step count,
+	# $s5 = vm accumulator, $s6 = vm stack index (masked).
+	li $s1, 0
+	li $s2, 0
+	li $s5, 0
+	li $s6, 0
+vm_loop:
+	addu $t0, $s0, $s1
+	lbu $t1, 0($t0)         # opcode
+	la $t2, vm_table
+	sll $t1, $t1, 2
+	addu $t2, $t2, $t1
+	lw $t3, 0($t2)
+	nop
+	jalr $t3
+	nop
+	addiu $s1, $s1, 1
+	li $t4, SPIM_PROGLEN
+	blt $s1, $t4, vm_nowrap
+	nop
+	li $s1, 0
+vm_nowrap:
+	addiu $s2, $s2, 1
+	li $t4, SPIM_STEPS
+	blt $s2, $t4, vm_loop
+	nop
+	move $a0, $s5
+	jal rt_print_intnl
+	nop
+	lw $ra, 0($sp)
+	lw $s0, 4($sp)
+	lw $s1, 8($sp)
+	lw $s2, 12($sp)
+	addiu $sp, $sp, 16
+	jr $ra
+	nop
+`
+
+// spimHandlers builds the 16 opcode handler routines. Each does a small
+// distinct piece of work on the VM state ($s5 accumulator, $s6 stack
+// index, vm_stack memory), like a real interpreter's case arms.
+func spimHandlers() string {
+	var b strings.Builder
+	for i := 0; i < spimHandlerN; i++ {
+		fmt.Fprintf(&b, "vm_op%d:\n", i)
+		switch i % 8 {
+		case 0: // push accumulator
+			b.WriteString(`	andi $t5, $s6, 63
+	sll $t5, $t5, 2
+	la $t6, vm_stack
+	addu $t6, $t6, $t5
+	sw $s5, 0($t6)
+	addiu $s6, $s6, 1
+`)
+		case 1: // pop-add
+			b.WriteString(`	addiu $s6, $s6, -1
+	andi $t5, $s6, 63
+	sll $t5, $t5, 2
+	la $t6, vm_stack
+	addu $t6, $t6, $t5
+	lw $t7, 0($t6)
+	nop
+	addu $s5, $s5, $t7
+`)
+		case 2: // xor-mix
+			fmt.Fprintf(&b, "	xori $s5, $s5, 0x%x\n	sll $t5, $s5, 1\n	xor $s5, $s5, $t5\n", 0x11*i+5)
+		case 3: // rotate-ish
+			b.WriteString(`	srl $t5, $s5, 7
+	sll $t6, $s5, 25
+	or $s5, $t5, $t6
+`)
+		case 4: // add immediate
+			fmt.Fprintf(&b, "	addiu $s5, $s5, %d\n", 100+i*13)
+		case 5: // store to vm memory
+			b.WriteString(`	andi $t5, $s5, 252
+	la $t6, vm_mem
+	addu $t6, $t6, $t5
+	sw $s5, 0($t6)
+`)
+		case 6: // load from vm memory
+			b.WriteString(`	andi $t5, $s5, 252
+	la $t6, vm_mem
+	addu $t6, $t6, $t5
+	lw $t7, 0($t6)
+	nop
+	addu $s5, $s5, $t7
+`)
+		case 7: // skip next byte
+			b.WriteString("	addiu $s1, $s1, 1\n")
+		}
+		b.WriteString("	jr $ra\n	nop\n")
+	}
+	return b.String()
+}
+
+// spimTable builds the dispatch table for the 16 handlers.
+func spimTable() string {
+	var b strings.Builder
+	b.WriteString("vm_table:\n")
+	for i := 0; i < spimHandlerN; i++ {
+		fmt.Fprintf(&b, "\t.word vm_op%d\n", i)
+	}
+	return b.String()
+}
+
+const spimData = `
+vm_prog:
+	.space 4096
+vm_stack:
+	.space 256
+vm_mem:
+	.space 256
+`

@@ -1,0 +1,55 @@
+package workload
+
+// rtText is the shared runtime library linked into every workload:
+// a deterministic LCG and console helpers built on the SPIM syscalls.
+// It uses only $t8/$t9/$v0/$a0 so leaf code can call it freely.
+const rtText = `
+# --- shared runtime ---
+
+# rt_rand: $v0 = next 31-bit pseudorandom value (LCG, deterministic).
+rt_rand:
+	la   $t8, rt_seed
+	lw   $v0, 0($t8)
+	lui  $t9, 0x41C6
+	ori  $t9, $t9, 0x4E6D        # 1103515245
+	mult $v0, $t9
+	mflo $v0
+	addiu $v0, $v0, 12345
+	sw   $v0, 0($t8)
+	srl  $v0, $v0, 1
+	srl  $t9, $v0, 15       # fold high bits down: the low bits of a
+	xor  $v0, $v0, $t9      # power-of-two LCG are short-period on their own
+	jr   $ra
+	nop
+
+# rt_print_int: print $a0 as a signed decimal.
+rt_print_int:
+	li $v0, 1
+	syscall
+	jr $ra
+	nop
+
+# rt_print_intnl: print $a0 then a newline.
+rt_print_intnl:
+	li $v0, 1
+	syscall
+	li $a0, '\n'
+	li $v0, 11
+	syscall
+	jr $ra
+	nop
+`
+
+const rtData = `
+rt_seed:
+	.word 20810
+`
+
+// wrapMain composes a complete program: the entry stub, the program's
+// text (which must define main), the shared runtime, synthesized cold
+// padding, and all data sections.
+func wrapMain(coreText, coreData, padText, padData string) string {
+	return "\t.text\n__start:\n\tjal main\n\tnop\n\tli $v0, 10\n\tsyscall\n" +
+		coreText + rtText + padText +
+		"\n\t.data\n" + coreData + rtData + synthScratch + padData
+}

@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// lcg is a tiny deterministic generator so that workload sources are
+// byte-for-byte reproducible across runs and platforms (no dependence on
+// math/rand's algorithm choices).
+type lcg struct{ s uint64 }
+
+func (r *lcg) next() uint32 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return uint32(r.s >> 33)
+}
+
+func (r *lcg) intn(n int) int { return int(r.next() % uint32(n)) }
+
+// synthStyle biases the synthesizer's instruction mix.
+type synthStyle int
+
+const (
+	styleInt   synthStyle = iota // typical integer compiled code
+	styleFP                      // FP arithmetic heavy (nasa/tomcatv flavor)
+	styleConst                   // addressing-constant heavy (fpppp flavor)
+)
+
+// synthFunctions emits n compiled-style MIPS functions named
+// <prefix>_fn0..n-1. Functions may call strictly higher-numbered
+// neighbors (so the call graph is a DAG and termination is structural),
+// branch only forward within their body, and confine stores to their
+// stack frame and the shared synth_scratch array. bodyOps controls the
+// approximate body length in instructions.
+//
+// The emitted text is genuine R2000 machine code once assembled; its only
+// purpose beyond being executable is to give each workload a realistic
+// static size and byte histogram, standing in for the large compiled
+// binaries the paper measured (see DESIGN.md's substitution table).
+func synthFunctions(prefix string, n, bodyOps int, style synthStyle, seed uint64, callPct int) string {
+	rng := &lcg{s: seed ^ 0x9E3779B97F4A7C15}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		emitSynthFunc(&b, rng, prefix, i, n, bodyOps, style, callPct)
+	}
+	return b.String()
+}
+
+func emitSynthFunc(b *strings.Builder, rng *lcg, prefix string, i, n, bodyOps int, style synthStyle, callPct int) {
+	name := fmt.Sprintf("%s_fn%d", prefix, i)
+	fmt.Fprintf(b, "%s:\n", name)
+	b.WriteString("\taddiu $sp, $sp, -24\n")
+	b.WriteString("\tsw $ra, 0($sp)\n")
+	b.WriteString("\tsw $s0, 4($sp)\n")
+	b.WriteString("\tsw $s1, 8($sp)\n")
+	b.WriteString("\tla $s0, synth_scratch\n")
+	b.WriteString("\tmove $s1, $a0\n")
+
+	temps := []string{"$t0", "$t1", "$t2", "$t3", "$t4", "$t5", "$t6", "$t7"}
+	label := 0
+	pending := -1 // ops until the pending forward label is placed
+	var pendingName string
+	for op := 0; op < bodyOps; op++ {
+		if pending == 0 {
+			fmt.Fprintf(b, "%s:\n", pendingName)
+			pending = -1
+		} else if pending > 0 {
+			pending--
+		}
+		a := temps[rng.intn(len(temps))]
+		c := temps[rng.intn(len(temps))]
+		d := temps[rng.intn(len(temps))]
+		roll := rng.intn(100)
+		fpBias := 0
+		if style == styleFP {
+			fpBias = 35
+		}
+		constBias := 0
+		if style == styleConst {
+			constBias = 40
+		}
+		switch {
+		case roll < constBias:
+			// fpppp flavor: addressing constants with spread-out bytes.
+			fmt.Fprintf(b, "\tlui %s, 0x%04x\n", a, rng.next()&0xFFFF)
+			fmt.Fprintf(b, "\tori %s, %s, 0x%04x\n", a, a, rng.next()&0xFFFF)
+		case roll < constBias+fpBias:
+			f1 := rng.intn(8) * 2
+			f2 := rng.intn(8) * 2
+			f3 := rng.intn(8) * 2
+			switch rng.intn(4) {
+			case 0:
+				fmt.Fprintf(b, "\tadd.d $f%d, $f%d, $f%d\n", f1, f2, f3)
+			case 1:
+				fmt.Fprintf(b, "\tmul.d $f%d, $f%d, $f%d\n", f1, f2, f3)
+			case 2:
+				fmt.Fprintf(b, "\tsub.d $f%d, $f%d, $f%d\n", f1, f2, f3)
+			case 3:
+				fmt.Fprintf(b, "\tl.d $f%d, %d($s0)\n", f1, rng.intn(30)*8)
+			}
+		case roll < constBias+fpBias+14:
+			fmt.Fprintf(b, "\tlw %s, %d($s0)\n", a, rng.intn(64)*4)
+		case roll < constBias+fpBias+22:
+			fmt.Fprintf(b, "\tsw %s, %d($s0)\n", a, rng.intn(64)*4)
+		case roll < constBias+fpBias+34:
+			fmt.Fprintf(b, "\taddu %s, %s, %s\n", a, c, d)
+		case roll < constBias+fpBias+42:
+			fmt.Fprintf(b, "\taddiu %s, %s, %d\n", a, c, rng.intn(512)-256)
+		case roll < constBias+fpBias+50:
+			fmt.Fprintf(b, "\t%s %s, %s, %s\n",
+				[]string{"and", "or", "xor", "subu"}[rng.intn(4)], a, c, d)
+		case roll < constBias+fpBias+58:
+			fmt.Fprintf(b, "\t%s %s, %s, %d\n",
+				[]string{"sll", "srl", "sra"}[rng.intn(3)], a, c, rng.intn(31)+1)
+		case roll < constBias+fpBias+64:
+			fmt.Fprintf(b, "\tslt %s, %s, %s\n", a, c, d)
+		case roll < constBias+fpBias+70:
+			fmt.Fprintf(b, "\tori %s, %s, 0x%x\n", a, c, rng.next()&0xFF)
+		case roll < constBias+fpBias+78 && pending < 0 && op+4 < bodyOps:
+			// Forward conditional branch over a few instructions.
+			pendingName = fmt.Sprintf("%s_L%d", fmt.Sprintf("%s_fn%d", prefix, i), label)
+			label++
+			br := []string{"beq", "bne"}[rng.intn(2)]
+			fmt.Fprintf(b, "\t%s %s, %s, %s\n", br, a, c, pendingName)
+			b.WriteString("\tnop\n")
+			pending = 2 + rng.intn(3)
+		case roll < constBias+fpBias+78+callPct && i+1 < n:
+			// Call a strictly higher-numbered function (DAG).
+			callee := i + 1 + rng.intn(n-i-1)
+			fmt.Fprintf(b, "\tjal %s_fn%d\n", prefix, callee)
+			b.WriteString("\tnop\n")
+		default:
+			fmt.Fprintf(b, "\tlui %s, 0x%x\n", a, rng.intn(1024))
+		}
+	}
+	if pending >= 0 {
+		fmt.Fprintf(b, "%s:\n", pendingName)
+	}
+	b.WriteString("\tmove $v0, $s1\n")
+	b.WriteString("\tlw $ra, 0($sp)\n")
+	b.WriteString("\tlw $s0, 4($sp)\n")
+	b.WriteString("\tlw $s1, 8($sp)\n")
+	b.WriteString("\taddiu $sp, $sp, 24\n")
+	b.WriteString("\tjr $ra\n")
+	b.WriteString("\tnop\n")
+}
+
+// synthDispatchTable emits a .data table of the addresses of the n
+// synthesized functions, for indirect (jalr) dispatch loops.
+func synthDispatchTable(label, prefix string, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:\n", label)
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "\t.word %s_fn%d\n", prefix, i)
+	}
+	return b.String()
+}
+
+// synthScratch is the shared writable array all synthesized functions
+// confine their stores to.
+const synthScratch = `
+synth_scratch:
+	.space 256
+`
