@@ -17,11 +17,8 @@ import (
 	"fmt"
 	"os"
 
-	"ccrp/internal/asm"
+	"ccrp/internal/cliutil"
 	"ccrp/internal/core"
-	"ccrp/internal/experiments"
-	"ccrp/internal/huffman"
-	"ccrp/internal/workload"
 )
 
 func main() {
@@ -35,9 +32,9 @@ func main() {
 	var name string
 	switch {
 	case *wl != "":
-		w, ok := workload.ByName(*wl)
-		if !ok {
-			fatal(fmt.Errorf("unknown workload %q (have %v)", *wl, workload.Names()))
+		w, err := cliutil.ResolveWorkload(*wl)
+		if err != nil {
+			fatal(err)
 		}
 		t, err := w.Text()
 		if err != nil {
@@ -45,12 +42,7 @@ func main() {
 		}
 		text, name = t, *wl
 	case flag.NArg() == 1:
-		f, err := os.Open(flag.Arg(0))
-		if err != nil {
-			fatal(err)
-		}
-		prog, err := asm.ReadImage(f)
-		f.Close()
+		prog, err := cliutil.LoadProgram(flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
@@ -60,17 +52,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	presel, err := experiments.PreselectedCode()
+	ownText := []byte(nil)
+	if *own {
+		ownText = text
+	}
+	codes, err := cliutil.Codes(ownText)
 	if err != nil {
 		fatal(err)
-	}
-	codes := []*huffman.Code{presel}
-	if *own {
-		ownCode, err := huffman.BuildBounded(huffman.HistogramOf(text), experiments.HuffmanBound)
-		if err != nil {
-			fatal(err)
-		}
-		codes = append(codes, ownCode)
 	}
 	rom, err := core.BuildROM(text, core.Options{Codes: codes, WordAligned: *word})
 	if err != nil {

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	ccrp-bench [-exp all|fig1|fig2|fig5|fig9|tables1-8|tables9-10|tables11-13|ablations|extensions|paging|codepack]
+//	           [-json out.json] [-metrics table|json|prom] [-events ev.jsonl] [-sample N]
+//	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -json writes every datapoint of the selected experiments as one
+// machine-readable JSON document ("-" for stdout) instead of the rendered
+// tables — the source format for BENCH_*.json performance trajectories.
 package main
 
 import (
@@ -13,12 +19,46 @@ import (
 	"io"
 	"os"
 
+	"ccrp/internal/cliutil"
 	"ccrp/internal/experiments"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
+	jsonOut := flag.String("json", "", `write experiment datapoints as JSON to this file ("-" for stdout)`)
+	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
+
+	obs, err := obsFlags.Begin()
+	if err != nil {
+		fatal(err)
+	}
+	experiments.SetObserver(obs.Registry, obs.Sink)
+
+	var names []string
+	if *exp != "all" {
+		names = []string{*exp}
+	}
+
+	if *jsonOut != "" {
+		w := io.Writer(os.Stdout)
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := experiments.WriteBenchJSON(w, names); err != nil {
+			fatal(err)
+		}
+		if *jsonOut != "-" {
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		finish(obs)
+		return
+	}
 
 	runners := map[string]func(io.Writer) error{
 		"fig1":        experiments.RenderFigure1,
@@ -33,24 +73,32 @@ func main() {
 		"paging":      experiments.RenderPaging,
 		"codepack":    experiments.RenderCodePack,
 	}
-	order := []string{"fig5", "fig1", "fig2", "tables1-8", "tables9-10", "fig9", "tables11-13", "ablations", "extensions", "paging", "codepack"}
 
 	if *exp == "all" {
-		for _, name := range order {
+		for _, name := range experiments.Experiments {
 			fmt.Printf("==== %s ====\n", name)
 			if err := runners[name](os.Stdout); err != nil {
 				fatal(err)
 			}
 			fmt.Println()
 		}
+		finish(obs)
 		return
 	}
 	run, ok := runners[*exp]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "ccrp-bench: unknown experiment %q; have all %v\n", *exp, order)
+		fmt.Fprintf(os.Stderr, "ccrp-bench: unknown experiment %q; have all %v\n", *exp, experiments.Experiments)
 		os.Exit(2)
 	}
 	if err := run(os.Stdout); err != nil {
+		fatal(err)
+	}
+	finish(obs)
+}
+
+func finish(obs *cliutil.Obs) {
+	experiments.SetObserver(nil, nil)
+	if err := obs.Finish(); err != nil {
 		fatal(err)
 	}
 }

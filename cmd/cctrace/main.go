@@ -5,7 +5,13 @@
 //
 // Usage:
 //
-//	cctrace (-workload name | trace.trc)
+//	cctrace [-top 8] [-cache 1024] [-metrics table|json|prom]
+//	        [-events ev.jsonl] [-sample N]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	        (-workload name | trace.trc)
+//
+// With -metrics or -events, a cache pass at the -cache geometry is
+// instrumented: per-set miss counters and the fetch/miss event stream.
 package main
 
 import (
@@ -15,22 +21,30 @@ import (
 	"sort"
 
 	"ccrp/internal/cache"
+	"ccrp/internal/cliutil"
+	"ccrp/internal/metrics"
 	"ccrp/internal/trace"
-	"ccrp/internal/workload"
 )
 
 func main() {
 	wl := flag.String("workload", "", "analyze a corpus workload's trace")
 	top := flag.Int("top", 8, "number of hot regions to list")
+	cacheBytes := flag.Int("cache", 1024, "cache size for the instrumented pass (-metrics/-events)")
+	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
+
+	obs, err := obsFlags.Begin()
+	if err != nil {
+		fatal(err)
+	}
 
 	var tr *trace.Trace
 	var name string
 	switch {
 	case *wl != "":
-		w, ok := workload.ByName(*wl)
-		if !ok {
-			fatal(fmt.Errorf("unknown workload %q (have %v)", *wl, workload.Names()))
+		w, err := cliutil.ResolveWorkload(*wl)
+		if err != nil {
+			fatal(err)
 		}
 		t, err := w.Trace()
 		if err != nil {
@@ -38,18 +52,13 @@ func main() {
 		}
 		tr, name = t, *wl
 	case flag.NArg() == 1:
-		f, err := os.Open(flag.Arg(0))
-		if err != nil {
-			fatal(err)
-		}
-		t, err := trace.Read(f)
-		f.Close()
+		t, err := cliutil.LoadTrace(flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
 		tr, name = t, flag.Arg(0)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: cctrace (-workload name | trace.trc)")
+		fmt.Fprintln(os.Stderr, "usage: cctrace [flags] (-workload name | trace.trc)")
 		os.Exit(2)
 	}
 
@@ -80,6 +89,26 @@ func main() {
 		fmt.Printf("    %5dB  %6.2f%%\n", size, 100*s.MissRate())
 	}
 
+	// Instrumented pass at the chosen geometry, separate from the sweep
+	// above so per-set counters describe exactly one cache.
+	if obs.Registry != nil || obs.Sink != nil {
+		c := cache.MustNew(*cacheBytes, 32)
+		c.Instrument(obs.Registry)
+		for i, ev := range tr.Events {
+			if obs.Sink != nil {
+				obs.Sink.Emit(metrics.Event{
+					Type: metrics.EvFetch, Seq: uint64(i), PC: ev.PC, Line: int(ev.PC >> 5), Set: -1,
+				})
+			}
+			if !c.Access(ev.PC) && obs.Sink != nil {
+				obs.Sink.Emit(metrics.Event{
+					Type: metrics.EvICacheMiss, Seq: uint64(i), PC: ev.PC,
+					Line: int(ev.PC >> 5), Set: c.Set(ev.PC),
+				})
+			}
+		}
+	}
+
 	type region struct {
 		base  uint32
 		count uint64
@@ -104,6 +133,9 @@ func main() {
 	fmt.Printf("\n  hottest %d regions (256B granularity):\n", *top)
 	for _, r := range hot[:*top] {
 		fmt.Printf("    %08x  %9d fetches (%.1f%%)\n", r.base<<8, r.count, 100*float64(r.count)/total)
+	}
+	if err := obs.Finish(); err != nil {
+		fatal(err)
 	}
 }
 

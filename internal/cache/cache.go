@@ -6,7 +6,11 @@
 // refill cost.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"ccrp/internal/metrics"
+)
 
 // Stats counts cache accesses.
 type Stats struct {
@@ -37,6 +41,43 @@ type Cache struct {
 	idxMask   uint32
 	lineBytes int
 	stats     Stats
+	im        *instruments // nil when metrics are disabled
+}
+
+// instruments are the optional per-geometry observability hooks; the
+// single c.im nil test keeps the disabled hot path free of them.
+type instruments struct {
+	accesses *metrics.Counter
+	hits     *metrics.Counter
+	setMiss  []*metrics.Counter // one per set
+	wayFill  []*metrics.Counter // one per way, counts victim installs
+}
+
+// Instrument registers this cache's counters on reg and enables
+// per-access accounting: total accesses/hits, per-set miss counters, and
+// per-way fill (victim install) counters. A nil registry disables
+// instrumentation again.
+func (c *Cache) Instrument(reg *metrics.Registry) {
+	if reg == nil {
+		c.im = nil
+		return
+	}
+	sets := len(c.tags) / c.ways
+	im := &instruments{
+		accesses: reg.Counter("ccrp_cache_accesses_total", "instruction cache accesses"),
+		hits:     reg.Counter("ccrp_cache_hits_total", "instruction cache hits"),
+		setMiss:  make([]*metrics.Counter, sets),
+		wayFill:  make([]*metrics.Counter, c.ways),
+	}
+	setVec := reg.CounterVec("ccrp_cache_set_misses_total", "instruction cache misses by set index", "set")
+	for i := range im.setMiss {
+		im.setMiss[i] = setVec.WithInt(i)
+	}
+	wayVec := reg.CounterVec("ccrp_cache_way_fills_total", "miss refill installs by victim way", "way")
+	for i := range im.wayFill {
+		im.wayFill[i] = wayVec.WithInt(i)
+	}
+	c.im = im
 }
 
 // New builds a direct-mapped cache of sizeBytes with lineBytes lines.
@@ -107,6 +148,10 @@ func (c *Cache) Access(addr uint32) bool {
 		i := set + w
 		if c.valid[i] && c.tags[i] == line {
 			c.used[i] = c.clock
+			if c.im != nil {
+				c.im.accesses.Inc()
+				c.im.hits.Inc()
+			}
 			return true
 		}
 		if !c.valid[i] {
@@ -116,10 +161,20 @@ func (c *Cache) Access(addr uint32) bool {
 		}
 	}
 	c.stats.Misses++
+	if c.im != nil {
+		c.im.accesses.Inc()
+		c.im.setMiss[int(line&c.idxMask)].Inc()
+		c.im.wayFill[victim-set].Inc()
+	}
 	c.valid[victim] = true
 	c.tags[victim] = line
 	c.used[victim] = c.clock
 	return false
+}
+
+// Set returns the set index addr maps to (for event emission).
+func (c *Cache) Set(addr uint32) int {
+	return int((addr >> c.lineShift) & c.idxMask)
 }
 
 // Stats returns the access counters.

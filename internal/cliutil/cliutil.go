@@ -1,0 +1,178 @@
+// Package cliutil holds the selection and loading helpers shared by the
+// ccsim, cctrace, and ccpack commands: memory-model, workload, and
+// program/trace resolution, Huffman code-set construction, and the
+// observability flag block (-metrics/-events/-sample/-cpuprofile/
+// -memprofile) wired identically across the CLIs.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ccrp/internal/asm"
+	"ccrp/internal/experiments"
+	"ccrp/internal/huffman"
+	"ccrp/internal/memory"
+	"ccrp/internal/metrics"
+	"ccrp/internal/trace"
+	"ccrp/internal/workload"
+)
+
+// MemoryModel resolves a -mem flag value.
+func MemoryModel(name string) (memory.Model, error) {
+	mem, ok := memory.ByName(name)
+	if !ok {
+		var names []string
+		for _, m := range memory.Models() {
+			names = append(names, fmt.Sprintf("%q", m.Name()))
+		}
+		return nil, fmt.Errorf("unknown memory model %q (have %s)", name, strings.Join(names, ", "))
+	}
+	return mem, nil
+}
+
+// ResolveWorkload resolves a -workload flag value.
+func ResolveWorkload(name string) (*workload.Workload, error) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q (have %v)", name, workload.Names())
+	}
+	return w, nil
+}
+
+// LoadProgram reads an assembly source (.s/.asm, assembled on the spot)
+// or a binary program image from path.
+func LoadProgram(path string) (*asm.Program, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasSuffix(path, ".s") || strings.HasSuffix(path, ".asm") {
+		return asm.Assemble(path, string(raw))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return asm.ReadImage(f)
+}
+
+// LoadTrace reads a serialized instruction trace from path.
+func LoadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+// Codes builds the Huffman code candidate set: the preselected bounded
+// corpus code, plus — when ownText is non-nil — a bounded code trained on
+// that program's own bytes (ccpack -own).
+func Codes(ownText []byte) ([]*huffman.Code, error) {
+	presel, err := experiments.PreselectedCode()
+	if err != nil {
+		return nil, err
+	}
+	codes := []*huffman.Code{presel}
+	if ownText != nil {
+		own, err := huffman.BuildBounded(huffman.HistogramOf(ownText), experiments.HuffmanBound)
+		if err != nil {
+			return nil, err
+		}
+		codes = append(codes, own)
+	}
+	return codes, nil
+}
+
+// ObsFlags is the observability flag block shared by the CLIs. Register
+// it after the command's own flags and before flag.Parse.
+type ObsFlags struct {
+	Metrics    *string
+	Events     *string
+	Sample     *uint64
+	CPUProfile *string
+	MemProfile *string
+}
+
+// RegisterObsFlags installs the shared observability flags on fs
+// (flag.CommandLine for the default set).
+func RegisterObsFlags(fs *flag.FlagSet) *ObsFlags {
+	return &ObsFlags{
+		Metrics: fs.String("metrics", "",
+			fmt.Sprintf("export metrics on stdout: %s", strings.Join(metrics.Formats(), ", "))),
+		Events:     fs.String("events", "", "write the structured JSONL event stream to this file"),
+		Sample:     fs.Uint64("sample", 64, "emit every Nth fetch event (structural events are never sampled)"),
+		CPUProfile: fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
+		MemProfile: fs.String("memprofile", "", "write a pprof heap profile at exit to this file"),
+	}
+}
+
+// Obs is the live observability state for one command run.
+type Obs struct {
+	Registry *metrics.Registry // nil unless -metrics was given
+	Sink     metrics.EventSink // nil unless -events was given
+	format   string
+	memPath  string
+	stopCPU  func() error
+}
+
+// Begin validates the flags, starts the CPU profile, and opens the event
+// sink. Call Finish (usually deferred through a named error) at exit.
+func (f *ObsFlags) Begin() (*Obs, error) {
+	o := &Obs{format: *f.Metrics, memPath: *f.MemProfile}
+	if o.format != "" {
+		valid := false
+		for _, known := range metrics.Formats() {
+			valid = valid || known == o.format
+		}
+		if !valid {
+			return nil, fmt.Errorf("unknown -metrics format %q (have %s)",
+				o.format, strings.Join(metrics.Formats(), ", "))
+		}
+		o.Registry = metrics.New()
+	}
+	if *f.Events != "" {
+		ef, err := os.Create(*f.Events)
+		if err != nil {
+			return nil, err
+		}
+		o.Sink = &metrics.SampledSink{Inner: metrics.NewJSONLSink(ef), Every: *f.Sample}
+	}
+	if *f.CPUProfile != "" {
+		stop, err := StartCPUProfile(*f.CPUProfile)
+		if err != nil {
+			return nil, err
+		}
+		o.stopCPU = stop
+	}
+	return o, nil
+}
+
+// Finish closes the event sink, writes the profiles, and exports the
+// metrics registry to stdout in the selected format.
+func (o *Obs) Finish() error {
+	var first error
+	keep := func(err error) {
+		if first == nil && err != nil {
+			first = err
+		}
+	}
+	if o.Sink != nil {
+		keep(o.Sink.Close())
+	}
+	if o.stopCPU != nil {
+		keep(o.stopCPU())
+	}
+	if o.memPath != "" {
+		keep(WriteHeapProfile(o.memPath))
+	}
+	if o.Registry != nil {
+		keep(o.Registry.WriteFormat(os.Stdout, o.format))
+	}
+	return first
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"strconv"
+
+	"ccrp/internal/cache"
+	"ccrp/internal/clb"
+	"ccrp/internal/metrics"
+)
+
+// probe carries the optional observability state of one Compare run: the
+// registered instruments and the structured-event sink. A nil *probe is
+// the disabled state; every method no-ops so the simulation loop pays one
+// pointer test per event site.
+type probe struct {
+	sink metrics.EventSink // nil when events are off
+
+	refillHist *metrics.Histogram // CCRP refill cycles per i-cache miss
+	storedHist *metrics.Histogram // static stored-bytes distribution over ROM lines
+	lineFetch  []*metrics.Counter // fetch-frequency heatmap keyed by line index
+	latFetches *metrics.Counter
+	rawRefills *metrics.Counter
+	decBytes   uint64 // decoder output bytes over compressed refills
+	decCycles  uint64 // decoder busy cycles over compressed refills
+	util       *metrics.Gauge
+	clbRatio   *metrics.Gauge
+	rate       uint64
+	clb        *clb.CLB
+}
+
+// newProbe registers the core instruments and wires the cache and CLB
+// hooks. Either reg or sink may be nil.
+func newProbe(reg *metrics.Registry, sink metrics.EventSink, rom *ROM, ic *cache.Cache, buf *clb.CLB, rate int) *probe {
+	p := &probe{sink: sink, clb: buf, rate: uint64(rate)}
+	if reg != nil {
+		ic.Instrument(reg)
+		buf.Instrument(reg)
+		p.refillHist = reg.Histogram("ccrp_refill_cycles",
+			"CCRP line refill cycles per instruction cache miss",
+			metrics.LinearBuckets(4, 4, 16))
+		p.storedHist = reg.Histogram("ccrp_line_stored_bytes",
+			"stored (compressed) bytes per ROM line",
+			metrics.LinearBuckets(4, 4, 8))
+		p.latFetches = reg.Counter("ccrp_lat_fetches_total",
+			"LAT entries fetched from instruction memory on CLB misses")
+		p.rawRefills = reg.Counter("ccrp_raw_refills_total",
+			"refills served from raw (bypass) lines")
+		p.util = reg.Gauge("ccrp_decoder_utilization",
+			"decoder output bytes per available decode-byte slot during compressed refills")
+		p.clbRatio = reg.Gauge("ccrp_clb_hit_ratio", "CLB probe hit ratio")
+
+		vec := reg.CounterVec("ccrp_line_fetches_total",
+			"instruction fetches by ROM line index", "line")
+		p.lineFetch = make([]*metrics.Counter, len(rom.Lines))
+		for i := range rom.Lines {
+			p.lineFetch[i] = vec.With(strconv.Itoa(i))
+			p.storedHist.Observe(float64(len(rom.Lines[i].Stored)))
+		}
+	}
+	return p
+}
+
+// fetch records one instruction fetch.
+func (p *probe) fetch(seq uint64, pc uint32) {
+	if p == nil {
+		return
+	}
+	li := int(pc / LineSize)
+	if p.lineFetch != nil && li < len(p.lineFetch) {
+		p.lineFetch[li].Inc()
+	}
+	if p.sink != nil {
+		p.sink.Emit(metrics.Event{Type: metrics.EvFetch, Seq: seq, PC: pc, Line: li, Set: -1})
+	}
+}
+
+// miss records an instruction cache miss and the CLB probe outcome that
+// follows it.
+func (p *probe) miss(seq uint64, pc uint32, set int, clbHit bool) {
+	if p == nil || p.sink == nil {
+		return
+	}
+	li := int(pc / LineSize)
+	p.sink.Emit(metrics.Event{Type: metrics.EvICacheMiss, Seq: seq, PC: pc, Line: li, Set: set})
+	typ := metrics.EvCLBMiss
+	if clbHit {
+		typ = metrics.EvCLBHit
+	}
+	p.sink.Emit(metrics.Event{Type: typ, Seq: seq, PC: pc, Line: li, Set: -1})
+}
+
+// latFetch records a CLB miss being serviced: the possible eviction, then
+// the LAT entry read.
+func (p *probe) latFetch(seq uint64, pc uint32, cycles uint64, entryBytes int) {
+	if p == nil {
+		return
+	}
+	p.latFetches.Inc()
+	if p.sink != nil {
+		if age, full := p.clb.EvictionAge(); full {
+			p.sink.Emit(metrics.Event{Type: metrics.EvCLBEvict, Seq: seq, PC: pc, Line: -1, Set: -1, Age: age})
+		}
+		p.sink.Emit(metrics.Event{
+			Type: metrics.EvLATFetch, Seq: seq, PC: pc, Line: -1, Set: -1,
+			Cycles: cycles, Bytes: entryBytes,
+		})
+	}
+}
+
+// refill records one line refill: its stored size, cycle cost, and the
+// decoder throughput sample when the line was compressed.
+func (p *probe) refill(seq uint64, pc uint32, line int, raw bool, storedBytes int, cycles uint64) {
+	if p == nil {
+		return
+	}
+	p.refillHist.Observe(float64(cycles))
+	if raw {
+		p.rawRefills.Inc()
+	} else if cycles > 0 {
+		p.decBytes += LineSize
+		p.decCycles += cycles
+	}
+	if p.sink != nil {
+		p.sink.Emit(metrics.Event{Type: metrics.EvRefillStart, Seq: seq, PC: pc, Line: line, Set: -1, Bytes: storedBytes})
+		p.sink.Emit(metrics.Event{Type: metrics.EvRefillEnd, Seq: seq, PC: pc, Line: line, Set: -1, Cycles: cycles})
+	}
+}
+
+// finish computes the derived gauges once the trace has been consumed.
+func (p *probe) finish() {
+	if p == nil {
+		return
+	}
+	if p.decCycles > 0 && p.rate > 0 {
+		p.util.Set(float64(p.decBytes) / float64(p.decCycles*p.rate))
+	}
+	s := p.clb.Stats()
+	if s.Hits+s.Misses > 0 {
+		p.clbRatio.Set(1 - s.MissRate())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"ccrp/internal/huffman"
 	"ccrp/internal/lat"
 	"ccrp/internal/memory"
+	"ccrp/internal/metrics"
 	"ccrp/internal/trace"
 )
 
@@ -44,6 +45,15 @@ type Config struct {
 	// misses. The policies differ only in LRU state — a difference
 	// visible only when the CLB is too small for the working set.
 	CLBProbeEveryFetch bool
+
+	// Metrics, when set, receives per-set cache miss counters, CLB churn,
+	// refill-cycle and line-size histograms, the per-line fetch heatmap,
+	// and derived gauges. Nil (the default) disables all instrumentation.
+	Metrics *metrics.Registry
+	// Events, when set, receives the structured event stream (fetch,
+	// icache_miss, clb_*, lat_fetch, refill_start/refill_end). Wrap in a
+	// metrics.SampledSink to thin the per-instruction fetch events.
+	Events metrics.EventSink
 }
 
 // withDefaults fills unset fields with the paper's base parameters.
@@ -71,14 +81,14 @@ func (c Config) withDefaults() Config {
 
 // Stats accumulates one system's execution costs over a trace.
 type Stats struct {
-	Cycles       uint64 // total execution cycles
-	BaseCycles   uint64 // instructions + pipeline stalls
-	RefillCycles uint64 // i-cache refill cycles (incl. CLB refills)
-	DataCycles   uint64 // data memory cycles
-	Accesses     uint64 // instruction fetches
-	Misses       uint64 // i-cache misses
-	CLBMisses    uint64 // CCRP only
-	TrafficBytes uint64 // instruction bytes moved from main memory
+	Cycles       uint64 `json:"cycles"`        // total execution cycles
+	BaseCycles   uint64 `json:"base_cycles"`   // instructions + pipeline stalls
+	RefillCycles uint64 `json:"refill_cycles"` // i-cache refill cycles (incl. CLB refills)
+	DataCycles   uint64 `json:"data_cycles"`   // data memory cycles
+	Accesses     uint64 `json:"accesses"`      // instruction fetches
+	Misses       uint64 `json:"misses"`        // i-cache misses
+	CLBMisses    uint64 `json:"clb_misses"`    // CCRP only
+	TrafficBytes uint64 `json:"traffic_bytes"` // instruction bytes moved from main memory
 }
 
 // MissRate returns the instruction cache miss rate.
@@ -156,12 +166,19 @@ func Compare(tr *trace.Trace, text []byte, cfg Config) (*Comparison, error) {
 	stdLineRefill -= min64(cfg.OverlapCycles, stdLineRefill)
 	latFetch := engine.LATFetchCycles() + post
 
+	var pr *probe // nil keeps the loop's event sites to one pointer test
+	if cfg.Metrics != nil || cfg.Events != nil {
+		pr = newProbe(cfg.Metrics, cfg.Events, rom, ic, buf, engine.rate())
+	}
+
 	var dataAccesses uint64
-	for _, ev := range tr.Events {
+	for i, ev := range tr.Events {
+		seq := uint64(i)
 		if ev.IsMemOp() {
 			dataAccesses++
 		}
 		latIdx := ev.PC / lat.GroupSpan
+		pr.fetch(seq, ev.PC)
 		if ic.Access(ev.PC) {
 			if cfg.CLBProbeEveryFetch {
 				// Hardware probes in parallel with the cache; a hit only
@@ -179,10 +196,13 @@ func Compare(tr *trace.Trace, text []byte, cfg Config) (*Comparison, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: trace fetch %#x outside program text: %w", ev.PC, err)
 		}
-		if _, hit := buf.Lookup(latIdx); !hit {
+		_, hit := buf.Lookup(latIdx)
+		pr.miss(seq, ev.PC, ic.Set(ev.PC), hit)
+		if !hit {
 			ccrp.CLBMisses++
 			ccrp.RefillCycles += latFetch
 			ccrp.TrafficBytes += lat.EntryBytes
+			pr.latFetch(seq, ev.PC, latFetch, lat.EntryBytes)
 			buf.Insert(latIdx, rom.Table.Entries[latIdx])
 		}
 		refill := engine.LineCycles(rom, li) + post
@@ -195,7 +215,9 @@ func Compare(tr *trace.Trace, text []byte, cfg Config) (*Comparison, error) {
 		}
 		ccrp.RefillCycles += refill
 		ccrp.TrafficBytes += LineTrafficBytes(rom, li)
+		pr.refill(seq, ev.PC, li, rom.Lines[li].Raw, len(rom.Lines[li].Stored), refill)
 	}
+	pr.finish()
 
 	cs := ic.Stats()
 	std.Accesses, ccrp.Accesses = cs.Accesses, cs.Accesses

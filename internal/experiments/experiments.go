@@ -13,6 +13,7 @@ import (
 	"ccrp/internal/core"
 	"ccrp/internal/huffman"
 	"ccrp/internal/memory"
+	"ccrp/internal/metrics"
 	"ccrp/internal/workload"
 )
 
@@ -69,6 +70,31 @@ func PreselectedCode() (*huffman.Code, error) {
 	return preselCode, preselErr
 }
 
+// Observer state: when set via SetObserver, every comparison the
+// experiment harness runs is instrumented, so ccrp-bench -metrics and
+// -events aggregate across the whole sweep (counters with the same name
+// accumulate in one registry).
+var (
+	obsMu   sync.Mutex
+	obsReg  *metrics.Registry
+	obsSink metrics.EventSink
+)
+
+// SetObserver attaches a metrics registry and/or event sink to every
+// subsequent comparison. Pass nils to detach.
+func SetObserver(reg *metrics.Registry, sink metrics.EventSink) {
+	obsMu.Lock()
+	obsReg, obsSink = reg, sink
+	obsMu.Unlock()
+}
+
+// observer returns the current observer pair.
+func observer() (*metrics.Registry, metrics.EventSink) {
+	obsMu.Lock()
+	defer obsMu.Unlock()
+	return obsReg, obsSink
+}
+
 // compareConfig runs one workload through core.Compare with the
 // preselected code and the given knobs.
 func compareConfig(name string, cacheBytes, clbEntries int, mem memory.Model, dmiss float64) (*core.Comparison, error) {
@@ -94,6 +120,7 @@ func compareConfig(name string, cacheBytes, clbEntries int, mem memory.Model, dm
 		Mem:        mem,
 		Codes:      []*huffman.Code{code},
 	}
+	cfg.Metrics, cfg.Events = observer()
 	if dmiss < 1 {
 		cfg.DataCache = true
 		cfg.DCacheMissRate = dmiss

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ccrp/internal/metrics"
+)
+
+// TestBenchJSONRoundTrip is the ccrp-bench -json contract: the document
+// must parse back through encoding/json with its datapoints intact.
+func TestBenchJSONRoundTrip(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteBenchJSON(&b, []string{"fig5"}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema      int            `json:"schema"`
+		Paper       string         `json:"paper"`
+		Experiments map[string]any `json:"experiments"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if doc.Schema != 1 {
+		t.Errorf("schema = %d, want 1", doc.Schema)
+	}
+	rows, ok := doc.Experiments["fig5"].([]any)
+	if !ok || len(rows) == 0 {
+		t.Fatalf("fig5 datapoints = %#v, want a non-empty list", doc.Experiments["fig5"])
+	}
+	row, ok := rows[0].(map[string]any)
+	if !ok {
+		t.Fatalf("fig5 row = %#v, want an object", rows[0])
+	}
+	if _, ok := row["Program"]; !ok {
+		t.Errorf("fig5 row missing Program field: %v", row)
+	}
+}
+
+func TestBenchDataUnknownExperiment(t *testing.T) {
+	if _, err := BenchData([]string{"fig99"}); err == nil {
+		t.Error("unknown experiment must error")
+	}
+}
+
+// TestObserverHook: a registry attached via SetObserver must see the
+// simulation traffic of experiment runs, and detaching must stop it.
+func TestObserverHook(t *testing.T) {
+	reg := metrics.New()
+	SetObserver(reg, nil)
+	defer SetObserver(nil, nil)
+	if _, err := Figure9(); err != nil {
+		t.Fatal(err)
+	}
+	accesses := reg.Counter("ccrp_cache_accesses_total", "").Value()
+	if accesses == 0 {
+		t.Fatal("observer registry saw no cache accesses")
+	}
+	SetObserver(nil, nil)
+	if _, err := Figure9(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("ccrp_cache_accesses_total", "").Value(); got != accesses {
+		t.Errorf("detached observer still accumulating: %d -> %d", accesses, got)
+	}
+}

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"ccrp/internal/tablefmt"
+)
+
+// Format names accepted by WriteFormat and the CLIs' -metrics flag.
+const (
+	FormatTable = "table"
+	FormatJSON  = "json"
+	FormatProm  = "prom"
+)
+
+// Formats lists the supported export format names.
+func Formats() []string { return []string{FormatTable, FormatJSON, FormatProm} }
+
+// WriteFormat dispatches on the format name.
+func (r *Registry) WriteFormat(w io.Writer, format string) error {
+	switch format {
+	case FormatTable:
+		return r.WriteTable(w)
+	case FormatJSON:
+		return r.WriteJSON(w)
+	case FormatProm:
+		return r.WritePrometheus(w)
+	default:
+		return fmt.Errorf("metrics: unknown format %q (have %s)", format, strings.Join(Formats(), ", "))
+	}
+}
+
+// WriteTable renders every instrument as a fixed-width text table in
+// registration order, reusing the paper tables' layout.
+func (r *Registry) WriteTable(w io.Writer) error {
+	t := &tablefmt.Table{
+		Title:   "Metrics",
+		Headers: []string{"Name", "Type", "Value", "Help"},
+	}
+	for _, in := range r.snapshot() {
+		switch in.kind {
+		case kindCounter:
+			t.AddRow(in.name, "counter", fmt.Sprintf("%d", in.c.Value()), in.help)
+		case kindGauge:
+			t.AddRow(in.name, "gauge", fmt.Sprintf("%g", in.g.Value()), in.help)
+		case kindHistogram:
+			t.AddRow(in.name, "histogram",
+				fmt.Sprintf("count=%d sum=%g", in.h.Count(), in.h.Sum()), in.help)
+			cum := uint64(0)
+			for i, b := range in.h.Bounds() {
+				cum += in.h.BucketCounts()[i]
+				t.AddRow(fmt.Sprintf("  le=%g", b), "", fmt.Sprintf("%d", cum), "")
+			}
+			t.AddRow("  le=+Inf", "", fmt.Sprintf("%d", in.h.Count()), "")
+		case kindCounterVec:
+			for _, lv := range in.vec.labels() {
+				t.AddRow(fmt.Sprintf("%s{%s=%s}", in.name, in.vec.label, lv),
+					"counter", fmt.Sprintf("%d", in.vec.index[lv].Value()), in.help)
+			}
+		}
+	}
+	t.Render(w)
+	return nil
+}
+
+// jsonMetric is the JSON export shape of one instrument.
+type jsonMetric struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"`
+	Help    string            `json:"help,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Count   *uint64           `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Buckets []jsonBucket      `json:"buckets,omitempty"`
+	Labels  map[string]uint64 `json:"labels,omitempty"`
+}
+
+type jsonBucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"` // cumulative, Prometheus-style
+	Inf   bool    `json:"inf,omitempty"`
+}
+
+// WriteJSON emits the registry as one JSON object {"metrics": [...]}.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var out []jsonMetric
+	for _, in := range r.snapshot() {
+		m := jsonMetric{Name: in.name, Help: in.help}
+		switch in.kind {
+		case kindCounter:
+			m.Type = "counter"
+			v := float64(in.c.Value())
+			m.Value = &v
+		case kindGauge:
+			m.Type = "gauge"
+			v := in.g.Value()
+			m.Value = &v
+		case kindHistogram:
+			m.Type = "histogram"
+			n, s := in.h.Count(), in.h.Sum()
+			m.Count, m.Sum = &n, &s
+			cum := uint64(0)
+			for i, b := range in.h.Bounds() {
+				cum += in.h.BucketCounts()[i]
+				m.Buckets = append(m.Buckets, jsonBucket{LE: b, Count: cum})
+			}
+			m.Buckets = append(m.Buckets, jsonBucket{Count: n, Inf: true})
+		case kindCounterVec:
+			m.Type = "counter"
+			m.Labels = make(map[string]uint64, len(in.vec.index))
+			for lv, c := range in.vec.index {
+				m.Labels[in.vec.label+"="+lv] = c.Value()
+			}
+		}
+		out = append(out, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []jsonMetric `json:"metrics"`
+	}{out})
+}
+
+// WritePrometheus emits the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, cumulative histogram
+// buckets with le labels, and a label per CounterVec child.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, in := range r.snapshot() {
+		typ := map[kind]string{
+			kindCounter: "counter", kindGauge: "gauge",
+			kindHistogram: "histogram", kindCounterVec: "counter",
+		}[in.kind]
+		if in.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", in.name, in.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", in.name, typ); err != nil {
+			return err
+		}
+		switch in.kind {
+		case kindCounter:
+			fmt.Fprintf(w, "%s %d\n", in.name, in.c.Value())
+		case kindGauge:
+			fmt.Fprintf(w, "%s %g\n", in.name, in.g.Value())
+		case kindHistogram:
+			cum := uint64(0)
+			for i, b := range in.h.Bounds() {
+				cum += in.h.BucketCounts()[i]
+				fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", in.name, b, cum)
+			}
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", in.name, in.h.Count())
+			fmt.Fprintf(w, "%s_sum %g\n", in.name, in.h.Sum())
+			fmt.Fprintf(w, "%s_count %d\n", in.name, in.h.Count())
+		case kindCounterVec:
+			for _, lv := range in.vec.labels() {
+				fmt.Fprintf(w, "%s{%s=%q} %d\n", in.name, in.vec.label, lv, in.vec.index[lv].Value())
+			}
+		}
+	}
+	return nil
+}

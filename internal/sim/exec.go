@@ -20,6 +20,9 @@ func (m *Machine) step() error {
 	if inst.Op == mips.OpInvalid {
 		return m.faultf(ErrInvalidOp, "word %#08x", raw)
 	}
+	if m.im != nil {
+		m.im.class[inst.Op.Class()].Inc()
+	}
 
 	// Load-use interlock: one stall cycle if this instruction sources the
 	// register the previous instruction loaded.

@@ -16,6 +16,7 @@ import (
 	"io"
 
 	"ccrp/internal/asm"
+	"ccrp/internal/metrics"
 	"ccrp/internal/mips"
 	"ccrp/internal/trace"
 )
@@ -50,6 +51,11 @@ type Config struct {
 	MaxInstr     uint64    // dynamic instruction limit; 0 means 100M
 	CollectTrace bool      // record a trace.Trace in the Result
 	Input        []int32   // values returned by the read_int syscall, in order
+
+	// Metrics, when set, receives the dynamic instruction mix by pipeline
+	// class and per-service syscall counts. Nil (the default) keeps the
+	// dispatch loop uninstrumented.
+	Metrics *metrics.Registry
 }
 
 // Result summarizes a completed run.
@@ -91,6 +97,7 @@ type Machine struct {
 	exitCode  int32
 	done      bool
 	textLimit uint32
+	im        *instruments // nil when metrics are disabled
 }
 
 // New loads prog into a fresh machine.
@@ -112,6 +119,9 @@ func New(prog *asm.Program, cfg Config) *Machine {
 	m.regs[mips.RegGP] = asm.DataBase + 0x8000
 	if cfg.CollectTrace {
 		m.events = make([]trace.Event, 0, 1<<16)
+	}
+	if cfg.Metrics != nil {
+		m.im = newInstruments(cfg.Metrics)
 	}
 	return m
 }

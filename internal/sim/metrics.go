@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"ccrp/internal/metrics"
+	"ccrp/internal/mips"
+)
+
+// classNames maps mips.Class values to metric label values.
+var classNames = map[mips.Class]string{
+	mips.ClassALU:    "alu",
+	mips.ClassShift:  "shift",
+	mips.ClassMulDiv: "muldiv",
+	mips.ClassHILO:   "hilo",
+	mips.ClassLoad:   "load",
+	mips.ClassStore:  "store",
+	mips.ClassBranch: "branch",
+	mips.ClassJump:   "jump",
+	mips.ClassSys:    "sys",
+	mips.ClassFPU:    "fpu",
+	mips.ClassFPBr:   "fpbr",
+}
+
+// syscallNames maps SPIM syscall numbers to metric label values.
+var syscallNames = map[uint32]string{
+	SysPrintInt:    "print_int",
+	SysPrintString: "print_string",
+	SysReadInt:     "read_int",
+	SysExit:        "exit",
+	SysPrintChar:   "print_char",
+	SysExit2:       "exit2",
+}
+
+// instruments are the optional per-machine observability hooks: the
+// dynamic instruction mix by pipeline class and per-number syscall
+// counts. A nil pointer (the default) keeps the dispatch loop free of
+// them.
+type instruments struct {
+	class    [16]*metrics.Counter // indexed by mips.Class
+	syscalls map[uint32]*metrics.Counter
+	other    *metrics.Counter // syscalls with numbers outside syscallNames
+}
+
+// newInstruments registers the simulator's counters on reg.
+func newInstruments(reg *metrics.Registry) *instruments {
+	im := &instruments{syscalls: make(map[uint32]*metrics.Counter, len(syscallNames))}
+	classVec := reg.CounterVec("ccrp_sim_instructions_total",
+		"dynamic instruction mix by pipeline class", "class")
+	for class, name := range classNames {
+		im.class[class] = classVec.With(name)
+	}
+	sysVec := reg.CounterVec("ccrp_sim_syscalls_total", "syscalls by service", "syscall")
+	for num, name := range syscallNames {
+		im.syscalls[num] = sysVec.With(name)
+	}
+	im.other = sysVec.With("other")
+	return im
+}
+
+// countSyscall attributes one SYSCALL dispatch to its service counter.
+func (im *instruments) countSyscall(num uint32) {
+	if c, ok := im.syscalls[num]; ok {
+		c.Inc()
+		return
+	}
+	im.other.Inc()
+}

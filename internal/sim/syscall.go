@@ -21,6 +21,9 @@ const (
 const maxCString = 1 << 16
 
 func (m *Machine) syscall() error {
+	if m.im != nil {
+		m.im.countSyscall(m.regs[mips.RegV0])
+	}
 	switch m.regs[mips.RegV0] {
 	case SysPrintInt:
 		m.printf("%d", int32(m.regs[mips.RegA0]))

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Repo-wide hygiene gate: build, vet, format, and the full test suite
+# under the race detector. Run from the repository root (make check).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt -l"
+badfmt=$(gofmt -l .)
+if [ -n "$badfmt" ]; then
+	echo "gofmt needed:" >&2
+	echo "$badfmt" >&2
+	exit 1
+fi
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
