@@ -1,6 +1,7 @@
 GO ?= go
+STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: all build test race vet fmt check bench
+.PHONY: all build test race vet fmt staticcheck check bench trajectory
 
 all: build
 
@@ -19,9 +20,19 @@ vet:
 fmt:
 	gofmt -l .
 
-# The full hygiene gate: build + vet + gofmt + race-enabled tests.
+# Pinned lint pass, run via `go run` so nothing is installed into the
+# module. Requires network/module-cache access for the first run.
+staticcheck:
+	$(GO) run $(STATICCHECK) ./...
+
+# The full hygiene gate: build + vet + gofmt + staticcheck + race tests.
 check:
 	sh scripts/check.sh
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$
+
+# Record a BENCH_<LABEL>.json sweep trajectory (wall times + datapoints).
+LABEL ?= dev
+trajectory:
+	sh scripts/bench.sh $(LABEL)

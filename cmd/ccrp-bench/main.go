@@ -4,13 +4,23 @@
 //
 // Usage:
 //
-//	ccrp-bench [-exp all|fig1|fig2|fig5|fig9|tables1-8|tables9-10|tables11-13|ablations|extensions|paging|codepack]
-//	           [-json out.json] [-metrics table|json|prom] [-events ev.jsonl] [-sample N]
+//	ccrp-bench [-exp all|fig1|fig2|fig5|fig9|tables1-8|tables9-10|tables11-13|ablations|extensions|paging|codepack[,...]]
+//	           [-j N] [-json out.json] [-trajectory out.json] [-label NAME]
+//	           [-metrics table|json|prom] [-events ev.jsonl] [-sample N]
 //	           [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -j fans the performance sweeps out across N workers (default: all
+// CPUs; -j 1 preserves the sequential order of execution). Results are
+// merged by point index, so the output is byte-identical at any -j.
 //
 // -json writes every datapoint of the selected experiments as one
 // machine-readable JSON document ("-" for stdout) instead of the rendered
 // tables — the source format for BENCH_*.json performance trajectories.
+//
+// -trajectory runs the selected experiments at -j 1 and -j N, checks the
+// outputs are byte-identical, and writes the timed trajectory document
+// (wall times, speedup, and every datapoint) to the given file; this is
+// what scripts/bench.sh records as BENCH_<label>.json.
 package main
 
 import (
@@ -18,14 +28,20 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"strings"
 
 	"ccrp/internal/cliutil"
 	"ccrp/internal/experiments"
+	"ccrp/internal/sweep"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run")
+	exp := flag.String("exp", "all", "comma-separated experiments to run")
+	workers := flag.Int("j", runtime.NumCPU(), "parallel sweep workers (1 = sequential)")
 	jsonOut := flag.String("json", "", `write experiment datapoints as JSON to this file ("-" for stdout)`)
+	trajOut := flag.String("trajectory", "", "write a timed -j1-vs-jN benchmark trajectory JSON to this file")
+	label := flag.String("label", "dev", "trajectory label recorded in -trajectory output")
 	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -33,11 +49,32 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	experiments.SetObserver(obs.Registry, obs.Sink)
+	experiments.SetEngine(&sweep.Engine{
+		Workers:  *workers,
+		Registry: obs.Registry,
+		Sink:     obs.Sink,
+	})
 
 	var names []string
 	if *exp != "all" {
-		names = []string{*exp}
+		names = strings.Split(*exp, ",")
+	}
+
+	if *trajOut != "" {
+		f, err := os.Create(*trajOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := experiments.WriteTrajectory(f, names, *workers, *label); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *trajOut)
+		finish(obs)
+		return
 	}
 
 	if *jsonOut != "" {
@@ -74,30 +111,30 @@ func main() {
 		"codepack":    experiments.RenderCodePack,
 	}
 
-	if *exp == "all" {
-		for _, name := range experiments.Experiments {
+	if names == nil {
+		names = experiments.Experiments
+	}
+	for _, name := range names {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ccrp-bench: unknown experiment %q; have all %v\n", name, experiments.Experiments)
+			os.Exit(2)
+		}
+		if len(names) > 1 {
 			fmt.Printf("==== %s ====\n", name)
-			if err := runners[name](os.Stdout); err != nil {
-				fatal(err)
-			}
+		}
+		if err := run(os.Stdout); err != nil {
+			fatal(err)
+		}
+		if len(names) > 1 {
 			fmt.Println()
 		}
-		finish(obs)
-		return
-	}
-	run, ok := runners[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "ccrp-bench: unknown experiment %q; have all %v\n", *exp, experiments.Experiments)
-		os.Exit(2)
-	}
-	if err := run(os.Stdout); err != nil {
-		fatal(err)
 	}
 	finish(obs)
 }
 
 func finish(obs *cliutil.Obs) {
-	experiments.SetObserver(nil, nil)
+	experiments.SetEngine(nil)
 	if err := obs.Finish(); err != nil {
 		fatal(err)
 	}

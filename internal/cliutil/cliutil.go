@@ -72,7 +72,8 @@ func LoadTrace(path string) (*trace.Trace, error) {
 
 // Codes builds the Huffman code candidate set: the preselected bounded
 // corpus code, plus — when ownText is non-nil — a bounded code trained on
-// that program's own bytes (ccpack -own).
+// that program's own bytes (ccpack -own). Both come out of the sweep
+// artifact cache, so repeated calls train nothing twice.
 func Codes(ownText []byte) ([]*huffman.Code, error) {
 	presel, err := experiments.PreselectedCode()
 	if err != nil {
@@ -80,7 +81,7 @@ func Codes(ownText []byte) ([]*huffman.Code, error) {
 	}
 	codes := []*huffman.Code{presel}
 	if ownText != nil {
-		own, err := huffman.BuildBounded(huffman.HistogramOf(ownText), experiments.HuffmanBound)
+		own, err := experiments.OwnCode(ownText)
 		if err != nil {
 			return nil, err
 		}

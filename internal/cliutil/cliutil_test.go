@@ -1,0 +1,203 @@
+package cliutil
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ccrp/internal/asm"
+	"ccrp/internal/trace"
+)
+
+const tinySource = `
+	.text
+	addiu $t0, $zero, 5
+	jr    $ra
+	nop
+`
+
+func TestLoadProgramAssembly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.s")
+	if err := os.WriteFile(path, []byte(tinySource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadProgram(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TextWords() != 3 {
+		t.Errorf("assembled %d words, want 3", p.TextWords())
+	}
+}
+
+func TestLoadProgramBadAssembly(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.s")
+	if err := os.WriteFile(path, []byte(".text\n\tfrobnicate $t0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProgram(path); err == nil {
+		t.Error("bad assembly must error")
+	}
+}
+
+func TestLoadProgramImageRoundTrip(t *testing.T) {
+	src, err := asm.Assemble("tiny", tinySource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.img")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.WriteImage(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := LoadProgram(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p.Text, src.Text) || p.Entry != src.Entry {
+		t.Error("image round trip lost program content")
+	}
+}
+
+func TestLoadProgramMissing(t *testing.T) {
+	if _, err := LoadProgram(filepath.Join(t.TempDir(), "nope.s")); err == nil {
+		t.Error("missing file must error")
+	}
+}
+
+func TestLoadTrace(t *testing.T) {
+	tr := &trace.Trace{Events: []trace.Event{
+		{PC: 0x1000},
+		{PC: 0x1004, Addr: 0x8000, Flags: trace.FlagLoad},
+	}}
+	path := filepath.Join(t.TempDir(), "run.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Instructions() != 2 || got.DataAccesses() != 1 {
+		t.Errorf("trace = %d insns / %d accesses, want 2/1", got.Instructions(), got.DataAccesses())
+	}
+	if _, err := LoadTrace(filepath.Join(t.TempDir(), "nope.trace")); err == nil {
+		t.Error("missing trace must error")
+	}
+}
+
+func TestResolveWorkload(t *testing.T) {
+	w, err := ResolveWorkload("xlisp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "xlisp" {
+		t.Errorf("resolved %q", w.Name)
+	}
+	if _, err := ResolveWorkload("doom"); err == nil ||
+		!strings.Contains(err.Error(), "unknown workload") {
+		t.Errorf("unknown workload err = %v", err)
+	}
+}
+
+func TestMemoryModel(t *testing.T) {
+	m, err := MemoryModel("EPROM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "EPROM" {
+		t.Errorf("resolved %q", m.Name())
+	}
+	if _, err := MemoryModel("core-rope"); err == nil ||
+		!strings.Contains(err.Error(), "unknown memory model") {
+		t.Errorf("unknown model err = %v", err)
+	}
+}
+
+func TestCodes(t *testing.T) {
+	base, err := Codes(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base) != 1 {
+		t.Fatalf("Codes(nil) = %d codes, want the preselected code only", len(base))
+	}
+	src, err := asm.Assemble("tiny", tinySource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Codes(src.Text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both) != 2 {
+		t.Fatalf("Codes(text) = %d codes, want preselected + own", len(both))
+	}
+	if both[0] != base[0] {
+		t.Error("preselected code not shared through the artifact cache")
+	}
+}
+
+func TestObsFlagsWiring(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterObsFlags(fs)
+	if err := fs.Parse([]string{"-metrics", "json", "-sample", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if *f.Metrics != "json" || *f.Sample != 7 || *f.Events != "" {
+		t.Errorf("flag block wired wrong: %+v", f)
+	}
+}
+
+func TestObsBeginRejectsBadFormat(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterObsFlags(fs)
+	if err := fs.Parse([]string{"-metrics", "xml"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Begin(); err == nil ||
+		!strings.Contains(err.Error(), "unknown -metrics format") {
+		t.Errorf("Begin() err = %v, want format error", err)
+	}
+}
+
+func TestObsBeginFinish(t *testing.T) {
+	events := filepath.Join(t.TempDir(), "ev.jsonl")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterObsFlags(fs)
+	if err := fs.Parse([]string{"-events", events, "-sample", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := f.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Registry != nil {
+		t.Error("registry allocated without -metrics")
+	}
+	if o.Sink == nil {
+		t.Fatal("no event sink despite -events")
+	}
+	if err := o.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(events); err != nil {
+		t.Errorf("event file missing: %v", err)
+	}
+}

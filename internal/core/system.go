@@ -39,6 +39,15 @@ type Config struct {
 	// paper's blocking model).
 	OverlapCycles uint64
 
+	// ROM, when set, is a prebuilt compressed image of the same program
+	// text, and Compare uses it instead of building its own (the Codes,
+	// Codec, and WordAligned fields are then ignored — the ROM already
+	// embeds them). A built ROM is read-only during simulation, so one
+	// ROM may be shared by concurrent Compare calls; the sweep engine's
+	// artifact cache relies on this to compress each program once per
+	// coding configuration instead of once per sweep point.
+	ROM *ROM
+
 	// CLBProbeEveryFetch updates CLB recency on every instruction fetch,
 	// exactly as the paper's hardware does ("during each instruction
 	// fetch, the CLB is searched"); the default probes only on cache
@@ -144,9 +153,13 @@ func Compare(tr *trace.Trace, text []byte, cfg Config) (*Comparison, error) {
 	if tr == nil || len(tr.Events) == 0 {
 		return nil, ErrEmptyTrace
 	}
-	rom, err := BuildROM(text, Options{Codes: cfg.Codes, Codec: cfg.Codec, WordAligned: cfg.WordAligned})
-	if err != nil {
-		return nil, err
+	rom := cfg.ROM
+	if rom == nil {
+		var err error
+		rom, err = BuildROM(text, Options{Codes: cfg.Codes, Codec: cfg.Codec, WordAligned: cfg.WordAligned})
+		if err != nil {
+			return nil, err
+		}
 	}
 	ic, err := cache.NewAssoc(cfg.CacheBytes, LineSize, cfg.CacheWays)
 	if err != nil {

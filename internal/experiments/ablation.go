@@ -137,11 +137,11 @@ func MultiCodeAblation() ([]MultiCodeRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		own, err := huffman.BuildBounded(huffman.HistogramOf(text), HuffmanBound)
+		own, err := OwnCode(text)
 		if err != nil {
 			return nil, err
 		}
-		single, err := core.BuildROM(text, core.Options{Codes: []*huffman.Code{presel}})
+		single, err := preselROM(text)
 		if err != nil {
 			return nil, err
 		}
@@ -259,7 +259,7 @@ func ISAAblation() ([]ISARow, error) {
 
 	var rows []ISARow
 	for _, s := range streams {
-		own, err := huffman.BuildBounded(huffman.HistogramOf(s.data).Smooth(), HuffmanBound)
+		own, err := boundedCode(huffman.HistogramOf(s.data).Smooth(), HuffmanBound)
 		if err != nil {
 			return nil, err
 		}

@@ -3,12 +3,12 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"ccrp/internal/codepack"
 	"ccrp/internal/core"
 	"ccrp/internal/huffman"
 	"ccrp/internal/memory"
+	"ccrp/internal/sweep"
 	"ccrp/internal/workload"
 )
 
@@ -25,28 +25,26 @@ type CodePackRow struct {
 	CPRefill    float64
 }
 
-var (
-	cpOnce  sync.Once
-	cpCoder *codepack.Coder
-	cpErr   error
-)
-
 // CodePackCoder returns the corpus-trained CodePack coder (the analogue
-// of the preselected byte code: fixed, hardwired dictionaries).
+// of the preselected byte code: fixed, hardwired dictionaries). Trained
+// once per corpus through the artifact cache.
 func CodePackCoder() (*codepack.Coder, error) {
-	cpOnce.Do(func() {
-		var images [][]byte
-		for _, w := range workload.Figure5Set() {
-			text, err := w.Text()
-			if err != nil {
-				cpErr = err
-				return
+	ck, err := corpusKey()
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Get(artifacts(), sweep.Key("codepack/corpus", ck),
+		func() (*codepack.Coder, error) {
+			var images [][]byte
+			for _, w := range workload.Figure5Set() {
+				text, err := w.Text()
+				if err != nil {
+					return nil, err
+				}
+				images = append(images, text)
 			}
-			images = append(images, text)
-		}
-		cpCoder, cpErr = codepack.Train(images...)
-	})
-	return cpCoder, cpErr
+			return codepack.Train(images...)
+		})
 }
 
 // CodePackStudy compresses each Figure 5 program under both schemes,

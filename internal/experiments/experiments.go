@@ -4,16 +4,26 @@
 // functions (render.go) print them in the paper's layout. DESIGN.md maps
 // experiment ids to these functions, and EXPERIMENTS.md records
 // paper-vs-measured values.
+//
+// The performance sweeps (Tables 1-10, Figure 9, Tables 11-13) run on the
+// internal/sweep engine: points fan out across a bounded worker pool with
+// results merged by index, and every trained artifact — the preselected
+// code, per-program codes, the CodePack dictionaries, and each program's
+// compressed ROM image — is built once per unique configuration through a
+// content-addressed single-flight cache, no matter how many points or
+// workers need it.
 package experiments
 
 import (
+	"context"
+	"encoding/binary"
 	"fmt"
 	"sync"
 
 	"ccrp/internal/core"
 	"ccrp/internal/huffman"
 	"ccrp/internal/memory"
-	"ccrp/internal/metrics"
+	"ccrp/internal/sweep"
 	"ccrp/internal/workload"
 )
 
@@ -35,11 +45,29 @@ var PerfPrograms = []string{
 // HuffmanBound is the paper's 16-bit codeword cap.
 const HuffmanBound = 16
 
+// Artifact cache: trained coders and compressed ROM images, addressed by
+// content (corpus hash + coder type + configuration). Swapped wholesale
+// by resetArtifacts for cold-cache timing runs.
 var (
-	preselOnce sync.Once
-	preselCode *huffman.Code
-	preselErr  error
+	artMu sync.Mutex
+	arts  = sweep.NewCache()
 )
+
+func artifacts() *sweep.Cache {
+	artMu.Lock()
+	defer artMu.Unlock()
+	return arts
+}
+
+// resetArtifacts discards every cached artifact, forcing the next sweep
+// to retrain coders and rebuild ROMs. Used by trajectory timing (both
+// timed runs must pay the same training cost) and by tests; not safe
+// concurrently with a running sweep.
+func resetArtifacts() {
+	artMu.Lock()
+	arts = sweep.NewCache()
+	artMu.Unlock()
+}
 
 // CorpusHistogram pools the byte histograms of the ten Figure 5 programs,
 // the data the paper built its preselected code from.
@@ -55,56 +83,131 @@ func CorpusHistogram() (*huffman.Histogram, error) {
 	return &h, nil
 }
 
-// PreselectedCode returns the Preselected Bounded Huffman code: a 16-bit
-// bounded code over the smoothed corpus histogram, fixed for every
-// program and hardwired in the decoder.
-func PreselectedCode() (*huffman.Code, error) {
-	preselOnce.Do(func() {
-		h, err := CorpusHistogram()
-		if err != nil {
-			preselErr = err
-			return
-		}
-		preselCode, preselErr = huffman.BuildBounded(h.Smooth(), HuffmanBound)
-	})
-	return preselCode, preselErr
-}
-
-// Observer state: when set via SetObserver, every comparison the
-// experiment harness runs is instrumented, so ccrp-bench -metrics and
-// -events aggregate across the whole sweep (counters with the same name
-// accumulate in one registry).
+// Corpus content address, computed once: the corpus registry is immutable
+// for the life of the process, so the key — unlike the artifacts built
+// from it — never needs invalidation.
 var (
-	obsMu   sync.Mutex
-	obsReg  *metrics.Registry
-	obsSink metrics.EventSink
+	corpusKeyOnce sync.Once
+	corpusKeyVal  string
+	corpusKeyErr  error
 )
 
-// SetObserver attaches a metrics registry and/or event sink to every
-// subsequent comparison. Pass nils to detach.
-func SetObserver(reg *metrics.Registry, sink metrics.EventSink) {
-	obsMu.Lock()
-	obsReg, obsSink = reg, sink
-	obsMu.Unlock()
+func corpusKey() (string, error) {
+	corpusKeyOnce.Do(func() {
+		var parts []any
+		for _, w := range workload.Figure5Set() {
+			text, err := w.Text()
+			if err != nil {
+				corpusKeyErr = err
+				return
+			}
+			parts = append(parts, text)
+		}
+		corpusKeyVal = sweep.Key(parts...)
+	})
+	return corpusKeyVal, corpusKeyErr
 }
 
-// observer returns the current observer pair.
-func observer() (*metrics.Registry, metrics.EventSink) {
-	obsMu.Lock()
-	defer obsMu.Unlock()
-	return obsReg, obsSink
-}
-
-// compareConfig runs one workload through core.Compare with the
-// preselected code and the given knobs.
-func compareConfig(name string, cacheBytes, clbEntries int, mem memory.Model, dmiss float64) (*core.Comparison, error) {
-	w, ok := workload.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+// histogramBytes serializes a histogram for content addressing.
+func histogramBytes(h *huffman.Histogram) []byte {
+	out := make([]byte, 8*len(h))
+	for i, c := range h {
+		binary.LittleEndian.PutUint64(out[8*i:], c)
 	}
+	return out
+}
+
+// PreselectedCode returns the Preselected Bounded Huffman code: a 16-bit
+// bounded code over the smoothed corpus histogram, fixed for every
+// program and hardwired in the decoder. Trained once per corpus through
+// the artifact cache.
+func PreselectedCode() (*huffman.Code, error) {
+	ck, err := corpusKey()
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Get(artifacts(), sweep.Key("huffman/preselected", HuffmanBound, ck),
+		func() (*huffman.Code, error) {
+			h, err := CorpusHistogram()
+			if err != nil {
+				return nil, err
+			}
+			return huffman.BuildBounded(h.Smooth(), HuffmanBound)
+		})
+}
+
+// boundedCode trains (or fetches) the bound-limited code for a histogram,
+// content-addressed so identical histograms share one training run across
+// experiments, workers, and CLI invocations in the same process.
+func boundedCode(h *huffman.Histogram, bound int) (*huffman.Code, error) {
+	return sweep.Get(artifacts(), sweep.Key("huffman/bounded", bound, histogramBytes(h)),
+		func() (*huffman.Code, error) { return huffman.BuildBounded(h, bound) })
+}
+
+// traditionalCode is boundedCode's unbounded sibling.
+func traditionalCode(h *huffman.Histogram) (*huffman.Code, error) {
+	return sweep.Get(artifacts(), sweep.Key("huffman/traditional", histogramBytes(h)),
+		func() (*huffman.Code, error) { return huffman.BuildTraditional(h) })
+}
+
+// OwnCode returns the bound-limited code trained on one program's own
+// bytes (the ccpack -own / §2.2 multi-code scheme), cached by content.
+func OwnCode(text []byte) (*huffman.Code, error) {
+	return boundedCode(huffman.HistogramOf(text), HuffmanBound)
+}
+
+// preselROM returns the program's compressed image under the preselected
+// code — the ROM every performance point of Tables 1-13 and Figure 9
+// shares. Built ROMs are read-only, so one instance serves concurrent
+// workers.
+func preselROM(text []byte) (*core.ROM, error) {
 	code, err := PreselectedCode()
 	if err != nil {
 		return nil, err
+	}
+	ck, err := corpusKey()
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Get(artifacts(), sweep.Key("rom/preselected", HuffmanBound, ck, text),
+		func() (*core.ROM, error) {
+			return core.BuildROM(text, core.Options{Codes: []*huffman.Code{code}})
+		})
+}
+
+// Engine state: the sweep engine every point sweep runs on. Set once at
+// CLI startup (ccrp-bench -j) and read per sweep; the engine itself owns
+// all cross-worker observability, so there is no shared mutable registry
+// between points — the race the old package-global SetObserver had.
+var (
+	engMu  sync.Mutex
+	engCur *sweep.Engine
+)
+
+// SetEngine attaches a sweep engine to every subsequent point sweep
+// (Tables1to8, Tables9and10, Figure9, Tables11to13, and the -json
+// export). A nil engine restores the default: sequential execution with
+// no instrumentation. It replaces the former SetObserver: metrics and
+// event sinks now travel inside the engine, which hands each worker a
+// private registry and merges them after the sweep.
+func SetEngine(e *sweep.Engine) {
+	engMu.Lock()
+	engCur = e
+	engMu.Unlock()
+}
+
+func currentEngine() *sweep.Engine {
+	engMu.Lock()
+	defer engMu.Unlock()
+	return engCur
+}
+
+// compareConfig runs one workload through core.Compare with the
+// preselected code and the given knobs, reusing the cached ROM.
+func compareConfig(name string, cacheBytes, clbEntries int, mem memory.Model, dmiss float64, obs sweep.Obs) (*core.Comparison, error) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
 	}
 	tr, err := w.Trace()
 	if err != nil {
@@ -114,13 +217,18 @@ func compareConfig(name string, cacheBytes, clbEntries int, mem memory.Model, dm
 	if err != nil {
 		return nil, err
 	}
+	rom, err := preselROM(text)
+	if err != nil {
+		return nil, err
+	}
 	cfg := core.Config{
 		CacheBytes: cacheBytes,
 		CLBEntries: clbEntries,
 		Mem:        mem,
-		Codes:      []*huffman.Code{code},
+		ROM:        rom,
+		Metrics:    obs.Registry,
+		Events:     obs.Sink,
 	}
-	cfg.Metrics, cfg.Events = observer()
 	if dmiss < 1 {
 		cfg.DataCache = true
 		cfg.DCacheMissRate = dmiss
@@ -139,28 +247,69 @@ type PerfPoint struct {
 	MissRate       float64 // shared i-cache miss rate
 	Traffic        float64 // CCRP / standard instruction memory traffic
 	CLBMissRate    float64 // CLB misses / i-cache misses
+	CyclesCCRP     uint64  // total CCRP execution cycles
+	CyclesStd      uint64  // total standard-system execution cycles
 }
 
-// Point computes one performance point (exported for the benchmark harness).
-func Point(name string, cacheBytes, clbEntries int, mem memory.Model, dmiss float64) (PerfPoint, error) {
-	cmp, err := compareConfig(name, cacheBytes, clbEntries, mem, dmiss)
+// pointSpec identifies one sweep point; sweeps build their full spec list
+// up front so the engine can fan it out with index-stable results.
+type pointSpec struct {
+	prog       string
+	cacheBytes int
+	clb        int
+	mem        memory.Model
+	dmiss      float64
+}
+
+// pointObs computes one performance point with the given observer pair.
+func pointObs(s pointSpec, obs sweep.Obs) (PerfPoint, error) {
+	cmp, err := compareConfig(s.prog, s.cacheBytes, s.clb, s.mem, s.dmiss, obs)
 	if err != nil {
 		return PerfPoint{}, err
 	}
 	p := PerfPoint{
-		Program:        name,
-		Memory:         mem.Name(),
-		CacheBytes:     cacheBytes,
-		CLBEntries:     clbEntries,
-		DCacheMissRate: dmiss,
+		Program:        s.prog,
+		Memory:         s.mem.Name(),
+		CacheBytes:     s.cacheBytes,
+		CLBEntries:     s.clb,
+		DCacheMissRate: s.dmiss,
 		RelPerf:        cmp.RelativePerformance(),
 		MissRate:       cmp.MissRate(),
 		Traffic:        cmp.TrafficRatio(),
+		CyclesCCRP:     cmp.CCRP.Cycles,
+		CyclesStd:      cmp.Standard.Cycles,
 	}
 	if cmp.CCRP.Misses > 0 {
 		p.CLBMissRate = float64(cmp.CCRP.CLBMisses) / float64(cmp.CCRP.Misses)
 	}
 	return p, nil
+}
+
+// Point computes one performance point (exported for the benchmark
+// harness and examples). Standalone points run uninstrumented; sweeps
+// attach per-worker observers through the engine instead.
+func Point(name string, cacheBytes, clbEntries int, mem memory.Model, dmiss float64) (PerfPoint, error) {
+	return pointObs(pointSpec{name, cacheBytes, clbEntries, mem, dmiss}, sweep.Obs{})
+}
+
+// sweepPoints fans the specs across the current engine's worker pool.
+// Results come back in spec order whatever the worker count, which is
+// what makes -j 1 and -j N output byte-identical.
+func sweepPoints(specs []pointSpec) ([]PerfPoint, error) {
+	return sweep.Map(context.Background(), currentEngine(), len(specs),
+		func(_ context.Context, i int, obs sweep.Obs) (PerfPoint, error) {
+			return pointObs(specs[i], obs)
+		})
+}
+
+// groupByProgram folds index-ordered sweep results back into the
+// per-program table layout.
+func groupByProgram(specs []pointSpec, pts []PerfPoint) map[string][]PerfPoint {
+	out := make(map[string][]PerfPoint)
+	for i, s := range specs {
+		out[s.prog] = append(out[s.prog], pts[i])
+	}
+	return out
 }
 
 // Tables1to8 reproduces the cache-size sweeps of Tables 1-8: relative
@@ -169,7 +318,7 @@ func Point(name string, cacheBytes, clbEntries int, mem memory.Model, dmiss floa
 // the DRAM model (whose results track Burst EPROM closely) is included
 // for one program only.
 func Tables1to8() (map[string][]PerfPoint, error) {
-	out := make(map[string][]PerfPoint, len(PerfPrograms))
+	var specs []pointSpec
 	for _, prog := range PerfPrograms {
 		models := []memory.Model{memory.EPROM{}, memory.BurstEPROM{}}
 		if prog == "matrix25a" {
@@ -177,71 +326,67 @@ func Tables1to8() (map[string][]PerfPoint, error) {
 		}
 		for _, mem := range models {
 			for _, cs := range CacheSizes {
-				p, err := Point(prog, cs, 16, mem, 1.0)
-				if err != nil {
-					return nil, err
-				}
-				out[prog] = append(out[prog], p)
+				specs = append(specs, pointSpec{prog, cs, 16, mem, 1.0})
 			}
 		}
 	}
-	return out, nil
+	pts, err := sweepPoints(specs)
+	if err != nil {
+		return nil, err
+	}
+	return groupByProgram(specs, pts), nil
 }
 
 // Tables9and10 reproduces the CLB size sweep for nasa7 (Table 9) and
 // espresso (Table 10): relative performance vs cache size for 4-, 8-,
 // and 16-entry CLBs.
 func Tables9and10() (map[string][]PerfPoint, error) {
-	out := make(map[string][]PerfPoint, 2)
+	var specs []pointSpec
 	for _, prog := range []string{"nasa7", "espresso"} {
 		for _, mem := range []memory.Model{memory.EPROM{}, memory.BurstEPROM{}} {
 			for _, cs := range CacheSizes {
 				for _, clb := range CLBSizes {
-					p, err := Point(prog, cs, clb, mem, 1.0)
-					if err != nil {
-						return nil, err
-					}
-					out[prog] = append(out[prog], p)
+					specs = append(specs, pointSpec{prog, cs, clb, mem, 1.0})
 				}
 			}
 		}
 	}
-	return out, nil
+	pts, err := sweepPoints(specs)
+	if err != nil {
+		return nil, err
+	}
+	return groupByProgram(specs, pts), nil
 }
 
 // Figure9 reproduces the performance-vs-miss-rate scatter: every program
 // and cache size under all three memory models.
 func Figure9() ([]PerfPoint, error) {
-	var pts []PerfPoint
+	var specs []pointSpec
 	for _, prog := range PerfPrograms {
 		for _, mem := range memory.Models() {
 			for _, cs := range CacheSizes {
-				p, err := Point(prog, cs, 16, mem, 1.0)
-				if err != nil {
-					return nil, err
-				}
-				pts = append(pts, p)
+				specs = append(specs, pointSpec{prog, cs, 16, mem, 1.0})
 			}
 		}
 	}
-	return pts, nil
+	return sweepPoints(specs)
 }
 
 // Tables11to13 reproduces the data-cache effect study (§4.2.4): a 1 KB
 // instruction cache with the analytical data cache model swept over the
 // paper's miss rates, for nasa7, espresso, and fpppp.
 func Tables11to13() (map[string][]PerfPoint, error) {
-	out := make(map[string][]PerfPoint, 3)
+	var specs []pointSpec
 	for _, prog := range []string{"nasa7", "espresso", "fpppp"} {
 		for _, mem := range []memory.Model{memory.EPROM{}, memory.BurstEPROM{}} {
 			for _, dm := range DCacheMissRates {
-				p, err := Point(prog, 1024, 16, mem, dm)
-				if err != nil {
-					return nil, err
-				}
-				out[prog] = append(out[prog], p)
+				specs = append(specs, pointSpec{prog, 1024, 16, mem, dm})
 			}
 		}
 	}
-	return out, nil
+	pts, err := sweepPoints(specs)
+	if err != nil {
+		return nil, err
+	}
+	return groupByProgram(specs, pts), nil
 }

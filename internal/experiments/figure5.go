@@ -68,7 +68,7 @@ func figure5Row(w *workload.Workload) (Figure5Row, error) {
 	}
 
 	hist := huffman.HistogramOf(text)
-	trad, err := huffman.BuildTraditional(hist)
+	trad, err := traditionalCode(hist)
 	if err != nil {
 		return Figure5Row{}, err
 	}
@@ -77,7 +77,7 @@ func figure5Row(w *workload.Workload) (Figure5Row, error) {
 		return Figure5Row{}, err
 	}
 
-	bounded, err := huffman.BuildBounded(hist, HuffmanBound)
+	bounded, err := boundedCode(hist, HuffmanBound)
 	if err != nil {
 		return Figure5Row{}, err
 	}
@@ -86,14 +86,13 @@ func figure5Row(w *workload.Workload) (Figure5Row, error) {
 		return Figure5Row{}, err
 	}
 
-	presel, err := PreselectedCode()
+	// The preselected ROM is the same image every performance sweep
+	// simulates; the artifact cache hands all of them one build.
+	rom, err := preselROM(text)
 	if err != nil {
 		return Figure5Row{}, err
 	}
-	row.Preselected, err = blockRatio(text, presel, false)
-	if err != nil {
-		return Figure5Row{}, err
-	}
+	row.Preselected = float64(rom.BlocksSize()) / float64(rom.OriginalSize)
 	return row, nil
 }
 
@@ -115,17 +114,13 @@ func blockRatio(text []byte, code *huffman.Code, withTable bool) (float64, error
 // LATOverhead returns the Line Address Table cost as a fraction of
 // original program size for each Figure 5 program (the paper's ~3.125%).
 func LATOverhead() (map[string]float64, error) {
-	code, err := PreselectedCode()
-	if err != nil {
-		return nil, err
-	}
 	out := make(map[string]float64)
 	for _, w := range workload.Figure5Set() {
 		text, err := w.Text()
 		if err != nil {
 			return nil, err
 		}
-		rom, err := core.BuildROM(text, core.Options{Codes: []*huffman.Code{code}})
+		rom, err := preselROM(text)
 		if err != nil {
 			return nil, err
 		}

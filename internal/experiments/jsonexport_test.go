@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"ccrp/internal/metrics"
+	"ccrp/internal/sweep"
 )
 
 // TestBenchJSONRoundTrip is the ccrp-bench -json contract: the document
@@ -45,24 +46,36 @@ func TestBenchDataUnknownExperiment(t *testing.T) {
 	}
 }
 
-// TestObserverHook: a registry attached via SetObserver must see the
-// simulation traffic of experiment runs, and detaching must stop it.
-func TestObserverHook(t *testing.T) {
+// TestEngineObserver: a registry attached through the sweep engine must
+// see the simulation traffic of experiment runs — merged identically
+// whatever the worker count — and detaching the engine must stop it.
+func TestEngineObserver(t *testing.T) {
 	reg := metrics.New()
-	SetObserver(reg, nil)
-	defer SetObserver(nil, nil)
+	SetEngine(&sweep.Engine{Workers: 1, Registry: reg})
+	defer SetEngine(nil)
 	if _, err := Figure9(); err != nil {
 		t.Fatal(err)
 	}
 	accesses := reg.Counter("ccrp_cache_accesses_total", "").Value()
 	if accesses == 0 {
-		t.Fatal("observer registry saw no cache accesses")
+		t.Fatal("engine registry saw no cache accesses")
 	}
-	SetObserver(nil, nil)
+
+	// The same sweep across 8 workers merges to the same counter totals.
+	par := metrics.New()
+	SetEngine(&sweep.Engine{Workers: 8, Registry: par})
+	if _, err := Figure9(); err != nil {
+		t.Fatal(err)
+	}
+	if got := par.Counter("ccrp_cache_accesses_total", "").Value(); got != accesses {
+		t.Errorf("parallel merge lost counts: %d, want %d", got, accesses)
+	}
+
+	SetEngine(nil)
 	if _, err := Figure9(); err != nil {
 		t.Fatal(err)
 	}
 	if got := reg.Counter("ccrp_cache_accesses_total", "").Value(); got != accesses {
-		t.Errorf("detached observer still accumulating: %d -> %d", accesses, got)
+		t.Errorf("detached engine still accumulating: %d -> %d", accesses, got)
 	}
 }

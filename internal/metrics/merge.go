@@ -1,0 +1,50 @@
+package metrics
+
+import "fmt"
+
+// Merge folds every instrument of src into r, registering missing names
+// on the fly: counters and counter-vector children add their counts,
+// histograms add their per-bucket counts and sums (bucket geometry must
+// match), and gauges take src's value. Merging the per-worker registries
+// of a parallel sweep into one target in worker order therefore yields
+// exactly the counter and histogram totals a sequential run would have
+// produced; gauges — per-run summary values by nature — keep the
+// last-merged worker's reading.
+//
+// Merge must not run concurrently with writers to either registry; the
+// sweep engine calls it only after its worker pool has quiesced. A name
+// registered with different kinds or histogram bounds in the two
+// registries panics, as re-registration clashes always do.
+func (r *Registry) Merge(src *Registry) {
+	if r == nil || src == nil {
+		return
+	}
+	for _, in := range src.snapshot() {
+		switch in.kind {
+		case kindCounter:
+			r.Counter(in.name, in.help).Add(in.c.Value())
+		case kindGauge:
+			r.Gauge(in.name, in.help).Set(in.g.Value())
+		case kindHistogram:
+			h := r.Histogram(in.name, in.help, in.h.bounds)
+			if len(h.bounds) != len(in.h.bounds) {
+				panic(fmt.Sprintf("metrics: %q merged with different bucket count", in.name))
+			}
+			for i, b := range h.bounds {
+				if b != in.h.bounds[i] {
+					panic(fmt.Sprintf("metrics: %q merged with different bucket bounds", in.name))
+				}
+			}
+			for i, c := range in.h.counts {
+				h.counts[i] += c
+			}
+			h.sum += in.h.sum
+			h.n += in.h.n
+		case kindCounterVec:
+			vec := r.CounterVec(in.name, in.help, in.vec.label)
+			for _, lv := range in.vec.order {
+				vec.With(lv).Add(in.vec.index[lv].Value())
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestMergeAccumulates: merging worker registries reproduces the totals
+// one sequential registry would hold, for every instrument kind.
+func TestMergeAccumulates(t *testing.T) {
+	target := New()
+	target.Counter("c", "help").Add(5)
+	target.Histogram("h", "", []float64{1, 10}).Observe(0.5)
+	target.CounterVec("v", "", "set").WithInt(0).Add(2)
+
+	src := New()
+	src.Counter("c", "help").Add(7)
+	src.Counter("only_src", "").Inc()
+	src.Gauge("g", "").Set(3.5)
+	h := src.Histogram("h", "", []float64{1, 10})
+	h.Observe(5)
+	h.Observe(100) // overflow bucket
+	src.CounterVec("v", "", "set").WithInt(0).Add(3)
+	src.CounterVec("v", "", "set").WithInt(4).Add(1)
+
+	target.Merge(src)
+
+	if got := target.Counter("c", "").Value(); got != 12 {
+		t.Errorf("counter = %d, want 12", got)
+	}
+	if got := target.Counter("only_src", "").Value(); got != 1 {
+		t.Errorf("new counter = %d, want 1", got)
+	}
+	if got := target.Gauge("g", "").Value(); got != 3.5 {
+		t.Errorf("gauge = %g, want 3.5", got)
+	}
+	th := target.Histogram("h", "", []float64{1, 10})
+	if th.Count() != 3 || th.Sum() != 105.5 {
+		t.Errorf("histogram count=%d sum=%g, want 3/105.5", th.Count(), th.Sum())
+	}
+	if counts := th.BucketCounts(); counts[0] != 1 || counts[1] != 1 || counts[2] != 1 {
+		t.Errorf("bucket counts = %v", counts)
+	}
+	vec := target.CounterVec("v", "", "set")
+	if vec.WithInt(0).Value() != 5 || vec.WithInt(4).Value() != 1 {
+		t.Errorf("vec = %d/%d, want 5/1", vec.WithInt(0).Value(), vec.WithInt(4).Value())
+	}
+}
+
+// TestMergeNilSafe: nil receivers and sources no-op.
+func TestMergeNilSafe(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Merge(New()) // must not panic
+	r := New()
+	r.Counter("c", "").Inc()
+	r.Merge(nil)
+	if r.Counter("c", "").Value() != 1 {
+		t.Error("merge with nil source disturbed the registry")
+	}
+}
+
+// TestMergeBoundsClash: merging a histogram with different bucket bounds
+// is a programming error and panics like any re-registration clash.
+func TestMergeBoundsClash(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bounds clash did not panic")
+		}
+	}()
+	a, b := New(), New()
+	a.Histogram("h", "", []float64{1, 2})
+	b.Histogram("h", "", []float64{1, 3})
+	a.Merge(b)
+}
+
+// TestMergeEquivalentToSequential: N worker registries fed disjoint
+// slices of one workload merge into exactly the sequential export.
+func TestMergeEquivalentToSequential(t *testing.T) {
+	record := func(r *Registry, i int) {
+		r.Counter("ops_total", "ops").Inc()
+		r.Histogram("lat", "cycles", []float64{4, 16, 64}).Observe(float64(i))
+		r.CounterVec("per_set", "misses", "set").WithInt(i % 4).Inc()
+	}
+	seq := New()
+	workers := []*Registry{New(), New(), New()}
+	for i := 0; i < 60; i++ {
+		record(seq, i)
+		record(workers[i%3], i)
+	}
+	merged := New()
+	for _, w := range workers {
+		merged.Merge(w)
+	}
+	var wantBuf, gotBuf bytes.Buffer
+	if err := seq.WritePrometheus(&wantBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WritePrometheus(&gotBuf); err != nil {
+		t.Fatal(err)
+	}
+	if wantBuf.String() != gotBuf.String() {
+		t.Errorf("merged export differs from sequential:\n--- merged ---\n%s--- sequential ---\n%s",
+			gotBuf.String(), wantBuf.String())
+	}
+}
+
+// TestSyncSink: concurrent emitters through a SyncSink reach a
+// single-threaded inner sink intact (run under -race).
+func TestSyncSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewSyncSink(NewJSONLSink(&buf))
+	var wg sync.WaitGroup
+	const goroutines, each = 8, 25
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				sink.Emit(Event{Type: EvFetch, Seq: uint64(g*each + i), Line: -1, Set: -1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(buf.String(), "\n")
+	if lines != goroutines*each {
+		t.Errorf("sink wrote %d events, want %d", lines, goroutines*each)
+	}
+}

@@ -1,0 +1,175 @@
+// Package sweep is the parallel experiment runner behind the benchmark
+// harness: it fans the points of a parameter sweep out across a bounded
+// worker pool with deterministic result ordering (results are merged by
+// point index, never by arrival), per-point panic recovery, cancellation
+// via context.Context, and safe observability propagation — each worker
+// gets a private metrics registry that is merged into the engine's target
+// registry once the pool has quiesced, so the single-threaded instruments
+// in internal/metrics never see concurrent writers.
+//
+// The package also provides a content-addressed artifact cache with
+// single-flight deduplication (cache.go), so expensive trained artifacts
+// — Huffman codes, CodePack dictionaries, compressed ROM images — are
+// built once per unique (coder, corpus, configuration) triple no matter
+// how many sweep points or concurrent workers need them.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"ccrp/internal/metrics"
+)
+
+// Engine configures a worker pool for sweep execution. The zero value
+// (and a nil *Engine) runs points sequentially with no observability,
+// preserving the pre-engine behavior of the experiment harness.
+type Engine struct {
+	// Workers bounds the number of concurrent points. Zero or negative
+	// selects runtime.NumCPU(); 1 runs the sweep sequentially on the
+	// calling goroutine.
+	Workers int
+
+	// Registry, when set, receives the merged instrumentation of the
+	// whole sweep: each worker records into a private registry and the
+	// engine folds them into Registry (in worker order) after the pool
+	// has quiesced. Counters, counter vectors, and histograms therefore
+	// accumulate exactly as a sequential run would; gauges keep the
+	// last-merged worker's value, which for per-run summary gauges is
+	// one representative point rather than a defined "last" point.
+	Registry *metrics.Registry
+
+	// Sink, when set, receives the structured event stream of every
+	// point. With more than one worker the engine serializes Emit calls
+	// through a metrics.SyncSink; events from different points then
+	// interleave in arrival order, which is not deterministic.
+	Sink metrics.EventSink
+}
+
+// workerCount resolves the pool size for an n-point sweep.
+func (e *Engine) workerCount(n int) int {
+	w := 1
+	if e != nil {
+		w = e.Workers
+		if w <= 0 {
+			w = runtime.NumCPU()
+		}
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// PanicError reports a sweep point whose function panicked. The panic is
+// confined to that point: the rest of the sweep still runs, and the
+// engine returns this error instead of crashing the process.
+type PanicError struct {
+	Point int    // index of the failed point
+	Value any    // the recovered panic value
+	Stack []byte // stack of the panicking goroutine
+}
+
+// Error summarizes the panic without the stack; use Unwrap-style field
+// access for the full trace.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("point %d panicked: %v", e.Point, e.Value)
+}
+
+// Obs is the observability pair handed to each sweep point: a per-worker
+// registry (nil when the engine has no Registry) and the engine's shared,
+// serialized event sink (nil when the engine has no Sink). Points pass
+// these through to core.Config.
+type Obs struct {
+	Registry *metrics.Registry
+	Sink     metrics.EventSink
+}
+
+// Map runs fn for every index in [0, n) across the engine's worker pool
+// and returns the results in index order, regardless of completion order.
+//
+// Every point runs exactly once unless ctx is cancelled (points not yet
+// started are skipped; points in flight finish). A point that returns an
+// error or panics does not stop the other points; after the sweep, Map
+// returns the full result slice together with the failure of the
+// lowest-indexed failed point (so the reported error is deterministic
+// under any worker count). A ctx cancellation is reported as ctx.Err()
+// when no point failed first.
+func Map[T any](ctx context.Context, e *Engine, n int, fn func(ctx context.Context, i int, obs Obs) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	errs := make([]error, n)
+	workers := e.workerCount(n)
+
+	sink := e.sink()
+	if sink != nil && workers > 1 {
+		sink = metrics.NewSyncSink(sink)
+	}
+
+	regs := make([]*metrics.Registry, workers)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		if e != nil && e.Registry != nil {
+			regs[wi] = metrics.New()
+		}
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			obs := Obs{Registry: regs[wi], Sink: sink}
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				results[i], errs[i] = runPoint(ctx, i, obs, fn)
+			}
+		}(wi)
+	}
+	wg.Wait()
+
+	for _, reg := range regs {
+		if reg != nil {
+			e.Registry.Merge(reg)
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("sweep: point %d of %d: %w", i, n, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// runPoint executes one point with panic confinement.
+func runPoint[T any](ctx context.Context, i int, obs Obs, fn func(ctx context.Context, i int, obs Obs) (T, error)) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Point: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i, obs)
+}
+
+// sink returns the engine's event sink, nil-safe.
+func (e *Engine) sink() metrics.EventSink {
+	if e == nil {
+		return nil
+	}
+	return e.Sink
+}

@@ -1,0 +1,248 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccrp/internal/metrics"
+)
+
+// TestMapOrdersResultsByIndex: results come back in index order even when
+// completion order is reversed.
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	e := &Engine{Workers: 8}
+	n := 16
+	out, err := Map(context.Background(), e, n, func(_ context.Context, i int, _ Obs) (int, error) {
+		time.Sleep(time.Duration(n-i) * time.Millisecond) // later indices finish first
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// TestMapSequentialFallback: a nil engine and -j 1 run on the calling
+// goroutine count's worth of workers and still produce ordered output.
+func TestMapSequentialFallback(t *testing.T) {
+	for _, e := range []*Engine{nil, {Workers: 1}} {
+		out, err := Map(context.Background(), e, 5, func(_ context.Context, i int, _ Obs) (int, error) {
+			return i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i {
+				t.Errorf("out[%d] = %d", i, v)
+			}
+		}
+	}
+}
+
+// TestMapBoundsConcurrency: no more than Workers points run at once.
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(context.Background(), &Engine{Workers: workers}, 24,
+		func(_ context.Context, i int, _ Obs) (int, error) {
+			c := cur.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return 0, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+// TestMapPanicConfined: a panicking point becomes that point's error;
+// every other point still runs.
+func TestMapPanicConfined(t *testing.T) {
+	var ran atomic.Int64
+	n := 10
+	out, err := Map(context.Background(), &Engine{Workers: 4}, n,
+		func(_ context.Context, i int, _ Obs) (int, error) {
+			if i == 3 {
+				panic("boom")
+			}
+			ran.Add(1)
+			return i, nil
+		})
+	if err == nil {
+		t.Fatal("want panic error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Point != 3 || fmt.Sprint(pe.Value) != "boom" {
+		t.Fatalf("err = %v, want PanicError{Point: 3, Value: boom}", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack")
+	}
+	if got := ran.Load(); got != int64(n-1) {
+		t.Errorf("%d points ran, want %d (panic must not kill the sweep)", got, n-1)
+	}
+	if out[4] != 4 {
+		t.Errorf("out[4] = %d, want 4", out[4])
+	}
+}
+
+// TestMapReportsLowestIndexError: with several failed points the reported
+// error is the lowest-indexed one, making the error deterministic under
+// any worker count.
+func TestMapReportsLowestIndexError(t *testing.T) {
+	wantErr := errors.New("bad point")
+	_, err := Map(context.Background(), &Engine{Workers: 8}, 12,
+		func(_ context.Context, i int, _ Obs) (int, error) {
+			if i == 7 || i == 2 || i == 11 {
+				return 0, fmt.Errorf("%w %d", wantErr, i)
+			}
+			return i, nil
+		})
+	if err == nil || !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	want := "sweep: point 2 of 12"
+	if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
+		t.Errorf("err = %q, want prefix %q", got, want)
+	}
+}
+
+// TestMapCancellation: cancelling the context stops unstarted points and
+// surfaces ctx.Err.
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	n := 100
+	_, err := Map(ctx, &Engine{Workers: 2}, n,
+		func(ctx context.Context, i int, _ Obs) (int, error) {
+			if started.Add(1) == 4 {
+				cancel()
+			}
+			return i, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s := started.Load(); s >= int64(n) {
+		t.Errorf("all %d points started despite cancellation", s)
+	}
+}
+
+// TestMapMergesWorkerRegistries: counters recorded by per-worker
+// registries merge into the engine registry with sequential totals.
+func TestMapMergesWorkerRegistries(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		reg := metrics.New()
+		e := &Engine{Workers: workers, Registry: reg}
+		n := 37
+		_, err := Map(context.Background(), e, n,
+			func(_ context.Context, i int, obs Obs) (int, error) {
+				if obs.Registry == nil {
+					t.Error("point got no per-worker registry")
+				}
+				if obs.Registry == reg {
+					t.Error("point got the shared target registry (data race)")
+				}
+				obs.Registry.Counter("points_total", "").Inc()
+				obs.Registry.Counter("weight_total", "").Add(uint64(i))
+				obs.Registry.Histogram("h", "", []float64{10, 100}).Observe(float64(i))
+				obs.Registry.CounterVec("by_mod", "", "m").WithInt(i % 3).Inc()
+				return i, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := reg.Counter("points_total", "").Value(); got != uint64(n) {
+			t.Errorf("workers=%d: points_total = %d, want %d", workers, got, n)
+		}
+		if got := reg.Counter("weight_total", "").Value(); got != uint64(n*(n-1)/2) {
+			t.Errorf("workers=%d: weight_total = %d, want %d", workers, got, n*(n-1)/2)
+		}
+		if got := reg.Histogram("h", "", []float64{10, 100}).Count(); got != uint64(n) {
+			t.Errorf("workers=%d: histogram count = %d, want %d", workers, got, n)
+		}
+		vec := reg.CounterVec("by_mod", "", "m")
+		var sum uint64
+		for m := 0; m < 3; m++ {
+			sum += vec.WithInt(m).Value()
+		}
+		if sum != uint64(n) {
+			t.Errorf("workers=%d: vec sum = %d, want %d", workers, sum, n)
+		}
+	}
+}
+
+// countingSink counts Emit calls; not concurrency-safe on purpose, so the
+// race detector verifies the engine serializes it.
+type countingSink struct {
+	events int
+	closed bool
+}
+
+func (s *countingSink) Emit(metrics.Event) { s.events++ }
+func (s *countingSink) Close() error       { s.closed = true; return nil }
+
+// TestMapSerializesSink: a single-threaded sink shared by many workers
+// receives every event (run under -race to prove serialization).
+func TestMapSerializesSink(t *testing.T) {
+	sink := &countingSink{}
+	n := 50
+	_, err := Map(context.Background(), &Engine{Workers: 8, Sink: sink}, n,
+		func(_ context.Context, i int, obs Obs) (int, error) {
+			if obs.Sink == nil {
+				t.Error("point got no sink")
+			}
+			obs.Sink.Emit(metrics.Event{Type: "test", Seq: uint64(i)})
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.events != n {
+		t.Errorf("sink saw %d events, want %d", sink.events, n)
+	}
+	if sink.closed {
+		t.Error("engine closed the caller's sink")
+	}
+}
+
+// TestWorkerCount pins the pool-size resolution rules.
+func TestWorkerCount(t *testing.T) {
+	if got := (*Engine)(nil).workerCount(10); got != 1 {
+		t.Errorf("nil engine workers = %d, want 1", got)
+	}
+	if got := (&Engine{}).workerCount(1000); got != runtime.NumCPU() {
+		t.Errorf("default workers = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := (&Engine{Workers: 64}).workerCount(3); got != 3 {
+		t.Errorf("workers capped = %d, want 3", got)
+	}
+}
+
+// TestMapEmpty: a zero-point sweep returns immediately.
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), &Engine{Workers: 4}, 0,
+		func(_ context.Context, i int, _ Obs) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out = %v, err = %v", out, err)
+	}
+}

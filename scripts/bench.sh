@@ -1,0 +1,21 @@
+#!/bin/sh
+# Benchmark trajectory recorder: runs the full paper point sweep twice —
+# sequentially (-j 1) and with the default worker pool — from a cold
+# artifact cache each time, cross-checks that both renderings are
+# byte-identical, and writes BENCH_<label>.json with wall times, the
+# speedup, and every datapoint (compression ratios, cycle counts,
+# relative performance). Diff these files across PRs to catch both
+# performance and correctness regressions.
+#
+# Usage: scripts/bench.sh [label] [extra ccrp-bench flags...]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+label=${1:-PR2}
+[ $# -gt 0 ] && shift
+
+out="BENCH_${label}.json"
+echo "== recording benchmark trajectory -> $out"
+go run ./cmd/ccrp-bench -trajectory "$out" -label "$label" "$@"
+echo "== $out written"
