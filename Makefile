@@ -1,7 +1,8 @@
 GO ?= go
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
-.PHONY: all build test race vet fmt staticcheck check bench trajectory
+.PHONY: all build test race vet fmt staticcheck check bench trajectory \
+	serve-smoke serve-bench fuzz
 
 all: build
 
@@ -36,3 +37,18 @@ bench:
 LABEL ?= dev
 trajectory:
 	sh scripts/bench.sh $(LABEL)
+
+# ccrpd end-to-end smoke: healthz, train/compress/decompress round trip
+# byte-compared against ccpack, metrics scrape, SIGTERM drain.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# Serving benchmark: mixed load against a local ccrpd -> BENCH_<LABEL>.json.
+serve-bench:
+	sh scripts/serve_bench.sh $(LABEL)
+
+# Short fuzz pass over the decode hardening targets.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeLine -fuzztime=$(FUZZTIME) ./internal/codepack
+	$(GO) test -run=^$$ -fuzz=FuzzDecode$$ -fuzztime=$(FUZZTIME) ./internal/huffman

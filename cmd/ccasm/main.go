@@ -16,13 +16,16 @@ import (
 	"os"
 
 	"ccrp/internal/asm"
+	"ccrp/internal/cliutil"
 	"ccrp/internal/mips"
 )
 
 func main() {
 	out := flag.String("o", "a.img", "output image path")
 	listing := flag.Bool("l", false, "print a listing instead of writing the image")
+	version := cliutil.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
+	cliutil.HandleVersionFlag("ccasm", version)
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ccasm [-o out.img] [-l] prog.s")
 		os.Exit(2)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ccdb (prog.s | prog.img)
+//	ccdb [-version] (prog.s | prog.img)
 //
 // Commands:
 //
@@ -21,6 +21,7 @@ package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"math"
 	"os"
@@ -28,16 +29,20 @@ import (
 	"strings"
 
 	"ccrp/internal/asm"
+	"ccrp/internal/cliutil"
 	"ccrp/internal/mips"
 	"ccrp/internal/sim"
 )
 
 func main() {
-	if len(os.Args) != 2 {
+	version := cliutil.RegisterVersionFlag(flag.CommandLine)
+	flag.Parse()
+	cliutil.HandleVersionFlag("ccdb", version)
+	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ccdb (prog.s | prog.img)")
 		os.Exit(2)
 	}
-	prog := load(os.Args[1])
+	prog := load(flag.Arg(0))
 	m := sim.New(prog, sim.Config{Stdout: os.Stdout, CollectTrace: false})
 	dbg := &debugger{m: m, prog: prog, breaks: map[uint32]bool{}}
 	dbg.repl(os.Stdin)

@@ -3,24 +3,29 @@
 //
 // Usage:
 //
-//	ccdis prog.img
+//	ccdis [-version] prog.img
 package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
 	"os"
 
 	"ccrp/internal/asm"
+	"ccrp/internal/cliutil"
 	"ccrp/internal/mips"
 )
 
 func main() {
-	if len(os.Args) != 2 {
+	version := cliutil.RegisterVersionFlag(flag.CommandLine)
+	flag.Parse()
+	cliutil.HandleVersionFlag("ccdis", version)
+	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: ccdis prog.img")
 		os.Exit(2)
 	}
-	f, err := os.Open(os.Args[1])
+	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}

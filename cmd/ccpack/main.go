@@ -26,7 +26,9 @@ func main() {
 	word := flag.Bool("word", false, "word-align compressed blocks")
 	own := flag.Bool("own", false, "add the program's own bounded code as a second candidate")
 	wl := flag.String("workload", "", "compress a corpus workload instead of an image file")
+	version := cliutil.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
+	cliutil.HandleVersionFlag("ccpack", version)
 
 	var text []byte
 	var name string

@@ -43,7 +43,9 @@ func main() {
 	trajOut := flag.String("trajectory", "", "write a timed -j1-vs-jN benchmark trajectory JSON to this file")
 	label := flag.String("label", "dev", "trajectory label recorded in -trajectory output")
 	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
+	version := cliutil.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
+	cliutil.HandleVersionFlag("ccrp-bench", version)
 
 	obs, err := obsFlags.Begin()
 	if err != nil {

@@ -1,0 +1,392 @@
+// Command ccrp-load drives a running ccrpd with a mixed workload and
+// reports latency percentiles and throughput, the serving twin of
+// cmd/ccrp-bench's engine benchmarks.
+//
+// Usage:
+//
+//	ccrp-load [-url http://localhost:8642] [-clients 4] [-requests 200]
+//	          [-mix compress=4,roundtrip=2,simulate=1] [-timeout 2m]
+//	          [-o BENCH_PR3.json] [-version]
+//
+// Traffic classes:
+//
+//	compress   POST /v1/compress of a corpus workload under a trained coder
+//	roundtrip  compress + decompress with byte-identity verification
+//	simulate   POST /v1/simulate of one cache/CLB point
+//
+// The run fails (exit 1) on any 5xx response, any transport error, or any
+// round trip that is not byte-identical.
+package main
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"ccrp/internal/cliutil"
+	"ccrp/internal/hostinfo"
+	"ccrp/internal/workload"
+)
+
+// opResult is one completed request.
+type opResult struct {
+	class  string
+	status int
+	dur    time.Duration
+	err    error
+}
+
+// classStats aggregates one traffic class for the report.
+type classStats struct {
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+	MeanMS     float64 `json:"mean_ms"`
+	Throughput float64 `json:"throughput_rps"`
+}
+
+// report is the BENCH_PR3.json document.
+type report struct {
+	Schema     int                   `json:"schema"`
+	Tool       string                `json:"tool"`
+	Version    string                `json:"version"`
+	URL        string                `json:"url"`
+	Clients    int                   `json:"clients"`
+	Requests   int                   `json:"requests"`
+	Mix        string                `json:"mix"`
+	WallMS     float64               `json:"wall_ms"`
+	Throughput float64               `json:"throughput_rps"`
+	Status5xx  int                   `json:"status_5xx"`
+	RoundTrips int                   `json:"round_trips_verified"`
+	Classes    map[string]classStats `json:"classes"`
+	Host       hostinfo.Info         `json:"host"`
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8642", "ccrpd base URL")
+	clients := flag.Int("clients", 4, "concurrent clients")
+	requests := flag.Int("requests", 200, "total requests across all clients")
+	mix := flag.String("mix", "compress=4,roundtrip=2,simulate=1", "traffic mix as class=weight pairs")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	seed := flag.Int64("seed", 1, "traffic-shuffle seed")
+	version := cliutil.RegisterVersionFlag(flag.CommandLine)
+	flag.Parse()
+	cliutil.HandleVersionFlag("ccrp-load", version)
+
+	classes, err := parseMix(*mix)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *clients < 1 || *requests < 1 {
+		fatal("clients and requests must be positive")
+	}
+
+	client := &http.Client{Timeout: *timeout}
+
+	// One coder for the whole run: the server's cache makes this a single
+	// build no matter how many clients race on startup.
+	coderID, err := trainCoder(client, *url)
+	if err != nil {
+		fatal("training coder: %v", err)
+	}
+
+	// Pre-plan the traffic so every run with the same flags issues the
+	// same request sequence.
+	rng := rand.New(rand.NewSource(*seed))
+	plan := make([]string, *requests)
+	for i := range plan {
+		plan[i] = pickClass(rng, classes)
+	}
+	names := workload.Names()
+
+	jobs := make(chan int)
+	results := make(chan opResult, *requests)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := range jobs {
+				wl := names[i%len(names)]
+				results <- runOp(client, *url, plan[i], coderID, wl, i)
+			}
+		}(c)
+	}
+	for i := 0; i < *requests; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start)
+	close(results)
+
+	rep := report{
+		Schema:  1,
+		Tool:    "ccrp-load",
+		Version: cliutil.Version(),
+		URL:     *url,
+		Clients: *clients,
+		Mix:     *mix,
+		WallMS:  float64(wall.Microseconds()) / 1000,
+		Classes: map[string]classStats{},
+		Host:    hostinfo.Collect(),
+	}
+	perClass := map[string][]time.Duration{}
+	failures := 0
+	for r := range results {
+		rep.Requests++
+		if r.status >= 500 {
+			rep.Status5xx++
+		}
+		if r.err != nil {
+			failures++
+			fmt.Fprintf(os.Stderr, "ccrp-load: %s: %v\n", r.class, r.err)
+			cs := rep.Classes[r.class]
+			cs.Errors++
+			rep.Classes[r.class] = cs
+			continue
+		}
+		if r.class == "roundtrip" {
+			rep.RoundTrips++
+		}
+		perClass[r.class] = append(perClass[r.class], r.dur)
+	}
+	for class, durs := range perClass {
+		cs := rep.Classes[class]
+		cs.Requests = len(durs) + cs.Errors
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		cs.P50MS = percentile(durs, 0.50)
+		cs.P95MS = percentile(durs, 0.95)
+		cs.P99MS = percentile(durs, 0.99)
+		cs.MaxMS = ms(durs[len(durs)-1])
+		var sum time.Duration
+		for _, d := range durs {
+			sum += d
+		}
+		cs.MeanMS = ms(sum) / float64(len(durs))
+		cs.Throughput = float64(len(durs)) / wall.Seconds()
+		rep.Classes[class] = cs
+	}
+	rep.Throughput = float64(rep.Requests-failures) / wall.Seconds()
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	blob = append(blob, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal("%v", err)
+		}
+	} else {
+		os.Stdout.Write(blob)
+	}
+
+	fmt.Fprintf(os.Stderr, "ccrp-load: %d requests, %d clients, %.1f req/s, %d 5xx, %d failures\n",
+		rep.Requests, *clients, rep.Throughput, rep.Status5xx, failures)
+	if rep.Status5xx > 0 || failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseMix parses "class=weight,..." into an ordered weight table.
+func parseMix(s string) ([]struct {
+	name   string
+	weight int
+}, error) {
+	var classes []struct {
+		name   string
+		weight int
+	}
+	for _, pair := range strings.Split(s, ",") {
+		name, w, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q is not class=weight", pair)
+		}
+		weight, err := strconv.Atoi(w)
+		if err != nil || weight < 0 {
+			return nil, fmt.Errorf("mix entry %q has a bad weight", pair)
+		}
+		switch name {
+		case "compress", "roundtrip", "simulate":
+		default:
+			return nil, fmt.Errorf("unknown traffic class %q", name)
+		}
+		classes = append(classes, struct {
+			name   string
+			weight int
+		}{name, weight})
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("empty traffic mix")
+	}
+	return classes, nil
+}
+
+// pickClass samples the mix by weight.
+func pickClass(rng *rand.Rand, classes []struct {
+	name   string
+	weight int
+}) string {
+	total := 0
+	for _, c := range classes {
+		total += c.weight
+	}
+	n := rng.Intn(total)
+	for _, c := range classes {
+		if n < c.weight {
+			return c.name
+		}
+		n -= c.weight
+	}
+	return classes[len(classes)-1].name
+}
+
+// runOp issues one request of the given class and times it.
+func runOp(client *http.Client, base, class, coderID, wl string, i int) opResult {
+	start := time.Now()
+	var err error
+	var status int
+	switch class {
+	case "compress":
+		status, _, err = compress(client, base, coderID, wl)
+	case "roundtrip":
+		status, err = roundTrip(client, base, coderID, wl)
+	case "simulate":
+		status, err = simulate(client, base, wl, 256<<(i%4))
+	}
+	return opResult{class: class, status: status, dur: time.Since(start), err: err}
+}
+
+// post round-trips one JSON request, decoding the response into out.
+func post(client *http.Client, url string, in, out any) (int, error) {
+	blob, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, fmt.Errorf("%s: %d: %s", url, resp.StatusCode, body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("%s: bad response: %v", url, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// trainCoder trains the run's shared preselected coder.
+func trainCoder(client *http.Client, base string) (string, error) {
+	var info struct {
+		ID string `json:"id"`
+	}
+	if _, err := post(client, base+"/v1/coders",
+		map[string]any{"kind": "preselected"}, &info); err != nil {
+		return "", err
+	}
+	return info.ID, nil
+}
+
+// compressOut is the subset of the compress response the generator uses.
+type compressOut struct {
+	OriginalBytes int    `json:"original_bytes"`
+	ROMB64        string `json:"rom_b64"`
+}
+
+func compress(client *http.Client, base, coderID, wl string) (int, *compressOut, error) {
+	var out compressOut
+	status, err := post(client, base+"/v1/compress",
+		map[string]any{"coder_id": coderID, "workload": wl}, &out)
+	return status, &out, err
+}
+
+// roundTrip compresses a workload, decompresses the result, and verifies
+// byte identity against the workload's own text image.
+func roundTrip(client *http.Client, base, coderID, wl string) (int, error) {
+	status, comp, err := compress(client, base, coderID, wl)
+	if err != nil {
+		return status, err
+	}
+	var dec struct {
+		TextB64 string `json:"text_b64"`
+	}
+	status, err = post(client, base+"/v1/decompress",
+		map[string]any{"rom_b64": comp.ROMB64}, &dec)
+	if err != nil {
+		return status, err
+	}
+	got, err := base64.StdEncoding.DecodeString(dec.TextB64)
+	if err != nil {
+		return status, err
+	}
+	w, ok := workload.ByName(wl)
+	if !ok {
+		return status, fmt.Errorf("unknown workload %q", wl)
+	}
+	text, err := w.Text()
+	if err != nil {
+		return status, err
+	}
+	want := make([]byte, comp.OriginalBytes)
+	copy(want, text)
+	if !bytes.Equal(got, want) {
+		return status, fmt.Errorf("round trip of %q is not byte-identical", wl)
+	}
+	return status, nil
+}
+
+func simulate(client *http.Client, base, wl string, cacheBytes int) (int, error) {
+	var out struct {
+		RelativePerformance float64 `json:"relative_performance"`
+	}
+	status, err := post(client, base+"/v1/simulate",
+		map[string]any{"workload": wl, "cache_bytes": cacheBytes}, &out)
+	if err != nil {
+		return status, err
+	}
+	if out.RelativePerformance <= 0 {
+		return status, fmt.Errorf("simulate %q: nonpositive relative performance", wl)
+	}
+	return status, nil
+}
+
+// percentile reads the p-th percentile from sorted durations.
+func percentile(sorted []time.Duration, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return ms(sorted[idx])
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ccrp-load: "+format+"\n", args...)
+	os.Exit(1)
+}

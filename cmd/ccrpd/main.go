@@ -1,0 +1,114 @@
+// Command ccrpd is the compression-and-simulation daemon: the paper's
+// host-side toolchain (train a coder, compress a program, predict
+// execution cost) served over HTTP/JSON by internal/server.
+//
+// Usage:
+//
+//	ccrpd [-addr :8642] [-sim-workers N] [-max-body 16777216]
+//	      [-train-timeout 60s] [-compress-timeout 30s] [-sim-timeout 120s]
+//	      [-access-log access.jsonl] [-drain 15s] [-version]
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests get -drain to finish, then the process
+// exits 0. A second signal aborts immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ccrp/internal/cliutil"
+	"ccrp/internal/metrics"
+	"ccrp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8642", "listen address")
+	simWorkers := flag.Int("sim-workers", 0, "concurrent simulate runs (0 = NumCPU)")
+	maxBody := flag.Int64("max-body", 0, "request body limit in bytes (0 = 16 MiB)")
+	trainTimeout := flag.Duration("train-timeout", 0, "POST /v1/coders deadline (0 = 60s)")
+	compressTimeout := flag.Duration("compress-timeout", 0, "compress/decompress deadline (0 = 30s)")
+	simTimeout := flag.Duration("sim-timeout", 0, "POST /v1/simulate deadline (0 = 120s)")
+	accessLog := flag.String("access-log", "", "append JSONL access logs to this file (- for stderr)")
+	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+	version := cliutil.RegisterVersionFlag(flag.CommandLine)
+	flag.Parse()
+	cliutil.HandleVersionFlag("ccrpd", version)
+
+	cfg := server.Config{
+		MaxBodyBytes:    *maxBody,
+		SimWorkers:      *simWorkers,
+		TrainTimeout:    *trainTimeout,
+		CompressTimeout: *compressTimeout,
+		SimulateTimeout: *simTimeout,
+		Version:         cliutil.Version(),
+	}
+	if *accessLog != "" {
+		sink, closeSink, err := openAccessLog(*accessLog)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccrpd: %v\n", err)
+			os.Exit(1)
+		}
+		defer closeSink()
+		cfg.AccessLog = sink
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(cfg).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// First signal: drain. Second signal (after stop()): default handling,
+	// i.e. immediate termination.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "ccrpd %s listening on %s\n", cliutil.Version(), *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "ccrpd: %v\n", err)
+		os.Exit(1)
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintf(os.Stderr, "ccrpd: signal received, draining for up to %s\n", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "ccrpd: drain incomplete: %v\n", err)
+			srv.Close()
+			os.Exit(1)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "ccrpd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "ccrpd: drained, exiting")
+	}
+}
+
+// openAccessLog builds the JSONL event sink for -access-log.
+func openAccessLog(path string) (metrics.EventSink, func(), error) {
+	if path == "-" {
+		sink := metrics.NewJSONLSink(os.Stderr)
+		return sink, func() { sink.Close() }, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("access log: %w", err)
+	}
+	sink := metrics.NewJSONLSink(f)
+	return sink, func() { sink.Close(); f.Close() }, nil
+}

@@ -55,7 +55,9 @@ func main() {
 	loadTrace := flag.String("trace", "", "drive the comparison from a saved trace (with prog.img for the text)")
 	asJSON := flag.Bool("json", false, "emit the comparison as a single JSON object on stdout")
 	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
+	version := cliutil.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
+	cliutil.HandleVersionFlag("ccsim", version)
 
 	mem, err := cliutil.MemoryModel(*memName)
 	if err != nil {

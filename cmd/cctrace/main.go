@@ -31,7 +31,9 @@ func main() {
 	top := flag.Int("top", 8, "number of hot regions to list")
 	cacheBytes := flag.Int("cache", 1024, "cache size for the instrumented pass (-metrics/-events)")
 	obsFlags := cliutil.RegisterObsFlags(flag.CommandLine)
+	version := cliutil.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
+	cliutil.HandleVersionFlag("cctrace", version)
 
 	obs, err := obsFlags.Begin()
 	if err != nil {

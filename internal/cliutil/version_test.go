@@ -1,0 +1,34 @@
+package cliutil
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestVersionNonEmpty(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("Version() returned an empty string")
+	}
+	// Test binaries always carry build info; at minimum the go version
+	// or the devel marker must be present.
+	if !strings.Contains(v, "go") && !strings.Contains(v, "devel") {
+		t.Errorf("Version() = %q, want a go version or devel marker", v)
+	}
+}
+
+func TestRegisterVersionFlag(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	v := RegisterVersionFlag(fs)
+	if err := fs.Parse([]string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+	if !*v {
+		t.Error("-version flag did not parse to true")
+	}
+	// HandleVersionFlag must be a no-op when the flag is unset or nil.
+	off := false
+	HandleVersionFlag("test", &off)
+	HandleVersionFlag("test", nil)
+}

@@ -185,8 +185,8 @@ func (c *Coder) EncodeLine(line []byte) ([]byte, error) {
 
 // DecodeLine expands a compressed line back to n bytes (n word aligned).
 func (c *Coder) DecodeLine(comp []byte, n int) ([]byte, error) {
-	if n%4 != 0 {
-		return nil, fmt.Errorf("codepack: output length %d not word aligned", n)
+	if n < 0 || n%4 != 0 {
+		return nil, fmt.Errorf("%w: output length %d not a non-negative word multiple", ErrBadLine, n)
 	}
 	out := make([]byte, n)
 	r := bitio.NewReader(comp)

@@ -71,6 +71,9 @@ func TestBuildTrajectory(t *testing.T) {
 	if tr.Workers != 4 || tr.Label != "test" {
 		t.Errorf("metadata wrong: %+v", tr)
 	}
+	if tr.Host.GoVersion == "" || tr.Host.NumCPU < 1 || tr.Host.GOMAXPROCS < 1 {
+		t.Errorf("host metadata not recorded: %+v", tr.Host)
+	}
 	var doc struct {
 		Experiments map[string]json.RawMessage `json:"experiments"`
 	}

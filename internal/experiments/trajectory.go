@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"time"
 
+	"ccrp/internal/hostinfo"
 	"ccrp/internal/sweep"
 )
 
@@ -20,6 +21,7 @@ type Trajectory struct {
 	Label          string          `json:"label"` // e.g. "PR2"
 	GoVersion      string          `json:"go_version"`
 	NumCPU         int             `json:"num_cpu"`
+	Host           hostinfo.Info   `json:"host"`    // toolchain + CPU metadata for cross-machine diffs
 	Workers        int             `json:"workers"` // worker count of the parallel run
 	Experiments    []string        `json:"experiments"`
 	SeqWallSeconds float64         `json:"seq_wall_seconds"` // -j 1, cold artifact cache
@@ -63,10 +65,11 @@ func BuildTrajectory(names []string, workers int, label string) (*Trajectory, er
 		names = Experiments
 	}
 	t := &Trajectory{
-		Schema:         1,
+		Schema:         2,
 		Label:          label,
 		GoVersion:      runtime.Version(),
 		NumCPU:         runtime.NumCPU(),
+		Host:           hostinfo.Collect(),
 		Workers:        workers,
 		Experiments:    append([]string(nil), names...),
 		SeqWallSeconds: seqSec,

@@ -1,0 +1,29 @@
+package hostinfo
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestCollect(t *testing.T) {
+	info := Collect()
+	if info.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", info.GoVersion, runtime.Version())
+	}
+	if info.GOOS != runtime.GOOS || info.GOARCH != runtime.GOARCH {
+		t.Errorf("GOOS/GOARCH = %s/%s, want %s/%s", info.GOOS, info.GOARCH, runtime.GOOS, runtime.GOARCH)
+	}
+	if info.NumCPU < 1 {
+		t.Errorf("NumCPU = %d, want >= 1", info.NumCPU)
+	}
+	if info.GOMAXPROCS < 1 {
+		t.Errorf("GOMAXPROCS = %d, want >= 1", info.GOMAXPROCS)
+	}
+}
+
+func TestCollectStable(t *testing.T) {
+	a, b := Collect(), Collect()
+	if a != b {
+		t.Errorf("Collect not stable: %+v vs %+v", a, b)
+	}
+}

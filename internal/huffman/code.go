@@ -184,6 +184,9 @@ func (c *Code) Decode(r *bitio.Reader, out []byte) error {
 
 // DecodeBytes decodes exactly n symbols from the (zero-padded) buffer p.
 func (c *Code) DecodeBytes(p []byte, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative output length %d", ErrBadCode, n)
+	}
 	out := make([]byte, n)
 	if err := c.Decode(bitio.NewReader(p), out); err != nil {
 		return nil, err

@@ -1,0 +1,111 @@
+package huffman
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ccrp/internal/bitio"
+)
+
+// fuzzBoundedCode builds one fixed 16-bit-bounded code over a skewed
+// histogram, the same shape as the preselected corpus code the decoder
+// hardware would hardwire.
+func fuzzBoundedCode(tb testing.TB) *Code {
+	var h Histogram
+	for i := 0; i < 256; i++ {
+		h[i] = uint64(1 + (i*i)%97)
+	}
+	code, err := BuildBounded(&h, 16)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return code
+}
+
+// FuzzDecode hardens bounded-Huffman decoding against hostile compressed
+// streams: any byte soup must either decode (it is a complete code, so
+// most streams do) or fail with an error — never panic.
+func FuzzDecode(f *testing.F) {
+	code := fuzzBoundedCode(f)
+	sample := []byte("the quick brown fox jumps over the lazy dog")
+	enc, err := code.EncodeToBytes(sample)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(enc, len(sample))
+	f.Add([]byte{}, 1)
+	f.Add(enc[:len(enc)/2], len(sample))
+	f.Add(enc, -1)
+	f.Add([]byte{0xFF}, 64)
+
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n > 4096 {
+			n %= 4096 // cap the output allocation only
+		}
+		out, err := code.DecodeBytes(data, n)
+		if err != nil {
+			return
+		}
+		if len(out) != n {
+			t.Fatalf("DecodeBytes returned %d symbols, want %d", len(out), n)
+		}
+		// A successful decode must round-trip: re-encoding the output
+		// reproduces the consumed prefix of the input stream.
+		re, err := code.EncodeToBytes(out)
+		if err != nil {
+			t.Fatalf("re-encoding decoded output: %v", err)
+		}
+		back, err := code.DecodeBytes(re, n)
+		if err != nil || !bytes.Equal(back, out) {
+			t.Fatalf("decoded output does not round-trip (err=%v)", err)
+		}
+	})
+}
+
+// FuzzUnmarshalCode hardens the serialized code-table parser: arbitrary
+// blobs must never panic, and every accepted table must produce a code
+// whose own serialization parses back.
+func FuzzUnmarshalCode(f *testing.F) {
+	code := fuzzBoundedCode(f)
+	blob, err := code.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add(blob[:8])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := UnmarshalCode(data)
+		if err != nil {
+			return
+		}
+		blob, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted code fails MarshalBinary: %v", err)
+		}
+		if _, err := UnmarshalCode(blob); err != nil {
+			t.Fatalf("accepted code fails re-parse: %v", err)
+		}
+	})
+}
+
+// TestDecodeBytesNegativeLength pins the hardened error path.
+func TestDecodeBytesNegativeLength(t *testing.T) {
+	code := fuzzBoundedCode(t)
+	if _, err := code.DecodeBytes([]byte{0x00}, -1); !errors.Is(err, ErrBadCode) {
+		t.Fatalf("DecodeBytes(p, -1) error = %v, want ErrBadCode", err)
+	}
+}
+
+// TestDecodeShortStream pins the underrun error: a truncated stream
+// reports bitio.ErrShortStream through Decode's wrapping.
+func TestDecodeShortStream(t *testing.T) {
+	code := fuzzBoundedCode(t)
+	out := make([]byte, 64)
+	err := code.Decode(bitio.NewReader([]byte{0x00}), out)
+	if err == nil {
+		t.Fatal("Decode of a 1-byte stream into 64 symbols succeeded")
+	}
+}

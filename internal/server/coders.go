@@ -1,0 +1,257 @@
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+
+	"ccrp/internal/codepack"
+	"ccrp/internal/core"
+	"ccrp/internal/experiments"
+	"ccrp/internal/huffman"
+	"ccrp/internal/sweep"
+	"ccrp/internal/workload"
+)
+
+// Coder kinds accepted by POST /v1/coders.
+const (
+	KindHuffman     = "huffman"     // traditional (unbounded) byte-Huffman code
+	KindBounded     = "bounded"     // length-limited byte-Huffman code (package-merge)
+	KindPreselected = "preselected" // the paper's corpus-trained 16-bit-bounded code
+	KindCodePack    = "codepack"    // halfword-dictionary coder (IBM CodePack lineage)
+)
+
+// coderEntry is one trained coder held by the registry. Entries are
+// immutable after construction, so concurrent requests share them freely.
+type coderEntry struct {
+	ID          string
+	Kind        string
+	Bound       int
+	CorpusBytes int
+	codes       []*huffman.Code // byte-Huffman kinds
+	codec       core.LineCodec  // codepack
+}
+
+// coderInfo is the wire shape describing a coder.
+type coderInfo struct {
+	ID          string `json:"id"`
+	Kind        string `json:"kind"`
+	Bound       int    `json:"bound,omitempty"`
+	CorpusBytes int    `json:"corpus_bytes"`
+	MaxCodeLen  int    `json:"max_code_len,omitempty"` // longest codeword, bits
+	TableBits   int    `json:"table_bits,omitempty"`   // serialized code-table cost
+	DictBytes   int    `json:"dict_bytes,omitempty"`   // codepack dictionary cost
+	Cached      bool   `json:"cached"`                 // true when this request hit the cache
+}
+
+func (e *coderEntry) info(cached bool) coderInfo {
+	info := coderInfo{
+		ID: e.ID, Kind: e.Kind, Bound: e.Bound,
+		CorpusBytes: e.CorpusBytes, Cached: cached,
+	}
+	if len(e.codes) > 0 {
+		info.MaxCodeLen = e.codes[0].MaxLen()
+		info.TableBits = e.codes[0].TableBits()
+	}
+	if cp, ok := e.codec.(*codepack.Coder); ok {
+		info.DictBytes = cp.DictionaryBytes()
+	}
+	return info
+}
+
+// trainRequest is the POST /v1/coders body. The corpus is the union of
+// inline base64 images and named corpus workloads; "preselected" needs
+// neither (its corpus is fixed by the paper).
+type trainRequest struct {
+	Kind      string   `json:"kind"`
+	Bound     int      `json:"bound,omitempty"`      // bounded only; default 16
+	CorpusB64 []string `json:"corpus_b64,omitempty"` // raw text images, base64
+	Workloads []string `json:"workloads,omitempty"`  // corpus programs by name
+}
+
+// decodeRequest parses a JSON body into v with unknown-field rejection,
+// mapping failures onto the error taxonomy.
+func decodeRequest(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if _, ok := err.(*http.MaxBytesError); ok {
+			return err // let asAPIError map it to 413
+		}
+		if err == io.EOF {
+			return errBadRequest("empty request body")
+		}
+		return errBadRequest("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+// gatherCorpus resolves the training corpus of a request.
+func gatherCorpus(req *trainRequest) ([][]byte, error) {
+	var corpus [][]byte
+	for i, enc := range req.CorpusB64 {
+		img, err := base64.StdEncoding.DecodeString(enc)
+		if err != nil {
+			return nil, errBadRequest("corpus_b64[%d]: invalid base64: %v", i, err)
+		}
+		corpus = append(corpus, img)
+	}
+	for _, name := range req.Workloads {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return nil, Errf(http.StatusNotFound, CodeNotFound,
+				"unknown workload %q (have %v)", name, workload.Names())
+		}
+		text, err := w.Text()
+		if err != nil {
+			return nil, errUnprocessable("workload %q failed to build: %v", name, err)
+		}
+		corpus = append(corpus, text)
+	}
+	return corpus, nil
+}
+
+// coderKey derives the content-addressed cache key (and id) of a train
+// request: kind, bound, and the corpus content. Identical corpora train
+// once no matter how they were supplied.
+func coderKey(kind string, bound int, corpus [][]byte) string {
+	parts := []any{"coder", kind, bound}
+	hashes := make([]string, len(corpus))
+	for i, img := range corpus {
+		hashes[i] = sweep.HashBytes(img)
+	}
+	// Corpus order does not change the trained histograms' union, but it
+	// does change multi-image hashing; sort so semantically identical
+	// requests share a key.
+	sort.Strings(hashes)
+	for _, h := range hashes {
+		parts = append(parts, h)
+	}
+	return sweep.Key(parts...)
+}
+
+// buildCoder trains the coder for a validated request.
+func buildCoder(id, kind string, bound int, corpus [][]byte) (*coderEntry, error) {
+	total := 0
+	for _, img := range corpus {
+		total += len(img)
+	}
+	e := &coderEntry{ID: id, Kind: kind, Bound: bound, CorpusBytes: total}
+	switch kind {
+	case KindPreselected:
+		code, err := experiments.PreselectedCode()
+		if err != nil {
+			return nil, err
+		}
+		e.codes = []*huffman.Code{code}
+	case KindHuffman, KindBounded:
+		h := huffman.HistogramOf(corpus...)
+		// Smooth so every byte value stays encodable: a service coder
+		// must compress images beyond its training corpus without
+		// falling back to raw storage on unseen bytes.
+		h = h.Smooth()
+		var code *huffman.Code
+		var err error
+		if kind == KindBounded {
+			code, err = huffman.BuildBounded(h, bound)
+		} else {
+			code, err = huffman.BuildTraditional(h)
+		}
+		if err != nil {
+			return nil, errUnprocessable("training %s code: %v", kind, err)
+		}
+		e.codes = []*huffman.Code{code}
+	case KindCodePack:
+		coder, err := codepack.Train(corpus...)
+		if err != nil {
+			return nil, errUnprocessable("training codepack coder: %v", err)
+		}
+		e.codec = coder
+	default:
+		return nil, errBadRequest("unknown coder kind %q (have %s, %s, %s, %s)",
+			kind, KindHuffman, KindBounded, KindPreselected, KindCodePack)
+	}
+	return e, nil
+}
+
+func (s *Server) handleTrainCoder(w http.ResponseWriter, r *http.Request) error {
+	var req trainRequest
+	if err := decodeRequest(r, &req); err != nil {
+		return err
+	}
+	if req.Kind == "" {
+		return errBadRequest("missing coder kind")
+	}
+	if req.Bound == 0 {
+		req.Bound = experiments.HuffmanBound
+	}
+	if req.Bound < 1 || req.Bound > 64 {
+		return errBadRequest("bound %d outside [1, 64]", req.Bound)
+	}
+	if req.Kind != KindBounded {
+		req.Bound = 0 // bound is a bounded-only knob; normalize the key
+	}
+	corpus, err := gatherCorpus(&req)
+	if err != nil {
+		return err
+	}
+	if len(corpus) == 0 && req.Kind != KindPreselected {
+		return errBadRequest("training a %q coder requires corpus_b64 or workloads", req.Kind)
+	}
+
+	key := coderKey(req.Kind, req.Bound, corpus)
+	id := sweep.HashBytes([]byte(key))
+
+	s.codersMu.Lock()
+	_, cached := s.coders[id]
+	s.codersMu.Unlock()
+
+	entry, err := sweep.Get(s.cache, key, func() (*coderEntry, error) {
+		s.metricsMu.Lock()
+		s.inst.builds.Inc()
+		s.metricsMu.Unlock()
+		return buildCoder(id, req.Kind, req.Bound, corpus)
+	})
+	if err != nil {
+		return err
+	}
+	s.codersMu.Lock()
+	s.coders[id] = entry
+	s.codersMu.Unlock()
+
+	writeJSON(w, http.StatusOK, entry.info(cached))
+	return nil
+}
+
+func (s *Server) handleGetCoder(w http.ResponseWriter, r *http.Request) error {
+	id := r.PathValue("id")
+	entry, err := s.coderByID(id)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, http.StatusOK, entry.info(true))
+	return nil
+}
+
+// coderByID resolves a coder id registered earlier in this process.
+func (s *Server) coderByID(id string) (*coderEntry, error) {
+	s.codersMu.Lock()
+	entry, ok := s.coders[id]
+	s.codersMu.Unlock()
+	if !ok {
+		return nil, Errf(http.StatusNotFound, CodeNotFound,
+			"unknown coder id %q (train it with POST /v1/coders)", id)
+	}
+	return entry, nil
+}
+
+// romOptions builds the core compression options for a coder.
+func (e *coderEntry) romOptions(wordAligned bool) core.Options {
+	return core.Options{Codes: e.codes, Codec: e.codec, WordAligned: wordAligned}
+}
+
+// serializable reports whether the coder's ROMs can be written as CROM
+// files (codec tables live outside the ROM format).
+func (e *coderEntry) serializable() bool { return e.codec == nil }

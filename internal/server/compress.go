@@ -1,0 +1,250 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"net/http"
+
+	"ccrp/internal/core"
+	"ccrp/internal/sweep"
+	"ccrp/internal/workload"
+)
+
+// compressRequest is the POST /v1/compress body. Exactly one text source
+// must be set: an inline base64 image or a named corpus workload.
+type compressRequest struct {
+	CoderID     string `json:"coder_id"`
+	TextB64     string `json:"text_b64,omitempty"`
+	Workload    string `json:"workload,omitempty"`
+	WordAligned bool   `json:"word_aligned,omitempty"`
+}
+
+// lineInfo is one LAT-ready per-line record: the stored length in bytes
+// and the raw-bypass flag, exactly what a Line Address Table encodes.
+type lineInfo struct {
+	Len int  `json:"len"`
+	Raw bool `json:"raw,omitempty"`
+}
+
+// compressResponse reports the compressed image. ROMB64 is the CROM file
+// (cmd/ccpack's on-disk format, byte-identical) for serializable coders;
+// BlocksB64 plus Lines always suffice for /v1/decompress.
+type compressResponse struct {
+	CoderID         string     `json:"coder_id"`
+	OriginalBytes   int        `json:"original_bytes"`
+	CompressedBytes int        `json:"compressed_bytes"`
+	BlocksBytes     int        `json:"blocks_bytes"`
+	LATBytes        int        `json:"lat_bytes"`
+	Ratio           float64    `json:"ratio"`
+	RawLines        int        `json:"raw_lines"`
+	Lines           []lineInfo `json:"lines"`
+	BlocksB64       string     `json:"blocks_b64"`
+	ROMB64          string     `json:"rom_b64,omitempty"`
+}
+
+// resolveText produces the program text image of a request.
+func (s *Server) resolveText(textB64, workloadName string) ([]byte, error) {
+	switch {
+	case textB64 != "" && workloadName != "":
+		return nil, errBadRequest("text_b64 and workload are mutually exclusive")
+	case textB64 != "":
+		text, err := base64.StdEncoding.DecodeString(textB64)
+		if err != nil {
+			return nil, errBadRequest("text_b64: invalid base64: %v", err)
+		}
+		if len(text) == 0 {
+			return nil, errBadRequest("text_b64 decodes to an empty image")
+		}
+		return text, nil
+	case workloadName != "":
+		w, ok := workload.ByName(workloadName)
+		if !ok {
+			return nil, Errf(http.StatusNotFound, CodeNotFound,
+				"unknown workload %q (have %v)", workloadName, workload.Names())
+		}
+		text, err := w.Text()
+		if err != nil {
+			return nil, errUnprocessable("workload %q failed to build: %v", workloadName, err)
+		}
+		return text, nil
+	default:
+		return nil, errBadRequest("one of text_b64 or workload is required")
+	}
+}
+
+// buildROM compresses text under the coder through the artifact cache:
+// concurrent identical requests (same coder, same image, same alignment)
+// share one build, and simulate reuses compress's ROMs. Built ROMs are
+// immutable, which is what makes the sharing sound.
+func (s *Server) buildROM(entry *coderEntry, text []byte, wordAligned bool) (*core.ROM, error) {
+	key := sweep.Key("rom", entry.ID, wordAligned, text)
+	return sweep.Get(s.cache, key, func() (*core.ROM, error) {
+		rom, err := core.BuildROM(text, entry.romOptions(wordAligned))
+		if err != nil {
+			return nil, errUnprocessable("compression failed: %v", err)
+		}
+		if err := rom.Verify(); err != nil {
+			return nil, Errf(http.StatusInternalServerError, CodeInternal,
+				"compressed image fails verification: %v", err)
+		}
+		return rom, nil
+	})
+}
+
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) error {
+	var req compressRequest
+	if err := decodeRequest(r, &req); err != nil {
+		return err
+	}
+	if req.CoderID == "" {
+		return errBadRequest("missing coder_id (train one with POST /v1/coders)")
+	}
+	entry, err := s.coderByID(req.CoderID)
+	if err != nil {
+		return err
+	}
+	text, err := s.resolveText(req.TextB64, req.Workload)
+	if err != nil {
+		return err
+	}
+	rom, err := s.buildROM(entry, text, req.WordAligned)
+	if err != nil {
+		return err
+	}
+
+	resp := compressResponse{
+		CoderID:         req.CoderID,
+		OriginalBytes:   rom.OriginalSize,
+		CompressedBytes: rom.CompressedSize(),
+		BlocksBytes:     rom.BlocksSize(),
+		LATBytes:        rom.TableSize(),
+		Ratio:           rom.Ratio(),
+		RawLines:        rom.RawLines(),
+		BlocksB64:       base64.StdEncoding.EncodeToString(rom.Blocks),
+	}
+	for _, l := range rom.Lines {
+		resp.Lines = append(resp.Lines, lineInfo{Len: len(l.Stored), Raw: l.Raw})
+	}
+	if entry.serializable() {
+		var buf bytes.Buffer
+		if err := rom.WriteFile(&buf); err != nil {
+			return err
+		}
+		resp.ROMB64 = base64.StdEncoding.EncodeToString(buf.Bytes())
+	}
+
+	s.metricsMu.Lock()
+	s.inst.bytesIn.Add(uint64(len(text)))
+	s.metricsMu.Unlock()
+
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// decompressRequest is the POST /v1/decompress body. Either a serialized
+// CROM image (self-describing: code tables travel in the file) or the
+// coder id plus the packed blocks and per-line records from a compress
+// response.
+type decompressRequest struct {
+	ROMB64    string     `json:"rom_b64,omitempty"`
+	CoderID   string     `json:"coder_id,omitempty"`
+	BlocksB64 string     `json:"blocks_b64,omitempty"`
+	Lines     []lineInfo `json:"lines,omitempty"`
+}
+
+type decompressResponse struct {
+	TextB64       string `json:"text_b64"`
+	OriginalBytes int    `json:"original_bytes"`
+}
+
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) error {
+	var req decompressRequest
+	if err := decodeRequest(r, &req); err != nil {
+		return err
+	}
+	var text []byte
+	switch {
+	case req.ROMB64 != "":
+		blob, err := base64.StdEncoding.DecodeString(req.ROMB64)
+		if err != nil {
+			return errBadRequest("rom_b64: invalid base64: %v", err)
+		}
+		rom, err := core.ReadROMFile(bytes.NewReader(blob))
+		if err != nil {
+			return errUnprocessable("malformed ROM image: %v", err)
+		}
+		text = rom.Text()
+	case req.CoderID != "":
+		var err error
+		text, err = s.decompressLines(r.Context(), &req)
+		if err != nil {
+			return err
+		}
+	default:
+		return errBadRequest("one of rom_b64 or coder_id+blocks_b64+lines is required")
+	}
+
+	s.metricsMu.Lock()
+	s.inst.bytesOut.Add(uint64(len(text)))
+	s.metricsMu.Unlock()
+
+	writeJSON(w, http.StatusOK, decompressResponse{
+		TextB64:       base64.StdEncoding.EncodeToString(text),
+		OriginalBytes: len(text),
+	})
+	return nil
+}
+
+// decompressLines expands a blocks+lines payload under a registered
+// coder, the path for codec-based (non-serializable) images. The context
+// bounds the walk so a hostile line list cannot outlive the route
+// deadline.
+func (s *Server) decompressLines(ctx context.Context, req *decompressRequest) ([]byte, error) {
+	entry, err := s.coderByID(req.CoderID)
+	if err != nil {
+		return nil, err
+	}
+	blocks, err := base64.StdEncoding.DecodeString(req.BlocksB64)
+	if err != nil {
+		return nil, errBadRequest("blocks_b64: invalid base64: %v", err)
+	}
+	if len(req.Lines) == 0 {
+		return nil, errBadRequest("lines is required with coder_id")
+	}
+	out := make([]byte, 0, len(req.Lines)*core.LineSize)
+	off := 0
+	for i, l := range req.Lines {
+		if err := ctx.Err(); err != nil {
+			return nil, Errf(http.StatusRequestTimeout, CodeDeadlineExceeded,
+				"decompress deadline exceeded at line %d", i)
+		}
+		if l.Len < 0 || off+l.Len > len(blocks) {
+			return nil, errUnprocessable("line %d: stored length %d overruns the block region", i, l.Len)
+		}
+		stored := blocks[off : off+l.Len]
+		off += l.Len
+		if l.Raw {
+			line := make([]byte, core.LineSize)
+			copy(line, stored)
+			out = append(out, line...)
+			continue
+		}
+		line, err := entry.decodeLine(stored)
+		if err != nil {
+			return nil, errUnprocessable("line %d: %v", i, err)
+		}
+		out = append(out, line...)
+	}
+	return out, nil
+}
+
+// decodeLine expands one stored block back to a full cache line.
+func (e *coderEntry) decodeLine(stored []byte) ([]byte, error) {
+	if e.codec != nil {
+		return e.codec.DecodeLine(stored, core.LineSize)
+	}
+	// Single-code byte-Huffman; multi-code images need per-line tags and
+	// travel as CROM files instead.
+	return e.codes[0].DecodeBytes(stored, core.LineSize)
+}

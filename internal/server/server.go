@@ -1,0 +1,328 @@
+// Package server implements ccrpd, the compression-and-simulation
+// service: the paper's host-side toolchain (train a coder, compress a
+// program line by line, predict execution cost) exposed as a long-running
+// HTTP/JSON daemon instead of one-shot CLIs.
+//
+// The service layers directly over the existing engine:
+//
+//   - POST /v1/coders trains or fetches a coder (huffman | bounded |
+//     preselected | codepack) from an uploaded corpus. Coders are built
+//     through the content-addressed single-flight artifact cache from
+//     internal/sweep, so concurrent identical requests share one build
+//     and a retrained coder is byte-for-byte the CLI's.
+//   - POST /v1/compress and /v1/decompress run block-bounded line
+//     compression of whole text images, returning LAT-ready per-line
+//     lengths, the compression ratio, and (for Huffman coders) the
+//     serialized CROM image — byte-identical to cmd/ccpack's output.
+//   - POST /v1/simulate runs one core.Config point through the
+//     trace-driven system simulator under a bounded worker pool with a
+//     per-request deadline.
+//   - GET /healthz, GET /metrics (Prometheus text format via
+//     internal/metrics), and /debug/pprof/* provide the operational
+//     surface.
+//
+// Production shape: request-size limits, per-route timeouts, a typed
+// JSON error taxonomy (errors.go), panic confinement per request, and
+// structured access logs through the internal/metrics event-sink
+// machinery. Graceful drain on SIGTERM lives in cmd/ccrpd.
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccrp/internal/hostinfo"
+	"ccrp/internal/metrics"
+	"ccrp/internal/sweep"
+)
+
+// Config tunes the service. The zero value selects production defaults.
+type Config struct {
+	// MaxBodyBytes bounds every request body; 0 selects 16 MiB.
+	MaxBodyBytes int64
+	// SimWorkers bounds concurrent simulation runs; 0 selects NumCPU.
+	SimWorkers int
+	// TrainTimeout, CompressTimeout, and SimulateTimeout are the
+	// per-route deadlines; 0 selects 60s / 30s / 120s.
+	TrainTimeout    time.Duration
+	CompressTimeout time.Duration
+	SimulateTimeout time.Duration
+	// Version is reported by /healthz (cliutil.Version in cmd/ccrpd).
+	Version string
+	// AccessLog, when set, receives one metrics.EvHTTP event per
+	// completed request. The server serializes Emit calls, so a plain
+	// JSONLSink is safe.
+	AccessLog metrics.EventSink
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.SimWorkers <= 0 {
+		c.SimWorkers = runtime.NumCPU()
+	}
+	if c.TrainTimeout == 0 {
+		c.TrainTimeout = 60 * time.Second
+	}
+	if c.CompressTimeout == 0 {
+		c.CompressTimeout = 30 * time.Second
+	}
+	if c.SimulateTimeout == 0 {
+		c.SimulateTimeout = 120 * time.Second
+	}
+	if c.Version == "" {
+		c.Version = "devel"
+	}
+	return c
+}
+
+// Server is the ccrpd service state. Create with New; serve s.Handler().
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *sweep.Cache // single-flight artifacts: coders and compressed ROMs
+	start time.Time
+
+	// coders indexes trained coders by content-addressed id. The cache
+	// deduplicates builds; this map only resolves ids for later requests.
+	codersMu sync.Mutex
+	coders   map[string]*coderEntry
+
+	sem chan struct{} // simulate worker pool
+
+	// Registry instruments are single-threaded by design; metricsMu
+	// serializes handler-side updates and the /metrics scrape.
+	metricsMu sync.Mutex
+	registry  *metrics.Registry
+	inst      serverMetrics
+
+	accessMu sync.Mutex // serializes AccessLog.Emit
+	reqSeq   atomic.Uint64
+	inflight atomic.Int64
+}
+
+// serverMetrics caches the instrument handles so the hot path does one
+// registry lookup per instrument per process, not per request.
+type serverMetrics struct {
+	requests  *metrics.CounterVec // by route
+	responses *metrics.CounterVec // by status code
+	errors    *metrics.CounterVec // by taxonomy code
+	latency   *metrics.Histogram  // seconds, all routes
+	simWait   *metrics.Histogram  // seconds queued for a worker slot
+	bytesIn   *metrics.Counter
+	bytesOut  *metrics.Counter
+	builds    *metrics.Counter // coder builds that actually ran
+	uptime    *metrics.Gauge
+	inflight  *metrics.Gauge
+}
+
+// New builds a Server with its routes registered.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		cache:    sweep.NewCache(),
+		coders:   make(map[string]*coderEntry),
+		sem:      make(chan struct{}, cfg.SimWorkers),
+		registry: metrics.New(),
+		start:    time.Now(),
+	}
+	s.inst = serverMetrics{
+		requests:  s.registry.CounterVec("ccrpd_requests_total", "requests received", "route"),
+		responses: s.registry.CounterVec("ccrpd_responses_total", "responses sent", "status"),
+		errors:    s.registry.CounterVec("ccrpd_errors_total", "error responses", "code"),
+		latency: s.registry.Histogram("ccrpd_request_seconds", "request wall time",
+			metrics.ExpBuckets(0.0001, 4, 10)),
+		simWait: s.registry.Histogram("ccrpd_sim_queue_seconds", "time queued for a simulate slot",
+			metrics.ExpBuckets(0.0001, 4, 10)),
+		bytesIn:  s.registry.Counter("ccrpd_text_bytes_in_total", "program text bytes received"),
+		bytesOut: s.registry.Counter("ccrpd_text_bytes_out_total", "program text bytes returned"),
+		builds:   s.registry.Counter("ccrpd_coder_builds_total", "coder builds executed (cache misses)"),
+		uptime:   s.registry.Gauge("ccrpd_uptime_seconds", "seconds since server start"),
+		inflight: s.registry.Gauge("ccrpd_inflight_requests", "requests currently being served"),
+	}
+
+	s.route("POST /v1/coders", cfg.TrainTimeout, s.handleTrainCoder)
+	s.route("GET /v1/coders/{id}", 5*time.Second, s.handleGetCoder)
+	s.route("POST /v1/compress", cfg.CompressTimeout, s.handleCompress)
+	s.route("POST /v1/decompress", cfg.CompressTimeout, s.handleDecompress)
+	s.route("POST /v1/simulate", cfg.SimulateTimeout, s.handleSimulate)
+	s.route("GET /healthz", 5*time.Second, s.handleHealthz)
+	s.route("GET /metrics", 5*time.Second, s.handleMetrics)
+
+	// pprof must bypass the JSON middleware (it streams its own formats
+	// and profile durations exceed route timeouts by design).
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	// Everything else: typed 404/405 instead of the mux's plain text.
+	s.mux.Handle("/", s.middleware("fallback", 5*time.Second,
+		func(w http.ResponseWriter, r *http.Request) error {
+			return Errf(http.StatusNotFound, CodeNotFound, "no route %s %s", r.Method, r.URL.Path)
+		}))
+	return s
+}
+
+// Handler returns the root handler for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the server's metrics registry (tests and embedding).
+func (s *Server) Registry() *metrics.Registry { return s.registry }
+
+// handlerFunc is a route handler that reports failures as errors; the
+// middleware owns serialization, logging, and instrumentation.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) error
+
+// route registers pattern with the standard middleware stack. The
+// pattern's method is enforced by the mux; a bare-path duplicate maps
+// wrong verbs onto the 405 taxonomy entry.
+func (s *Server) route(pattern string, timeout time.Duration, h handlerFunc) {
+	method, path, _ := cutPattern(pattern)
+	s.mux.Handle(pattern, s.middleware(path, timeout, h))
+	// Same path, any other method -> typed 405. The mux prefers the
+	// more specific method pattern, so this only fires on mismatches.
+	s.mux.Handle(path, s.middleware(path, timeout,
+		func(w http.ResponseWriter, r *http.Request) error {
+			w.Header().Set("Allow", method)
+			return Errf(http.StatusMethodNotAllowed, CodeMethodNotAllowed,
+				"%s requires %s, got %s", path, method, r.Method)
+		}))
+}
+
+// cutPattern splits "METHOD /path" registration patterns.
+func cutPattern(pattern string) (method, path string, ok bool) {
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] == ' ' {
+			return pattern[:i], pattern[i+1:], true
+		}
+	}
+	return "", pattern, false
+}
+
+// statusWriter captures the response status for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.status, w.wrote = status, true
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if !w.wrote {
+		w.status, w.wrote = http.StatusOK, true
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// middleware wraps h with the production stack: panic confinement, the
+// request-size limit, the per-route deadline, metrics, and the access
+// log. Order matters: the recover must be outermost so even logging bugs
+// produce a typed 500 rather than a dropped connection.
+func (s *Server) middleware(routeName string, timeout time.Duration, h handlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seq := s.reqSeq.Add(1)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		s.inflight.Add(1)
+
+		var handlerErr error
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					handlerErr = Errf(http.StatusInternalServerError, CodeInternal,
+						"handler panicked: %v", rec)
+				}
+			}()
+			ctx, cancel := r.Context(), context.CancelFunc(func() {})
+			if timeout > 0 {
+				ctx, cancel = context.WithTimeout(ctx, timeout)
+			}
+			defer cancel()
+			r = r.WithContext(ctx)
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+			handlerErr = h(sw, r)
+		}()
+		if handlerErr != nil && !sw.wrote {
+			writeError(sw, handlerErr)
+		}
+
+		dur := time.Since(start)
+		inflight := s.inflight.Add(-1)
+		errCode := ""
+		if handlerErr != nil {
+			errCode = asAPIError(handlerErr).Code
+		}
+
+		s.metricsMu.Lock()
+		s.inst.requests.With(routeName).Inc()
+		s.inst.responses.WithInt(sw.status).Inc()
+		if errCode != "" {
+			s.inst.errors.With(errCode).Inc()
+		}
+		s.inst.latency.Observe(dur.Seconds())
+		s.inst.inflight.Set(float64(inflight))
+		s.metricsMu.Unlock()
+
+		if s.cfg.AccessLog != nil {
+			s.accessMu.Lock()
+			s.cfg.AccessLog.Emit(metrics.Event{
+				Type: metrics.EvHTTP, Seq: seq, Line: -1, Set: -1,
+				Method: r.Method, Path: r.URL.Path, Status: sw.status,
+				DurUS: uint64(dur.Microseconds()), Err: errCode,
+			})
+			s.accessMu.Unlock()
+		}
+	})
+}
+
+// healthzBody is the /healthz response shape.
+type healthzBody struct {
+	Status        string        `json:"status"`
+	Version       string        `json:"version"`
+	UptimeSeconds float64       `json:"uptime_seconds"`
+	Host          hostinfo.Info `json:"host"`
+	Coders        int           `json:"coders"`
+	SimWorkers    int           `json:"sim_workers"`
+	Inflight      int64         `json:"inflight"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
+	s.codersMu.Lock()
+	n := len(s.coders)
+	s.codersMu.Unlock()
+	writeJSON(w, http.StatusOK, healthzBody{
+		Status:        "ok",
+		Version:       s.cfg.Version,
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Host:          hostinfo.Collect(),
+		Coders:        n,
+		SimWorkers:    s.cfg.SimWorkers,
+		Inflight:      s.inflight.Load(),
+	})
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metricsMu.Lock()
+	defer s.metricsMu.Unlock()
+	s.inst.uptime.Set(time.Since(s.start).Seconds())
+	return s.registry.WritePrometheus(w)
+}

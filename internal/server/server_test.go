@@ -1,0 +1,511 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ccrp/internal/core"
+	"ccrp/internal/experiments"
+	"ccrp/internal/huffman"
+	"ccrp/internal/metrics"
+	"ccrp/internal/workload"
+)
+
+// newTestServer builds a server and its httptest harness.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// postJSON round-trips one JSON request.
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// decodeAs unmarshals a response body, failing the test on mismatch.
+func decodeAs[T any](t *testing.T, body []byte) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatalf("response %s does not parse: %v", body, err)
+	}
+	return v
+}
+
+// wantError asserts a response carries the given taxonomy code.
+func wantError(t *testing.T, resp *http.Response, body []byte, status int, code string) {
+	t.Helper()
+	if resp.StatusCode != status {
+		t.Errorf("status = %d, want %d (body %s)", resp.StatusCode, status, body)
+	}
+	eb := decodeAs[errorBody](t, body)
+	if eb.Error == nil || eb.Error.Code != code {
+		t.Errorf("error body = %s, want code %q", body, code)
+	}
+}
+
+// trainPreselected trains the default coder and returns its id.
+func trainPreselected(t *testing.T, url string) string {
+	t.Helper()
+	resp, body := postJSON(t, url+"/v1/coders", trainRequest{Kind: KindPreselected})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("train preselected: %d %s", resp.StatusCode, body)
+	}
+	return decodeAs[coderInfo](t, body).ID
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Version: "test-1"})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d %s", resp.StatusCode, body)
+	}
+	h := decodeAs[healthzBody](t, body)
+	if h.Status != "ok" || h.Version != "test-1" || h.Host.GoVersion == "" {
+		t.Errorf("healthz body = %+v", h)
+	}
+}
+
+func TestErrorTaxonomy(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 1024})
+
+	t.Run("unknown route is typed 404", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/nonesuch")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		wantError(t, resp, body, http.StatusNotFound, CodeNotFound)
+	})
+
+	t.Run("wrong method is typed 405", func(t *testing.T) {
+		resp, err := http.Get(ts.URL + "/v1/compress")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		wantError(t, resp, body, http.StatusMethodNotAllowed, CodeMethodNotAllowed)
+	})
+
+	t.Run("malformed JSON is typed 400", func(t *testing.T) {
+		resp, err := http.Post(ts.URL+"/v1/simulate", "application/json",
+			strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		wantError(t, resp, body, http.StatusBadRequest, CodeBadRequest)
+	})
+
+	t.Run("oversized body is typed 413", func(t *testing.T) {
+		big := fmt.Sprintf(`{"kind":"bounded","corpus_b64":[%q]}`,
+			base64.StdEncoding.EncodeToString(make([]byte, 4096)))
+		resp, err := http.Post(ts.URL+"/v1/coders", "application/json", strings.NewReader(big))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		wantError(t, resp, body, http.StatusRequestEntityTooLarge, CodePayloadTooLarge)
+	})
+
+	t.Run("unknown workload is typed 404", func(t *testing.T) {
+		resp, body := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{Workload: "nonesuch"})
+		wantError(t, resp, body, http.StatusNotFound, CodeNotFound)
+	})
+
+	t.Run("unknown coder id is typed 404", func(t *testing.T) {
+		resp, body := postJSON(t, ts.URL+"/v1/compress",
+			compressRequest{CoderID: "deadbeef", Workload: "eightq"})
+		wantError(t, resp, body, http.StatusNotFound, CodeNotFound)
+	})
+
+	t.Run("unknown coder kind is typed 400", func(t *testing.T) {
+		resp, body := postJSON(t, ts.URL+"/v1/coders", trainRequest{Kind: "lzw"})
+		wantError(t, resp, body, http.StatusBadRequest, CodeBadRequest)
+	})
+}
+
+func TestTrainCoderCachedAndSingleFlight(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/coders",
+		trainRequest{Kind: KindBounded, Workloads: []string{"eightq"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("train: %d %s", resp.StatusCode, body)
+	}
+	first := decodeAs[coderInfo](t, body)
+	if first.Cached {
+		t.Error("first training reported cached=true")
+	}
+	if first.MaxCodeLen == 0 || first.MaxCodeLen > 16 {
+		t.Errorf("bounded code MaxCodeLen = %d, want 1..16", first.MaxCodeLen)
+	}
+
+	// Same corpus via the other spelling (identical workload text) must
+	// hit the cache and return the same id.
+	resp, body = postJSON(t, ts.URL+"/v1/coders",
+		trainRequest{Kind: KindBounded, Workloads: []string{"eightq"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retrain: %d %s", resp.StatusCode, body)
+	}
+	second := decodeAs[coderInfo](t, body)
+	if second.ID != first.ID {
+		t.Errorf("retraining changed the id: %q vs %q", second.ID, first.ID)
+	}
+	if !second.Cached {
+		t.Error("identical retrain reported cached=false")
+	}
+
+	// Concurrent identical requests share one single-flight build: the
+	// build counter must not exceed the distinct-coder count.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/coders",
+				trainRequest{Kind: KindCodePack, Workloads: []string{"eightq"}})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("concurrent train: %d %s", resp.StatusCode, body)
+			}
+		}()
+	}
+	wg.Wait()
+
+	s.metricsMu.Lock()
+	builds := s.inst.builds.Value()
+	s.metricsMu.Unlock()
+	if builds > 2 { // bounded + codepack, one build each
+		t.Errorf("coder builds = %d, want <= 2 (single-flight broken)", builds)
+	}
+
+	// GET /v1/coders/{id} resolves the trained coder.
+	resp2, err := http.Get(ts.URL + "/v1/coders/" + first.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	got, _ := io.ReadAll(resp2.Body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("get coder: %d %s", resp2.StatusCode, got)
+	}
+	if decodeAs[coderInfo](t, got).ID != first.ID {
+		t.Errorf("get coder returned wrong id: %s", got)
+	}
+}
+
+func TestCompressDecompressRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := trainPreselected(t, ts.URL)
+
+	text := []byte("the service must round-trip arbitrary text images, not just corpus programs. ")
+	text = bytes.Repeat(text, 8)
+
+	resp, body := postJSON(t, ts.URL+"/v1/compress", compressRequest{
+		CoderID: id, TextB64: base64.StdEncoding.EncodeToString(text)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d %s", resp.StatusCode, body)
+	}
+	comp := decodeAs[compressResponse](t, body)
+	if comp.Ratio <= 0 || comp.Ratio >= 1.2 {
+		t.Errorf("ratio = %g, want (0, 1.2)", comp.Ratio)
+	}
+	if len(comp.Lines) != comp.OriginalBytes/core.LineSize {
+		t.Errorf("lines = %d, want %d", len(comp.Lines), comp.OriginalBytes/core.LineSize)
+	}
+	sum := 0
+	for _, l := range comp.Lines {
+		sum += l.Len
+	}
+	if sum != comp.BlocksBytes {
+		t.Errorf("per-line lengths sum to %d, want blocks_bytes %d", sum, comp.BlocksBytes)
+	}
+	if comp.ROMB64 == "" {
+		t.Fatal("preselected coder produced no serialized ROM")
+	}
+
+	// Round trip via the self-describing CROM image.
+	resp, body = postJSON(t, ts.URL+"/v1/decompress", decompressRequest{ROMB64: comp.ROMB64})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress: %d %s", resp.StatusCode, body)
+	}
+	dec := decodeAs[decompressResponse](t, body)
+	got, err := base64.StdEncoding.DecodeString(dec.TextB64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, comp.OriginalBytes) // padded to the line size
+	copy(want, text)
+	if !bytes.Equal(got, want) {
+		t.Fatal("ROM round trip is not byte-identical")
+	}
+
+	// Round trip via blocks + per-line records (the codec path's shape).
+	resp, body = postJSON(t, ts.URL+"/v1/decompress", decompressRequest{
+		CoderID: id, BlocksB64: comp.BlocksB64, Lines: comp.Lines})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress by lines: %d %s", resp.StatusCode, body)
+	}
+	dec = decodeAs[decompressResponse](t, body)
+	got, err = base64.StdEncoding.DecodeString(dec.TextB64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("blocks round trip is not byte-identical")
+	}
+}
+
+func TestCompressCodePackRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/coders",
+		trainRequest{Kind: KindCodePack, Workloads: []string{"eightq"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("train codepack: %d %s", resp.StatusCode, body)
+	}
+	info := decodeAs[coderInfo](t, body)
+	if info.DictBytes == 0 {
+		t.Error("codepack coder reports no dictionary cost")
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/compress",
+		compressRequest{CoderID: info.ID, Workload: "eightq"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d %s", resp.StatusCode, body)
+	}
+	comp := decodeAs[compressResponse](t, body)
+	if comp.ROMB64 != "" {
+		t.Error("codec ROM unexpectedly claims CROM serializability")
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/decompress", decompressRequest{
+		CoderID: info.ID, BlocksB64: comp.BlocksB64, Lines: comp.Lines})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress: %d %s", resp.StatusCode, body)
+	}
+	dec := decodeAs[decompressResponse](t, body)
+	if dec.OriginalBytes != comp.OriginalBytes {
+		t.Errorf("round trip size %d, want %d", dec.OriginalBytes, comp.OriginalBytes)
+	}
+}
+
+func TestDecompressHostileInput(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := trainPreselected(t, ts.URL)
+
+	t.Run("garbage ROM blob", func(t *testing.T) {
+		resp, body := postJSON(t, ts.URL+"/v1/decompress", decompressRequest{
+			ROMB64: base64.StdEncoding.EncodeToString([]byte("not a rom at all"))})
+		wantError(t, resp, body, http.StatusUnprocessableEntity, CodeUnprocessable)
+	})
+
+	t.Run("line lengths overrun blocks", func(t *testing.T) {
+		resp, body := postJSON(t, ts.URL+"/v1/decompress", decompressRequest{
+			CoderID:   id,
+			BlocksB64: base64.StdEncoding.EncodeToString([]byte{0xFF}),
+			Lines:     []lineInfo{{Len: 1000}}})
+		wantError(t, resp, body, http.StatusUnprocessableEntity, CodeUnprocessable)
+	})
+
+	t.Run("negative line length", func(t *testing.T) {
+		resp, body := postJSON(t, ts.URL+"/v1/decompress", decompressRequest{
+			CoderID:   id,
+			BlocksB64: base64.StdEncoding.EncodeToString([]byte{0xFF}),
+			Lines:     []lineInfo{{Len: -5}}})
+		wantError(t, resp, body, http.StatusUnprocessableEntity, CodeUnprocessable)
+	})
+}
+
+func TestSimulatePoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{
+		Workload: "eightq", CacheBytes: 1024, CLBEntries: 16, Memory: "Burst EPROM"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d %s", resp.StatusCode, body)
+	}
+	sim := decodeAs[simulateResponse](t, body)
+	if sim.RelativePerformance <= 0 {
+		t.Errorf("relative performance = %g, want > 0", sim.RelativePerformance)
+	}
+	if sim.CCRP.Cycles == 0 || sim.Standard.Cycles == 0 {
+		t.Errorf("cycle counts missing: %+v", sim)
+	}
+	if sim.ROMRatio <= 0 || sim.ROMRatio >= 1 {
+		t.Errorf("rom ratio = %g, want (0, 1)", sim.ROMRatio)
+	}
+
+	// The same point through the library must agree exactly — the
+	// service is a transport, not a different model.
+	want, err := pointViaLibrary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.CCRP.Cycles != want.CCRP.Cycles || sim.Standard.Cycles != want.Standard.Cycles {
+		t.Errorf("service cycles (%d/%d) differ from library (%d/%d)",
+			sim.CCRP.Cycles, sim.Standard.Cycles, want.CCRP.Cycles, want.Standard.Cycles)
+	}
+}
+
+// TestSimulateAfterTrainSharesCacheSlot pins a fixed bug: training the
+// preselected coder and then simulating with the default coder must share
+// one cache slot (same key, same entry type), not collide on it.
+func TestSimulateAfterTrainSharesCacheSlot(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	trainPreselected(t, ts.URL)
+
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{Workload: "eightq"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate after train: %d %s", resp.StatusCode, body)
+	}
+
+	s.metricsMu.Lock()
+	builds := s.inst.builds.Value()
+	s.metricsMu.Unlock()
+	if builds != 1 {
+		t.Errorf("coder builds = %d, want 1 (train and default simulate should share)", builds)
+	}
+}
+
+func TestSimulateConcurrent(t *testing.T) {
+	_, ts := newTestServer(t, Config{SimWorkers: 2})
+	var wg sync.WaitGroup
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(cache int) {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/simulate", simulateRequest{
+				Workload: "eightq", CacheBytes: cache})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("concurrent simulate: %d %s", resp.StatusCode, body)
+			}
+		}(256 << (i % 3))
+	}
+	wg.Wait()
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Generate some traffic first.
+	postJSON(t, ts.URL+"/v1/simulate", simulateRequest{Workload: "eightq"})
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"# TYPE ccrpd_requests_total counter",
+		`ccrpd_requests_total{route="/v1/simulate"}`,
+		"# TYPE ccrpd_request_seconds histogram",
+		"ccrpd_uptime_seconds",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics output missing %q", want)
+		}
+	}
+}
+
+func TestAccessLogEvents(t *testing.T) {
+	var buf bytes.Buffer
+	sink := metrics.NewJSONLSink(&buf)
+	_, ts := newTestServer(t, Config{AccessLog: sink})
+
+	postJSON(t, ts.URL+"/v1/simulate", simulateRequest{Workload: "nonesuch"})
+	if _, err := http.Get(ts.URL + "/healthz"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("access log has %d lines, want 2: %q", len(lines), buf.String())
+	}
+	var ev metrics.Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Type != metrics.EvHTTP || ev.Path != "/v1/simulate" || ev.Status != http.StatusNotFound {
+		t.Errorf("first access event = %+v", ev)
+	}
+	if ev.Err != CodeNotFound {
+		t.Errorf("error code in access log = %q, want %q", ev.Err, CodeNotFound)
+	}
+}
+
+func TestPanicConfinement(t *testing.T) {
+	s := New(Config{})
+	s.route("POST /v1/boom", time.Second, func(w http.ResponseWriter, r *http.Request) error {
+		panic("kaboom")
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/boom", struct{}{})
+	wantError(t, resp, body, http.StatusInternalServerError, CodeInternal)
+}
+
+// pointViaLibrary computes the reference simulate point directly through
+// the library, bypassing the service.
+func pointViaLibrary() (*core.Comparison, error) {
+	wl, _ := workload.ByName("eightq")
+	text, err := wl.Text()
+	if err != nil {
+		return nil, err
+	}
+	tr, err := wl.Trace()
+	if err != nil {
+		return nil, err
+	}
+	code, err := experiments.PreselectedCode()
+	if err != nil {
+		return nil, err
+	}
+	rom, err := core.BuildROM(text, core.Options{Codes: []*huffman.Code{code}})
+	if err != nil {
+		return nil, err
+	}
+	return core.Compare(tr, text, core.Config{
+		CacheBytes: 1024, CLBEntries: 16, ROM: rom,
+	})
+}

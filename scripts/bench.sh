@@ -3,9 +3,10 @@
 # sequentially (-j 1) and with the default worker pool — from a cold
 # artifact cache each time, cross-checks that both renderings are
 # byte-identical, and writes BENCH_<label>.json with wall times, the
-# speedup, and every datapoint (compression ratios, cycle counts,
-# relative performance). Diff these files across PRs to catch both
-# performance and correctness regressions.
+# speedup, host metadata (go version, GOMAXPROCS, CPU model) so files
+# from different machines can be compared honestly, and every datapoint
+# (compression ratios, cycle counts, relative performance). Diff these
+# files across PRs to catch both performance and correctness regressions.
 #
 # Usage: scripts/bench.sh [label] [extra ccrp-bench flags...]
 set -eu

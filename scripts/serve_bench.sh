@@ -1,0 +1,54 @@
+#!/bin/sh
+# Serving benchmark: start ccrpd, drive it with cmd/ccrp-load's mixed
+# traffic (compress, byte-verified round trips, simulate points) from
+# concurrent clients, and write BENCH_<label>.json with p50/p95/p99
+# latencies, throughput, and host metadata. The load generator exits
+# nonzero on any 5xx or any round trip that is not byte-identical, so
+# this script doubles as a correctness gate under concurrency.
+#
+# Usage: scripts/serve_bench.sh [label] [extra ccrp-load flags...]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+label=${1:-PR3}
+[ $# -gt 0 ] && shift
+
+port=${CCRPD_PORT:-8643}
+base="http://127.0.0.1:${port}"
+out="BENCH_${label}.json"
+work=$(mktemp -d)
+
+cleanup() {
+	[ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== building"
+go build -o "$work/ccrpd" ./cmd/ccrpd
+go build -o "$work/ccrp-load" ./cmd/ccrp-load
+
+echo "== starting ccrpd on $base"
+"$work/ccrpd" -addr "127.0.0.1:${port}" >"$work/ccrpd.log" 2>&1 &
+pid=$!
+
+i=0
+until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	if [ "$i" -ge 50 ]; then
+		echo "serve_bench: daemon did not become healthy" >&2
+		sed 's/^/ccrpd: /' "$work/ccrpd.log" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+
+echo "== driving load -> $out"
+"$work/ccrp-load" -url "$base" -o "$out" "$@"
+
+kill -TERM "$pid"
+wait "$pid" || true
+pid=
+
+echo "== $out written"

@@ -1,0 +1,119 @@
+#!/bin/sh
+# ccrpd end-to-end smoke test: start the daemon, poll /healthz until it
+# answers, run a train -> compress -> decompress round trip and compare
+# the served ROM byte-for-byte against cmd/ccpack's on-disk output for
+# the same workload, scrape /metrics for the serving counters, then
+# SIGTERM the daemon and assert a clean drain (exit 0).
+#
+# Usage: scripts/serve_smoke.sh [port]
+#
+# Needs only a POSIX shell, go, and python3 (JSON field extraction and
+# base64 decoding; both are present in CI images and dev containers).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+port=${1:-8642}
+base="http://127.0.0.1:${port}"
+work=$(mktemp -d)
+wl=eightq
+
+fail() {
+	echo "serve_smoke: FAILED: $1" >&2
+	[ -f "$work/ccrpd.log" ] && sed 's/^/ccrpd: /' "$work/ccrpd.log" >&2
+	exit 1
+}
+
+cleanup() {
+	[ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+# jsonget FILE EXPR: print a field of a JSON document.
+jsonget() {
+	python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))'"$2"')' "$1"
+}
+
+echo "== building"
+go build -o "$work/ccrpd" ./cmd/ccrpd
+go build -o "$work/ccpack" ./cmd/ccpack
+
+echo "== starting ccrpd on $base"
+"$work/ccrpd" -addr "127.0.0.1:${port}" -access-log "$work/access.jsonl" \
+	>"$work/ccrpd.log" 2>&1 &
+pid=$!
+
+echo "== waiting for /healthz"
+i=0
+until curl -fsS "$base/healthz" >"$work/healthz.json" 2>/dev/null; do
+	i=$((i + 1))
+	[ "$i" -ge 50 ] && fail "daemon did not become healthy"
+	kill -0 "$pid" 2>/dev/null || fail "daemon exited during startup"
+	sleep 0.2
+done
+[ "$(jsonget "$work/healthz.json" '["status"]')" = "ok" ] || fail "healthz status not ok"
+
+echo "== training the preselected coder"
+curl -fsS -X POST "$base/v1/coders" -d '{"kind":"preselected"}' \
+	>"$work/coder.json" || fail "train request"
+coder=$(jsonget "$work/coder.json" '["id"]')
+[ -n "$coder" ] || fail "no coder id returned"
+
+echo "== compressing workload $wl"
+curl -fsS -X POST "$base/v1/compress" \
+	-d "{\"coder_id\":\"$coder\",\"workload\":\"$wl\"}" \
+	>"$work/compress.json" || fail "compress request"
+
+echo "== comparing the served ROM against ccpack's output"
+"$work/ccpack" -workload "$wl" -o "$work/ref.rom" >/dev/null
+python3 -c '
+import base64, json, sys
+served = base64.b64decode(json.load(open(sys.argv[1]))["rom_b64"])
+open(sys.argv[2], "wb").write(served)
+' "$work/compress.json" "$work/served.rom"
+cmp "$work/served.rom" "$work/ref.rom" || fail "served ROM differs from ccpack output"
+
+echo "== decompress round trip"
+python3 -c '
+import json, sys
+comp = json.load(open(sys.argv[1]))
+json.dump({"rom_b64": comp["rom_b64"]}, open(sys.argv[2], "w"))
+' "$work/compress.json" "$work/decreq.json"
+curl -fsS -X POST "$base/v1/decompress" --data-binary "@$work/decreq.json" \
+	>"$work/decompress.json" || fail "decompress request"
+orig=$(jsonget "$work/compress.json" '["original_bytes"]')
+back=$(jsonget "$work/decompress.json" '["original_bytes"]')
+[ "$orig" = "$back" ] || fail "round trip size mismatch: $orig vs $back"
+
+echo "== one simulate point"
+curl -fsS -X POST "$base/v1/simulate" \
+	-d "{\"workload\":\"$wl\",\"cache_bytes\":1024}" \
+	>"$work/simulate.json" || fail "simulate request"
+python3 -c '
+import json, sys
+rp = json.load(open(sys.argv[1]))["relative_performance"]
+assert rp > 0, rp
+' "$work/simulate.json" || fail "simulate returned no relative performance"
+
+echo "== scraping /metrics"
+curl -fsS "$base/metrics" >"$work/metrics.prom" || fail "metrics scrape"
+grep -q 'ccrpd_requests_total{route="/v1/compress"}' "$work/metrics.prom" \
+	|| fail "metrics missing compress counter"
+grep -q 'ccrpd_coder_builds_total 1' "$work/metrics.prom" \
+	|| fail "metrics missing single coder build"
+
+echo "== SIGTERM drain"
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+	i=$((i + 1))
+	[ "$i" -ge 100 ] && fail "daemon did not exit after SIGTERM"
+	sleep 0.1
+done
+wait "$pid" || fail "daemon exited nonzero after SIGTERM"
+pid=
+
+[ -s "$work/access.jsonl" ] || fail "access log is empty"
+
+echo "serve_smoke: OK"
