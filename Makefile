@@ -2,7 +2,7 @@ GO ?= go
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
 .PHONY: all build test race vet fmt staticcheck check bench trajectory \
-	serve-smoke serve-bench fuzz
+	serve-smoke serve-bench decode-smoke fuzz
 
 all: build
 
@@ -47,8 +47,18 @@ serve-smoke:
 serve-bench:
 	sh scripts/serve_bench.sh $(LABEL)
 
+# Decode-equivalence smoke: fast vs canonical decode cmp on a corpus
+# program, plus a short decode benchmark.
+decode-smoke:
+	sh scripts/decode_smoke.sh
+
 # Short fuzz pass over the decode hardening targets.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeLine -fuzztime=$(FUZZTIME) ./internal/codepack
 	$(GO) test -run=^$$ -fuzz=FuzzDecode$$ -fuzztime=$(FUZZTIME) ./internal/huffman
+	$(GO) test -run=^$$ -fuzz=FuzzFastDecoderDifferential -fuzztime=$(FUZZTIME) ./internal/huffman
+	$(GO) test -run=^$$ -fuzz=FuzzFSMDecode -fuzztime=$(FUZZTIME) ./internal/decoder
+	$(GO) test -run=^$$ -fuzz=FuzzCAMDecode -fuzztime=$(FUZZTIME) ./internal/decoder
+	$(GO) test -run=^$$ -fuzz=FuzzROMDecode -fuzztime=$(FUZZTIME) ./internal/decoder
+	$(GO) test -run=^$$ -fuzz=FuzzFastVsHardwareModels -fuzztime=$(FUZZTIME) ./internal/decoder

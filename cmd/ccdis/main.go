@@ -1,9 +1,16 @@
 // Command ccdis disassembles the text section of an image produced by
-// ccasm.
+// ccasm, or of a compressed CROM image produced by ccpack.
 //
 // Usage:
 //
 //	ccdis [-version] prog.img
+//	ccdis -rom [-decoder fast|canonical] [-raw out.bin] prog.rom
+//
+// With -rom the input is a CROM file: every block is decompressed (with
+// the selected software decode path) and the recovered text is
+// disassembled. -raw additionally writes the decompressed text bytes to
+// a file, which is what the CI decode-equivalence smoke cmp's between
+// the fast and canonical decoders.
 package main
 
 import (
@@ -14,15 +21,19 @@ import (
 
 	"ccrp/internal/asm"
 	"ccrp/internal/cliutil"
+	"ccrp/internal/core"
 	"ccrp/internal/mips"
 )
 
 func main() {
+	romMode := flag.Bool("rom", false, "input is a compressed CROM image (ccpack output)")
+	decoder := flag.String("decoder", "fast", "decode path for -rom: fast or canonical")
+	rawOut := flag.String("raw", "", "with -rom, also write the decompressed text bytes to this file")
 	version := cliutil.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
 	cliutil.HandleVersionFlag("ccdis", version)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ccdis prog.img")
+		fmt.Fprintln(os.Stderr, "usage: ccdis [-rom [-decoder fast|canonical] [-raw out.bin]] prog.img")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -30,13 +41,33 @@ func main() {
 		fatal(err)
 	}
 	defer f.Close()
-	prog, err := asm.ReadImage(f)
-	if err != nil {
-		fatal(err)
+
+	var text []byte
+	if *romMode {
+		kind, err := core.ParseDecoder(*decoder)
+		if err != nil {
+			fatal(err)
+		}
+		rom, err := core.ReadROMFileDecoder(f, kind)
+		if err != nil {
+			fatal(err)
+		}
+		text = rom.Text()
+		if *rawOut != "" {
+			if err := os.WriteFile(*rawOut, text, 0o644); err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		prog, err := asm.ReadImage(f)
+		if err != nil {
+			fatal(err)
+		}
+		text = prog.Text
 	}
-	for off := 0; off+4 <= len(prog.Text); off += 4 {
+	for off := 0; off+4 <= len(text); off += 4 {
 		addr := asm.TextBase + uint32(off)
-		w := mips.Word(binary.LittleEndian.Uint32(prog.Text[off:]))
+		w := mips.Word(binary.LittleEndian.Uint32(text[off:]))
 		fmt.Printf("%08x  %08x  %s\n", addr, uint32(w), mips.Disassemble(w, addr))
 	}
 }

@@ -5,11 +5,14 @@
 //
 // Usage:
 //
-//	ccpack [-o prog.rom] [-word] [-own] (-workload name | prog.img)
+//	ccpack [-o prog.rom] [-word] [-own] [-decoder fast|canonical]
+//	       (-workload name | prog.img)
 //
 // By default the Preselected Bounded Huffman code (trained on the
 // ten-program corpus, hardwired in the decoder) is used; -own adds the
 // program's own bounded code as a second candidate with per-block tags.
+// -decoder selects the software decode path used to verify the image
+// (fast table-driven by default; both paths are byte-identical).
 package main
 
 import (
@@ -26,9 +29,14 @@ func main() {
 	word := flag.Bool("word", false, "word-align compressed blocks")
 	own := flag.Bool("own", false, "add the program's own bounded code as a second candidate")
 	wl := flag.String("workload", "", "compress a corpus workload instead of an image file")
+	decoder := flag.String("decoder", "fast", "verification decode path: fast or canonical")
 	version := cliutil.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
 	cliutil.HandleVersionFlag("ccpack", version)
+	kind, err := core.ParseDecoder(*decoder)
+	if err != nil {
+		fatal(err)
+	}
 
 	var text []byte
 	var name string
@@ -62,7 +70,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rom, err := core.BuildROM(text, core.Options{Codes: codes, WordAligned: *word})
+	rom, err := core.BuildROM(text, core.Options{Codes: codes, WordAligned: *word, Decoder: kind})
 	if err != nil {
 		fatal(err)
 	}

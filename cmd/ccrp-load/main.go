@@ -316,6 +316,11 @@ func trainCoder(client *http.Client, base string) (string, error) {
 type compressOut struct {
 	OriginalBytes int    `json:"original_bytes"`
 	ROMB64        string `json:"rom_b64"`
+	BlocksB64     string `json:"blocks_b64"`
+	Lines         []struct {
+		Len int  `json:"len"`
+		Raw bool `json:"raw,omitempty"`
+	} `json:"lines"`
 }
 
 func compress(client *http.Client, base, coderID, wl string) (int, *compressOut, error) {
@@ -326,7 +331,10 @@ func compress(client *http.Client, base, coderID, wl string) (int, *compressOut,
 }
 
 // roundTrip compresses a workload, decompresses the result, and verifies
-// byte identity against the workload's own text image.
+// byte identity against the workload's own text image. Decompression
+// goes through the coder_id+blocks+lines path so repeated round trips
+// of the same workload exercise ccrpd's decoded-line cache (the rom_b64
+// path is self-describing and bypasses it).
 func roundTrip(client *http.Client, base, coderID, wl string) (int, error) {
 	status, comp, err := compress(client, base, coderID, wl)
 	if err != nil {
@@ -336,7 +344,11 @@ func roundTrip(client *http.Client, base, coderID, wl string) (int, error) {
 		TextB64 string `json:"text_b64"`
 	}
 	status, err = post(client, base+"/v1/decompress",
-		map[string]any{"rom_b64": comp.ROMB64}, &dec)
+		map[string]any{
+			"coder_id":   coderID,
+			"blocks_b64": comp.BlocksB64,
+			"lines":      comp.Lines,
+		}, &dec)
 	if err != nil {
 		return status, err
 	}

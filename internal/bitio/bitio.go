@@ -100,14 +100,29 @@ func (r *Reader) ReadBits(n uint) (uint64, error) {
 	if r.pos+int(n) > len(r.buf)*8 {
 		return 0, ErrShortStream
 	}
-	var v uint64
-	for i := uint(0); i < n; i++ {
-		byteIdx := r.pos >> 3
-		bitIdx := uint(7 - r.pos&7)
-		v = v<<1 | uint64(r.buf[byteIdx]>>bitIdx&1)
-		r.pos++
-	}
+	v := extract(r.buf, r.pos, n)
+	r.pos += int(n)
 	return v, nil
+}
+
+// extract reads n in-bounds bits starting at bit position pos, whole
+// bytes at a time (the MSB-first twin of a shift-register's parallel
+// load). Callers guarantee pos+n <= len(buf)*8.
+func extract(buf []byte, pos int, n uint) uint64 {
+	var v uint64
+	for n > 0 {
+		b := buf[pos>>3]
+		off := uint(pos & 7)
+		avail := 8 - off
+		take := avail
+		if take > n {
+			take = n
+		}
+		v = v<<take | uint64(b>>(avail-take))&(1<<take-1)
+		pos += int(take)
+		n -= take
+	}
+	return v
 }
 
 // ReadBit reads a single bit.
@@ -120,19 +135,12 @@ func (r *Reader) ReadBit() (byte, error) {
 // bits remain, the missing low-order bits read as zero and ok reports how
 // many real bits were available.
 func (r *Reader) PeekBits(n uint) (v uint64, avail uint) {
-	save := r.pos
 	rem := uint(len(r.buf)*8 - r.pos)
 	take := n
 	if rem < take {
 		take = rem
 	}
-	got, err := r.ReadBits(take)
-	if err != nil {
-		r.pos = save
-		return 0, 0
-	}
-	r.pos = save
-	return got << (n - take), take
+	return extract(r.buf, r.pos, take) << (n - take), take
 }
 
 // Skip advances the read position by n bits.
@@ -146,6 +154,11 @@ func (r *Reader) Skip(n uint) error {
 
 // Pos returns the current bit offset from the start of the stream.
 func (r *Reader) Pos() int { return r.pos }
+
+// Data returns the underlying buffer (not a copy). Together with Pos and
+// Skip it lets table-driven decoders run their hot loop directly over
+// the bytes while keeping the Reader's position authoritative.
+func (r *Reader) Data() []byte { return r.buf }
 
 // Remaining returns the number of unread bits.
 func (r *Reader) Remaining() int { return len(r.buf)*8 - r.pos }

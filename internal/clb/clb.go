@@ -103,9 +103,19 @@ func (c *CLB) Lookup(latIndex uint32) (lat.Entry, bool) {
 }
 
 // Insert fills the CLB with a LAT entry fetched from memory, evicting the
-// least recently used slot.
+// least recently used slot. Inserting a tag that is already resident
+// updates that slot in place — a second valid slot with the same tag
+// would silently halve the effective capacity and skew the miss-rate
+// experiments.
 func (c *CLB) Insert(latIndex uint32, e lat.Entry) {
 	c.clock++
+	for i := range c.slots {
+		if c.slots[i].valid && c.slots[i].tag == latIndex {
+			c.slots[i].entry = e
+			c.slots[i].used = c.clock
+			return
+		}
+	}
 	victim := 0
 	for i := range c.slots {
 		if !c.slots[i].valid {

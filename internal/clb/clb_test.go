@@ -56,6 +56,54 @@ func TestFillsInvalidFirst(t *testing.T) {
 	}
 }
 
+// TestInsertDuplicateTagUpdatesInPlace is the regression test for the
+// duplicate-tag bug: re-inserting a resident LAT index must refresh that
+// slot, not burn a second one. On the old code the second Insert filled
+// a free slot with a duplicate tag, silently shrinking effective
+// capacity (EvictionAge saw no free slot left) and returning the stale
+// entry was load-order dependent.
+func TestInsertDuplicateTagUpdatesInPlace(t *testing.T) {
+	c := New(2)
+	c.Insert(10, entry(0xA00))
+	c.Insert(10, entry(0xB00))
+
+	if _, full := c.EvictionAge(); full {
+		t.Fatal("duplicate insert consumed a second slot: size-2 CLB reports full after one distinct tag")
+	}
+	e, hit := c.Lookup(10)
+	if !hit {
+		t.Fatal("resident tag missing after duplicate insert")
+	}
+	if e.Base != 0xB00 {
+		t.Fatalf("lookup returned base %#x, want the updated %#x", e.Base, 0xB00)
+	}
+
+	// The freed capacity must actually hold a second distinct tag.
+	c.Insert(11, entry(0xC00))
+	if _, hit := c.Lookup(10); !hit {
+		t.Error("tag 10 evicted from a CLB with capacity for both tags")
+	}
+	if _, hit := c.Lookup(11); !hit {
+		t.Error("tag 11 missing after insert into the free slot")
+	}
+}
+
+// TestInsertDuplicateRefreshesLRU: the in-place update must also count
+// as a use, or the refreshed entry becomes the next eviction victim.
+func TestInsertDuplicateRefreshesLRU(t *testing.T) {
+	c := New(2)
+	c.Insert(1, entry(0x100))
+	c.Insert(2, entry(0x200))
+	c.Insert(1, entry(0x110)) // refresh: 2 is now LRU
+	c.Insert(3, entry(0x300))
+	if _, hit := c.Lookup(2); hit {
+		t.Error("LRU victim 2 still present after refresh of 1")
+	}
+	if e, hit := c.Lookup(1); !hit || e.Base != 0x110 {
+		t.Errorf("refreshed entry: hit=%v base=%#x, want hit with base 0x110", hit, e.Base)
+	}
+}
+
 func TestReset(t *testing.T) {
 	c := New(2)
 	c.Insert(5, entry(5))

@@ -146,9 +146,12 @@ func (h *halfCoder) halfBits(hw uint16) int {
 	return h.code.Len(byte(escape)) + 16
 }
 
-// decodeHalf reads one halfword.
+// decodeHalf reads one halfword. The codeword lookup goes through the
+// table-driven fast decoder; interleaving with the raw 16-bit escape
+// literals is safe because FastDecoder leaves the reader at exactly the
+// canonical bit position.
 func (h *halfCoder) decodeHalf(r *bitio.Reader) (uint16, error) {
-	sym, err := h.code.DecodeSymbol(r)
+	sym, err := h.code.Fast().DecodeSymbol(r)
 	if err != nil {
 		return 0, err
 	}

@@ -41,7 +41,7 @@ func (h *huffmanLineCodec) EncodeLine(line []byte) ([]byte, error) {
 
 func (h *huffmanLineCodec) DecodeLine(comp []byte, n int) ([]byte, error) {
 	out := make([]byte, n)
-	if err := h.code.Decode(bitio.NewReader(comp), out); err != nil {
+	if err := h.code.Fast().Decode(bitio.NewReader(comp), out); err != nil {
 		return nil, err
 	}
 	return out, nil

@@ -35,6 +35,51 @@ type Options struct {
 	// simplifying the fetch hardware at a small compression cost
 	// (Figure 1's fully-aligned layout; byte-aligned is the default).
 	WordAligned bool
+	// Decoder selects the software decode implementation used when
+	// expanding stored blocks (DecompressLine, Verify). The zero value
+	// is DecoderFast — the table-driven mapping-ROM path.
+	Decoder DecoderKind
+}
+
+// DecoderKind selects between the software decode implementations, both
+// proven byte-identical by differential tests.
+type DecoderKind int
+
+const (
+	// DecoderFast decodes through huffman.FastDecoder's chunked lookup
+	// tables — the software twin of the paper's §3.4 mapping ROM.
+	DecoderFast DecoderKind = iota
+	// DecoderCanonical decodes bit-serially through the canonical
+	// tables — the software twin of the paper's FSM/shift-register option.
+	DecoderCanonical
+)
+
+// String returns the flag spelling of k.
+func (k DecoderKind) String() string {
+	if k == DecoderCanonical {
+		return "canonical"
+	}
+	return "fast"
+}
+
+// ParseDecoder maps a flag value ("fast" or "canonical") to a DecoderKind.
+func ParseDecoder(s string) (DecoderKind, error) {
+	switch s {
+	case "fast", "":
+		return DecoderFast, nil
+	case "canonical":
+		return DecoderCanonical, nil
+	}
+	return 0, fmt.Errorf("core: unknown decoder %q (want fast or canonical)", s)
+}
+
+// decodeLine expands stored into out using the code and configured
+// decoder kind; the single switch point between the two software paths.
+func decodeLine(code *huffman.Code, kind DecoderKind, stored []byte, out []byte) error {
+	if kind == DecoderCanonical {
+		return code.Decode(bitio.NewReader(stored), out)
+	}
+	return code.Fast().Decode(bitio.NewReader(stored), out)
 }
 
 // Line is one compressed (or raw) instruction block.
@@ -198,7 +243,7 @@ func (r *ROM) DecompressLine(i int) ([]byte, error) {
 	}
 	code := r.opts.Codes[l.CodeIdx]
 	out := make([]byte, LineSize)
-	if err := code.Decode(bitio.NewReader(l.Stored), out); err != nil {
+	if err := decodeLine(code, r.opts.Decoder, l.Stored, out); err != nil {
 		return nil, fmt.Errorf("core: line %d: %w", i, err)
 	}
 	return out, nil

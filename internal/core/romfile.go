@@ -90,7 +90,16 @@ func (r *ROM) WriteFile(w io.Writer) error {
 
 // ReadROMFile reconstructs a ROM image, decompressing every block to
 // recover the original line contents (and thereby verifying the file).
+// Blocks expand through the fast table-driven decoder; use
+// ReadROMFileDecoder to select the canonical path.
 func ReadROMFile(rd io.Reader) (*ROM, error) {
+	return ReadROMFileDecoder(rd, DecoderFast)
+}
+
+// ReadROMFileDecoder is ReadROMFile with an explicit decode path — the
+// hook ccdis -rom uses so the CI equivalence smoke can cmp the two
+// decoders' output on a real compressed image.
+func ReadROMFileDecoder(rd io.Reader, kind DecoderKind) (*ROM, error) {
 	var hdr [28]byte
 	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrBadROMFile, err)
@@ -110,7 +119,7 @@ func ReadROMFile(rd io.Reader) (*ROM, error) {
 	if nCodes < 1 || nCodes > 16 || origSize > 1<<26 || blockLen > 1<<26 || latLen > 1<<26 {
 		return nil, fmt.Errorf("%w: implausible header", ErrBadROMFile)
 	}
-	opts := Options{WordAligned: flags&(1<<16) != 0}
+	opts := Options{WordAligned: flags&(1<<16) != 0, Decoder: kind}
 	for i := 0; i < nCodes; i++ {
 		var sz [4]byte
 		if _, err := io.ReadFull(rd, sz[:]); err != nil {

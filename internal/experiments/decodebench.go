@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"ccrp/internal/workload"
+)
+
+// DecodeBench is the decode-throughput comparison embedded in benchmark
+// trajectories: the canonical bit-serial decoder vs the table-driven
+// FastDecoder on one corpus program encoded under the preselected code.
+// Speedup is the before/after figure the fast-decode tentpole claims;
+// the table fields record the mapping-ROM cost actually paid (compare
+// decoder.ROM's 64K-entry hardware figure).
+type DecodeBench struct {
+	Program        string  `json:"program"`
+	TextBytes      int     `json:"text_bytes"`
+	EncodedBytes   int     `json:"encoded_bytes"`
+	Repeats        int     `json:"repeats"`
+	CanonicalMBps  float64 `json:"canonical_mb_per_s"`
+	FastMBps       float64 `json:"fast_mb_per_s"`
+	Speedup        float64 `json:"speedup"`
+	FastRootBits   int     `json:"fast_root_bits"`
+	FastTableEnt   int     `json:"fast_table_entries"`
+	FastTableBytes int     `json:"fast_table_bytes"`
+}
+
+// decodeBenchRepeats is sized so each timed side runs long enough (tens
+// of milliseconds) to shed scheduler noise without slowing bench runs.
+const decodeBenchRepeats = 8
+
+// MeasureDecodeBench times both software decode paths over one corpus
+// program. The decoded outputs are verified against the original text,
+// so a diverging fast path fails the measurement rather than reporting
+// a meaningless throughput.
+func MeasureDecodeBench(prog string) (*DecodeBench, error) {
+	w, ok := workload.ByName(prog)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown workload %q", prog)
+	}
+	text, err := w.Text()
+	if err != nil {
+		return nil, err
+	}
+	code, err := PreselectedCode()
+	if err != nil {
+		return nil, err
+	}
+	// Encode only the bytes the preselected code covers; the smoothed
+	// corpus histogram gives every byte a codeword, so in practice this
+	// is the whole text.
+	enc, err := code.EncodeToBytes(text)
+	if err != nil {
+		return nil, err
+	}
+	fast := code.Fast()
+
+	measure := func(decode func() ([]byte, error)) (float64, error) {
+		// Warm once (builds tables, faults pages), then time the repeats.
+		got, err := decode()
+		if err != nil {
+			return 0, err
+		}
+		if !bytes.Equal(got, text) {
+			return 0, fmt.Errorf("experiments: decode of %q is not byte-identical", prog)
+		}
+		start := time.Now()
+		for i := 0; i < decodeBenchRepeats; i++ {
+			if _, err := decode(); err != nil {
+				return 0, err
+			}
+		}
+		sec := time.Since(start).Seconds()
+		return float64(decodeBenchRepeats) * float64(len(text)) / 1e6 / sec, nil
+	}
+
+	b := &DecodeBench{
+		Program:        prog,
+		TextBytes:      len(text),
+		EncodedBytes:   len(enc),
+		Repeats:        decodeBenchRepeats,
+		FastRootBits:   fast.RootBits(),
+		FastTableEnt:   fast.TableEntries(),
+		FastTableBytes: fast.SizeBits() / 8,
+	}
+	if b.CanonicalMBps, err = measure(func() ([]byte, error) {
+		return code.DecodeBytes(enc, len(text))
+	}); err != nil {
+		return nil, err
+	}
+	if b.FastMBps, err = measure(func() ([]byte, error) {
+		return fast.DecodeBytes(enc, len(text))
+	}); err != nil {
+		return nil, err
+	}
+	if b.CanonicalMBps > 0 {
+		b.Speedup = b.FastMBps / b.CanonicalMBps
+	}
+	return b, nil
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestMeasureDecodeBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement skipped with -short")
+	}
+	b, err := MeasureDecodeBench("eightq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TextBytes == 0 || b.EncodedBytes == 0 || b.EncodedBytes >= b.TextBytes {
+		t.Errorf("implausible sizes: %+v", b)
+	}
+	if b.CanonicalMBps <= 0 || b.FastMBps <= 0 {
+		t.Errorf("nonpositive throughput: %+v", b)
+	}
+	if b.FastRootBits < 1 || b.FastTableEnt < 1<<b.FastRootBits {
+		t.Errorf("implausible table shape: %+v", b)
+	}
+	// No hard speedup floor here (timing under the race detector or a
+	// loaded CI box is noisy); the huffman package's speedup test and the
+	// committed BENCH_PR5.json carry the >=2x claim.
+	if b.Speedup <= 0 {
+		t.Errorf("speedup not computed: %+v", b)
+	}
+}
+
+func TestMeasureDecodeBenchUnknownWorkload(t *testing.T) {
+	if _, err := MeasureDecodeBench("no-such-program"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

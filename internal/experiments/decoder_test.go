@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"ccrp/internal/core"
+	"ccrp/internal/memory"
+)
+
+// TestDecoderChoiceCycleIdentical is the ccrp-bench -decoder contract:
+// the fast and canonical software decode paths must produce identical
+// PerfPoint cycle counts. The refill cycle model charges the paper's
+// fixed decoder rate regardless of how the host expands bytes, so any
+// divergence here means the fast path corrupted a decompressed line (a
+// corrupt line would fail Compare's execution check or shift traffic).
+func TestDecoderChoiceCycleIdentical(t *testing.T) {
+	run := func(kind core.DecoderKind) PerfPoint {
+		t.Helper()
+		SetDecoder(kind)
+		defer SetDecoder(core.DecoderFast)
+		// Separate artifact-cache keys per decoder kind mean each run
+		// builds (or reuses) its own ROM instance.
+		p, err := Point("eightq", 1024, 16, memory.EPROM{}, 1.0)
+		if err != nil {
+			t.Fatalf("decoder %v: %v", kind, err)
+		}
+		return p
+	}
+	fast := run(core.DecoderFast)
+	canonical := run(core.DecoderCanonical)
+
+	if fast.CyclesCCRP != canonical.CyclesCCRP || fast.CyclesStd != canonical.CyclesStd {
+		t.Errorf("cycle counts diverge: fast = %d/%d, canonical = %d/%d",
+			fast.CyclesCCRP, fast.CyclesStd, canonical.CyclesCCRP, canonical.CyclesStd)
+	}
+	if fast != canonical {
+		t.Errorf("perf points diverge:\nfast      = %+v\ncanonical = %+v", fast, canonical)
+	}
+}
+
+func TestParseDecoder(t *testing.T) {
+	for s, want := range map[string]core.DecoderKind{
+		"fast":      core.DecoderFast,
+		"":          core.DecoderFast,
+		"canonical": core.DecoderCanonical,
+	} {
+		got, err := core.ParseDecoder(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDecoder(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := core.ParseDecoder("simd"); err == nil {
+		t.Error("ParseDecoder accepted an unknown kind")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"ccrp/internal/bitio"
 )
@@ -28,6 +29,11 @@ type Code struct {
 	firstIndex [65]int    // index into symOrder of that symbol
 	count      [65]int    // number of symbols of each length
 	symOrder   []byte     // symbols sorted by (length, value)
+
+	// Memoized table-driven decoder (see Fast); codes are immutable
+	// after NewCode, so one decoder serves every consumer.
+	fastOnce sync.Once
+	fast     *FastDecoder
 }
 
 // NewCode canonicalizes a set of code lengths into a usable Code. The

@@ -1,0 +1,265 @@
+package huffman
+
+import (
+	"fmt"
+
+	"ccrp/internal/bitio"
+)
+
+// FastDecoder is the table-driven decoder for a canonical Huffman code:
+// the software realization of the paper's §3.4 mapping-ROM option. Where
+// the hardware proposal indexes a 64K-entry ROM with the next 16 input
+// bits and reads (symbol, length) in one access, FastDecoder compiles
+// the code into chunked lookup tables of FastChunkBits bits per step —
+// one lookup decodes any codeword of up to FastChunkBits bits, and the
+// rare longer codewords chain through compact overflow sub-tables, one
+// further lookup per chunk. The chunking trades the ROM's single wide
+// access for tables small enough to stay cache-resident, which is what
+// makes the software path fast in practice.
+//
+// FastDecoder is API-compatible with Code.Decode/DecodeBytes/DecodeSymbol
+// and decodes byte-identically: same symbols, same bit positions, and
+// matching error classes (bitio.ErrShortStream on truncation inside a
+// codeword, ErrBadCode on unreachable codespace) — properties pinned by
+// differential tests and fuzzing against the canonical decoder and the
+// hardware models in internal/decoder.
+type FastDecoder struct {
+	// table is the flattened arena: the root table occupies
+	// [0, 1<<rootBits); overflow sub-tables are appended behind it and
+	// addressed by entry-encoded offsets.
+	table    []uint32
+	rootBits uint
+	maxLen   uint8
+}
+
+// FastChunkBits is the default bits consumed per table step. 12 covers
+// the common case in one lookup (a 16-bit-bounded code rarely assigns
+// more than 12 bits to bytes that actually occur) while keeping the root
+// table at 4K entries — 16 KiB, resident in L1/L2 — instead of the
+// hardware's full 64K-entry mapping ROM.
+const FastChunkBits = 12
+
+// Entry encoding (uint32):
+//
+//	bits 30..31  kind: 0 invalid, 1 leaf, 2 sub-table pointer
+//	leaf:        bits 8..15 = bits consumed at this step, bits 0..7 = symbol
+//	pointer:     bits 24..29 = sub-table index width, bits 0..23 = arena offset
+const (
+	entInvalid = 0
+	entLeaf    = 1
+	entPtr     = 2
+)
+
+type fastCodeword struct {
+	bits uint64
+	len  uint8
+	sym  byte
+}
+
+// NewFastDecoder compiles code into its chunked-LUT form with the
+// default chunk width.
+func NewFastDecoder(code *Code) *FastDecoder {
+	return NewFastDecoderChunk(code, FastChunkBits)
+}
+
+// NewFastDecoderChunk compiles code with an explicit chunk width in
+// [1, 16] — chunk 16 with a 16-bit-bounded code is exactly the paper's
+// one-lookup 64K-entry mapping ROM; smaller chunks add overflow levels.
+func NewFastDecoderChunk(code *Code, chunk int) *FastDecoder {
+	if chunk < 1 || chunk > 16 {
+		panic(fmt.Sprintf("huffman: fast-decoder chunk %d outside [1,16]", chunk))
+	}
+	var cws []fastCodeword
+	for s := 0; s < 256; s++ {
+		bits, n := code.Codeword(byte(s))
+		if n == 0 {
+			continue
+		}
+		cws = append(cws, fastCodeword{bits: bits, len: uint8(n), sym: byte(s)})
+	}
+	f := &FastDecoder{maxLen: code.maxLen}
+	_, f.rootBits = f.buildTable(cws, 0, uint(chunk))
+	return f
+}
+
+// buildTable lays out one table for the codewords in cws (all sharing
+// their first `consumed` bits), returning its arena offset and index
+// width. The table is appended to the arena; sub-tables recurse behind
+// it (so a table's offset is captured on entry, not derived from the
+// arena length after recursion).
+func (f *FastDecoder) buildTable(cws []fastCodeword, consumed, chunk uint) (int, uint) {
+	maxRem := uint(0)
+	for _, w := range cws {
+		if rem := uint(w.len) - consumed; rem > maxRem {
+			maxRem = rem
+		}
+	}
+	tblBits := maxRem
+	if tblBits > chunk {
+		tblBits = chunk
+	}
+	off := len(f.table)
+	f.table = append(f.table, make([]uint32, 1<<tblBits)...)
+	if off > 0xFFFFFF {
+		// Unreachable for byte alphabets (≤256 codewords, ≤64-bit codes
+		// keep the arena far below 16M entries); guard the encoding anyway.
+		panic("huffman: fast-decoder table arena overflow")
+	}
+
+	// Longer-than-chunk codewords grouped by their next tblBits bits.
+	overflow := map[uint64][]fastCodeword{}
+	for _, w := range cws {
+		rem := uint(w.len) - consumed
+		// The codeword's bits after the consumed prefix, left-aligned in rem bits.
+		suffix := w.bits & (1<<rem - 1)
+		if rem <= tblBits {
+			e := uint32(entLeaf)<<30 | uint32(rem)<<8 | uint32(w.sym)
+			base := suffix << (tblBits - rem)
+			for i := uint64(0); i < 1<<(tblBits-rem); i++ {
+				f.table[off+int(base+i)] = e
+			}
+			continue
+		}
+		prefix := suffix >> (rem - tblBits)
+		overflow[prefix] = append(overflow[prefix], w)
+	}
+	for prefix, group := range overflow {
+		subOff, subBits := f.buildTable(group, consumed+tblBits, chunk)
+		f.table[off+int(prefix)] = uint32(entPtr)<<30 | uint32(subBits)<<24 | uint32(subOff)
+	}
+	return off, tblBits
+}
+
+// RootBits returns the index width of the first-level table.
+func (f *FastDecoder) RootBits() int { return int(f.rootBits) }
+
+// TableEntries returns the total arena size across all levels — the
+// software analogue of the mapping ROM's entry count.
+func (f *FastDecoder) TableEntries() int { return len(f.table) }
+
+// SizeBits returns the table storage in bits (32-bit entries), for
+// comparison against decoder.ROM's hardware cost figures.
+func (f *FastDecoder) SizeBits() int { return 32 * len(f.table) }
+
+// decodeOne decodes one symbol from buf starting at bit position pos.
+// total is len(buf)*8. It returns the symbol and the bits consumed.
+func (f *FastDecoder) decodeOne(buf []byte, pos, total int) (byte, int, error) {
+	off := uint32(0)
+	bits := f.rootBits
+	consumed := 0
+	for {
+		rem := uint(total - (pos + consumed))
+		take := bits
+		if rem < take {
+			take = rem
+		}
+		window := extractPad(buf, pos+consumed, take, bits)
+		e := f.table[off+uint32(window)]
+		switch e >> 30 {
+		case entLeaf:
+			l := uint(e>>8) & 0xFF
+			if l > rem {
+				// The stream ends inside this codeword: the canonical
+				// bit-serial decoder runs out of bits here too.
+				return 0, 0, bitio.ErrShortStream
+			}
+			return byte(e), consumed + int(l), nil
+		case entPtr:
+			if rem <= bits {
+				// Every codeword reachable through this pointer needs
+				// more bits than the stream has left.
+				return 0, 0, bitio.ErrShortStream
+			}
+			consumed += int(bits)
+			off = e & 0xFFFFFF
+			bits = uint(e>>24) & 0x3F
+		default:
+			if rem == 0 {
+				return 0, 0, bitio.ErrShortStream
+			}
+			// Unreachable codespace — only possible for the degenerate
+			// one-symbol code, where the canonical decoder also rejects.
+			return 0, 0, ErrBadCode
+		}
+	}
+}
+
+// extractPad reads up to `take` in-bounds bits at pos and left-aligns
+// them in a want-bit window, zero-padding past the end of the stream
+// (mirroring bitio.Reader.PeekBits).
+func extractPad(buf []byte, pos int, take, want uint) uint64 {
+	var v uint64
+	n := take
+	for n > 0 {
+		b := buf[pos>>3]
+		off := uint(pos & 7)
+		avail := 8 - off
+		t := avail
+		if t > n {
+			t = n
+		}
+		v = v<<t | uint64(b>>(avail-t))&(1<<t-1)
+		pos += int(t)
+		n -= t
+	}
+	return v << (want - take)
+}
+
+// decode fills out with symbols decoded from buf starting at bit
+// position pos, returning the final bit position.
+func (f *FastDecoder) decode(buf []byte, pos int, out []byte) (int, error) {
+	total := len(buf) * 8
+	for i := range out {
+		sym, adv, err := f.decodeOne(buf, pos, total)
+		if err != nil {
+			return pos, fmt.Errorf("huffman: decoding symbol %d: %w", i, err)
+		}
+		out[i] = sym
+		pos += adv
+	}
+	return pos, nil
+}
+
+// DecodeSymbol decodes one symbol from r — Code.DecodeSymbol's fast twin.
+func (f *FastDecoder) DecodeSymbol(r *bitio.Reader) (byte, error) {
+	buf := r.Data()
+	sym, adv, err := f.decodeOne(buf, r.Pos(), len(buf)*8)
+	if err != nil {
+		return 0, err
+	}
+	if err := r.Skip(uint(adv)); err != nil {
+		return 0, err
+	}
+	return sym, nil
+}
+
+// Decode fills out with len(out) decoded symbols read from r, leaving r
+// at exactly the bit position the canonical decoder would.
+func (f *FastDecoder) Decode(r *bitio.Reader, out []byte) error {
+	buf := r.Data()
+	end, err := f.decode(buf, r.Pos(), out)
+	if skipErr := r.Skip(uint(end - r.Pos())); skipErr != nil {
+		return skipErr
+	}
+	return err
+}
+
+// DecodeBytes decodes exactly n symbols from the (zero-padded) buffer p.
+func (f *FastDecoder) DecodeBytes(p []byte, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative output length %d", ErrBadCode, n)
+	}
+	out := make([]byte, n)
+	if _, err := f.decode(p, 0, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fast returns the memoized table-driven decoder for this code, built on
+// first use. Codes are immutable, so the decoder is shared freely across
+// goroutines.
+func (c *Code) Fast() *FastDecoder {
+	c.fastOnce.Do(func() { c.fast = NewFastDecoder(c) })
+	return c.fast
+}

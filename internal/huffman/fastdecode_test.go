@@ -1,0 +1,363 @@
+package huffman
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ccrp/internal/bitio"
+)
+
+// testCodes builds a spread of code shapes: skewed bounded (the
+// preselected-code shape), flat, unbounded traditional with long tails,
+// and the degenerate single-symbol code.
+func testCodes(tb testing.TB) map[string]*Code {
+	tb.Helper()
+	codes := map[string]*Code{}
+
+	var skew Histogram
+	for i := 0; i < 256; i++ {
+		skew[i] = uint64(1 + (i*i)%97)
+	}
+	skew[0] = 1 << 20
+	c, err := BuildBounded(&skew, 16)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	codes["bounded16-skewed"] = c
+
+	var flat Histogram
+	for i := 0; i < 256; i++ {
+		flat[i] = 1
+	}
+	if c, err = BuildBounded(&flat, 16); err != nil {
+		tb.Fatal(err)
+	}
+	codes["bounded16-flat"] = c
+
+	var steep Histogram
+	for i := 0; i < 64; i++ {
+		steep[i] = 1 << uint(i%40) // forces very long traditional codewords
+	}
+	if c, err = BuildTraditional(&steep); err != nil {
+		tb.Fatal(err)
+	}
+	codes["traditional-steep"] = c
+
+	var one Histogram
+	one[42] = 7
+	if c, err = BuildTraditional(&one); err != nil {
+		tb.Fatal(err)
+	}
+	codes["degenerate-one-symbol"] = c
+
+	return codes
+}
+
+// encodable returns bytes that have codewords under c.
+func encodable(c *Code, rng *rand.Rand, n int) []byte {
+	var syms []byte
+	for s := 0; s < 256; s++ {
+		if c.Len(byte(s)) > 0 {
+			syms = append(syms, byte(s))
+		}
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = syms[rng.Intn(len(syms))]
+	}
+	return out
+}
+
+// TestFastDecoderMatchesCanonical is the core differential guarantee:
+// identical symbols and identical final bit positions on valid streams,
+// for every code shape and for every chunk width.
+func TestFastDecoderMatchesCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for name, code := range testCodes(t) {
+		for _, chunk := range []int{1, 3, 8, FastChunkBits, 16} {
+			fd := NewFastDecoderChunk(code, chunk)
+			for trial := 0; trial < 50; trial++ {
+				data := encodable(code, rng, 1+rng.Intn(200))
+				enc, err := code.EncodeToBytes(data)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				want := make([]byte, len(data))
+				wr := bitio.NewReader(enc)
+				if err := code.Decode(wr, want); err != nil {
+					t.Fatalf("%s: canonical decode: %v", name, err)
+				}
+				got := make([]byte, len(data))
+				gr := bitio.NewReader(enc)
+				if err := fd.Decode(gr, got); err != nil {
+					t.Fatalf("%s chunk %d: fast decode: %v", name, chunk, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("%s chunk %d: decoded bytes differ", name, chunk)
+				}
+				if gr.Pos() != wr.Pos() {
+					t.Fatalf("%s chunk %d: bit position %d != canonical %d",
+						name, chunk, gr.Pos(), wr.Pos())
+				}
+			}
+		}
+	}
+}
+
+// TestFastDecodeBytesMatches pins the DecodeBytes entry point against the
+// canonical one, including the zero-padded tail.
+func TestFastDecodeBytesMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for name, code := range testCodes(t) {
+		fd := NewFastDecoder(code)
+		for trial := 0; trial < 50; trial++ {
+			data := encodable(code, rng, 1+rng.Intn(300))
+			enc, err := code.EncodeToBytes(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := code.DecodeBytes(enc, len(data))
+			if err != nil {
+				t.Fatalf("%s: canonical: %v", name, err)
+			}
+			got, err := fd.DecodeBytes(enc, len(data))
+			if err != nil {
+				t.Fatalf("%s: fast: %v", name, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: DecodeBytes output differs", name)
+			}
+		}
+	}
+}
+
+// TestFastDecoderErrorParity checks that truncated and garbage streams
+// fail (or succeed) in lockstep with the canonical decoder, with the
+// positions still agreeing on success.
+func TestFastDecoderErrorParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for name, code := range testCodes(t) {
+		fd := NewFastDecoder(code)
+		for trial := 0; trial < 400; trial++ {
+			buf := make([]byte, rng.Intn(12))
+			rng.Read(buf)
+			n := rng.Intn(3 * (len(buf) + 1))
+
+			want, wantErr := code.DecodeBytes(buf, n)
+			got, gotErr := fd.DecodeBytes(buf, n)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("%s: error parity: canonical err=%v, fast err=%v (buf=%x n=%d)",
+					name, wantErr, gotErr, buf, n)
+			}
+			if wantErr == nil && !bytes.Equal(got, want) {
+				t.Fatalf("%s: outputs differ on %x", name, buf)
+			}
+		}
+	}
+}
+
+// TestFastDecoderShortStream pins the truncation error class.
+func TestFastDecoderShortStream(t *testing.T) {
+	code := testCodes(t)["bounded16-skewed"]
+	fd := NewFastDecoder(code)
+	if _, err := fd.DecodeBytes(nil, 1); !errors.Is(err, bitio.ErrShortStream) {
+		t.Fatalf("empty stream error = %v, want ErrShortStream", err)
+	}
+	if _, err := fd.DecodeBytes([]byte{0xFF}, -1); !errors.Is(err, ErrBadCode) {
+		t.Fatalf("negative length error = %v, want ErrBadCode", err)
+	}
+}
+
+// TestFastMemoized: Code.Fast returns one shared decoder.
+func TestFastMemoized(t *testing.T) {
+	code := testCodes(t)["bounded16-flat"]
+	if code.Fast() != code.Fast() {
+		t.Fatal("Code.Fast is not memoized")
+	}
+	if code.Fast().RootBits() > FastChunkBits {
+		t.Fatalf("root bits %d exceed chunk %d", code.Fast().RootBits(), FastChunkBits)
+	}
+	if code.Fast().TableEntries() < 1 {
+		t.Fatal("empty fast-decoder table")
+	}
+}
+
+// TestFastDecoderInterleaved mirrors codepack's usage: DecodeSymbol
+// interleaved with raw ReadBits on the same reader must stay in sync
+// with the canonical decoder doing the same dance.
+func TestFastDecoderInterleaved(t *testing.T) {
+	code := testCodes(t)["bounded16-skewed"]
+	fd := NewFastDecoder(code)
+	rng := rand.New(rand.NewSource(3))
+
+	var w bitio.Writer
+	var syms []byte
+	var lits []uint64
+	for i := 0; i < 64; i++ {
+		s := encodable(code, rng, 1)[0]
+		syms = append(syms, s)
+		bits, n := code.Codeword(s)
+		w.WriteBits(bits, uint(n))
+		lit := uint64(rng.Intn(1 << 16))
+		lits = append(lits, lit)
+		w.WriteBits(lit, 16)
+	}
+	enc := w.Bytes()
+
+	r := bitio.NewReader(enc)
+	for i := range syms {
+		s, err := fd.DecodeSymbol(r)
+		if err != nil {
+			t.Fatalf("symbol %d: %v", i, err)
+		}
+		if s != syms[i] {
+			t.Fatalf("symbol %d = %#x, want %#x", i, s, syms[i])
+		}
+		lit, err := r.ReadBits(16)
+		if err != nil {
+			t.Fatalf("literal %d: %v", i, err)
+		}
+		if lit != lits[i] {
+			t.Fatalf("literal %d = %#x, want %#x", i, lit, lits[i])
+		}
+	}
+}
+
+// TestFastDecoderSpeedup is the CI guard behind the ≥2x tentpole claim:
+// the LUT path must beat the canonical bit-serial decoder by a safe
+// margin on a realistic corpus-shaped stream. The threshold is well
+// below the typical speedup (5-10x) so scheduler noise cannot flake it;
+// a fast path that regresses to parity still fails loudly.
+func TestFastDecoderSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("timing comparison skipped under the race detector")
+	}
+	code := testCodes(t)["bounded16-skewed"]
+	fd := NewFastDecoder(code)
+	rng := rand.New(rand.NewSource(9))
+	data := encodable(code, rng, 1<<16)
+	enc, err := code.EncodeToBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measure := func(decode func() error) float64 {
+		// Best of 3 to shed scheduler noise.
+		best := time.Duration(1 << 62)
+		for trial := 0; trial < 3; trial++ {
+			start := time.Now()
+			if err := decode(); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best.Seconds()
+	}
+	canonical := measure(func() error {
+		_, err := code.DecodeBytes(enc, len(data))
+		return err
+	})
+	fast := measure(func() error {
+		_, err := fd.DecodeBytes(enc, len(data))
+		return err
+	})
+	if speedup := canonical / fast; speedup < 1.5 {
+		t.Fatalf("fast decoder speedup %.2fx < 1.5x (canonical %.3fms, fast %.3fms)",
+			speedup, canonical*1e3, fast*1e3)
+	}
+}
+
+// FuzzFastDecoderDifferential feeds arbitrary byte soup to both decoders
+// and requires identical outcomes: same success/failure, same symbols,
+// same consumed bit count.
+func FuzzFastDecoderDifferential(f *testing.F) {
+	code := fuzzBoundedCode(f)
+	fd := NewFastDecoder(code)
+	sample, err := code.EncodeToBytes([]byte("differential fuzz seed"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(sample, 22)
+	f.Add([]byte{}, 1)
+	f.Add([]byte{0xFF, 0x00}, 64)
+	f.Add(sample[:len(sample)/2], 22)
+
+	f.Fuzz(func(t *testing.T, data []byte, n int) {
+		if n < 0 {
+			n = -n
+		}
+		n %= 4096
+		want := make([]byte, n)
+		wr := bitio.NewReader(data)
+		wantErr := code.Decode(wr, want)
+		got := make([]byte, n)
+		gr := bitio.NewReader(data)
+		gotErr := fd.Decode(gr, got)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("error parity: canonical=%v fast=%v", wantErr, gotErr)
+		}
+		if wantErr != nil {
+			return
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatal("decoded symbols differ")
+		}
+		if gr.Pos() != wr.Pos() {
+			t.Fatalf("bit position %d != canonical %d", gr.Pos(), wr.Pos())
+		}
+	})
+}
+
+// corpus-shaped benchmark stream shared by the Decode benchmarks.
+func benchStream(b *testing.B) (*Code, []byte, int) {
+	b.Helper()
+	code := fuzzBoundedCode(b)
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 32*1024)
+	for i := range data {
+		// Zero-heavy, like real machine code.
+		if rng.Intn(4) != 0 {
+			data[i] = 0
+		} else {
+			data[i] = byte(rng.Intn(256))
+		}
+	}
+	enc, err := code.EncodeToBytes(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return code, enc, len(data)
+}
+
+func BenchmarkDecodeCanonical(b *testing.B) {
+	code, enc, n := benchStream(b)
+	out := make([]byte, n)
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := code.Decode(bitio.NewReader(enc), out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeFast(b *testing.B) {
+	code, enc, n := benchStream(b)
+	fd := NewFastDecoder(code)
+	out := make([]byte, n)
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fd.Decode(bitio.NewReader(enc), out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -46,6 +46,23 @@ func (e Entry) BlockLength(i int) int {
 // IsRaw reports whether block i is stored uncompressed (decoder bypass).
 func (e Entry) IsRaw(i int) bool { return e.Lens[i] == 0 }
 
+// Validate checks that the entry fits its 8-byte memory representation:
+// a 24-bit base and eight 5-bit length codes. Encode silently truncates
+// out-of-range fields (33 wraps to 1 in 5 bits, corrupting every block
+// address computed after it), so callers constructing entries by hand
+// must validate before encoding; Build enforces this for whole tables.
+func (e Entry) Validate() error {
+	if e.Base >= 1<<24 {
+		return fmt.Errorf("%w: base %#x exceeds 24-bit space", ErrBadEntry, e.Base)
+	}
+	for i, l := range e.Lens {
+		if l > maxBlockLen {
+			return fmt.Errorf("%w: block %d length code %d exceeds 5-bit field", ErrBadEntry, i, l)
+		}
+	}
+	return nil
+}
+
 // BlockAddress returns the physical address of block i within the entry:
 // the base plus the lengths of the preceding blocks. This models the
 // CLB's address computation unit (the adder tree of Figure 8).
@@ -104,7 +121,7 @@ func Build(blockLens []int, firstBlockAddr uint32) (*Table, error) {
 	for i := 0; i < len(blockLens); i += LinesPerEntry {
 		e := Entry{Base: addr}
 		if addr >= 1<<24 {
-			return nil, fmt.Errorf("lat: block address %#x exceeds 24-bit space", addr)
+			return nil, fmt.Errorf("%w: block address %#x exceeds 24-bit space", ErrBadEntry, addr)
 		}
 		for j := 0; j < LinesPerEntry && i+j < len(blockLens); j++ {
 			l := blockLens[i+j]
@@ -114,9 +131,15 @@ func Build(blockLens []int, firstBlockAddr uint32) (*Table, error) {
 			case l >= 1 && l <= maxBlockLen:
 				e.Lens[j] = uint8(l)
 			default:
-				return nil, fmt.Errorf("lat: block %d has unstorable length %d", i+j, l)
+				// Rejecting here keeps out-of-range lengths from ever
+				// reaching Encode, where they would wrap in the 5-bit
+				// field (33 -> 1) and shift every later block address.
+				return nil, fmt.Errorf("%w: block %d has unstorable length %d", ErrBadEntry, i+j, l)
 			}
 			addr += uint32(l)
+		}
+		if err := e.Validate(); err != nil {
+			return nil, err
 		}
 		t.Entries = append(t.Entries, e)
 	}

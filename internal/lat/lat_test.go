@@ -1,6 +1,7 @@
 package lat
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -90,15 +91,68 @@ func TestBuildAndLookup(t *testing.T) {
 	}
 }
 
-func TestBuildRejectsBadLengths(t *testing.T) {
-	if _, err := Build([]int{0}, 0); err == nil {
-		t.Error("length 0 accepted")
+// TestBuildLengthBoundaries pins the 5-bit length-field boundaries. The
+// old code rejected bad lengths with an untyped error (and Encode would
+// wrap any length that slipped through, 33 -> 1), so the errors.Is
+// assertions below fail on it; valid boundaries must round-trip through
+// Encode unchanged.
+func TestBuildLengthBoundaries(t *testing.T) {
+	cases := []struct {
+		length  int
+		ok      bool
+		wantLen uint8 // encoded 5-bit code when ok
+	}{
+		{length: 0, ok: false},
+		{length: 1, ok: true, wantLen: 1},
+		{length: 31, ok: true, wantLen: 31},
+		{length: 32, ok: true, wantLen: 0}, // raw / decoder bypass
+		{length: 33, ok: false},
+		{length: -1, ok: false},
 	}
-	if _, err := Build([]int{33}, 0); err == nil {
-		t.Error("length 33 accepted")
+	for _, tc := range cases {
+		tab, err := Build([]int{tc.length}, 0)
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("length %d: accepted, want ErrBadEntry", tc.length)
+			} else if !errors.Is(err, ErrBadEntry) {
+				t.Errorf("length %d: error %v does not wrap ErrBadEntry", tc.length, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("length %d: rejected: %v", tc.length, err)
+			continue
+		}
+		if got := tab.Entries[0].Lens[0]; got != tc.wantLen {
+			t.Errorf("length %d: encoded code %d, want %d", tc.length, got, tc.wantLen)
+		}
+		// The code must survive Encode/DecodeEntry without wrapping.
+		dec, err := DecodeEntry(tab.Entries[0].Encode())
+		if err != nil {
+			t.Errorf("length %d: round trip: %v", tc.length, err)
+		} else if dec.Lens[0] != tc.wantLen {
+			t.Errorf("length %d: round-tripped code %d, want %d", tc.length, dec.Lens[0], tc.wantLen)
+		}
 	}
-	if _, err := Build([]int{16}, 1<<24); err == nil {
-		t.Error("address beyond 24 bits accepted")
+}
+
+func TestBuildRejectsBadBase(t *testing.T) {
+	if _, err := Build([]int{16}, 1<<24); !errors.Is(err, ErrBadEntry) {
+		t.Errorf("address beyond 24 bits: err = %v, want ErrBadEntry", err)
+	}
+}
+
+// TestEntryValidate covers hand-constructed entries, the path Build
+// cannot police.
+func TestEntryValidate(t *testing.T) {
+	if err := (Entry{Base: 1<<24 - 1, Lens: [8]uint8{31, 0, 1}}).Validate(); err != nil {
+		t.Errorf("maximal valid entry rejected: %v", err)
+	}
+	if err := (Entry{Base: 1 << 24}).Validate(); !errors.Is(err, ErrBadEntry) {
+		t.Errorf("26-bit base: err = %v, want ErrBadEntry", err)
+	}
+	if err := (Entry{Lens: [8]uint8{0, 33}}).Validate(); !errors.Is(err, ErrBadEntry) {
+		t.Errorf("length code 33: err = %v, want ErrBadEntry", err)
 	}
 }
 

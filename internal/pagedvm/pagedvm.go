@@ -137,7 +137,7 @@ func (s *Store) ReadPage(i int) ([]byte, error) {
 		return out, nil
 	}
 	out := make([]byte, s.PageBytes)
-	if err := s.code.Decode(bitio.NewReader(s.pages[i]), out); err != nil {
+	if err := s.code.Fast().Decode(bitio.NewReader(s.pages[i]), out); err != nil {
 		return nil, fmt.Errorf("pagedvm: page %d: %w", i, err)
 	}
 	return out, nil

@@ -214,6 +214,7 @@ func (s *Server) decompressLines(ctx context.Context, req *decompressRequest) ([
 	}
 	out := make([]byte, 0, len(req.Lines)*core.LineSize)
 	off := 0
+	var st lineCacheStats
 	for i, l := range req.Lines {
 		if err := ctx.Err(); err != nil {
 			return nil, Errf(http.StatusRequestTimeout, CodeDeadlineExceeded,
@@ -225,18 +226,39 @@ func (s *Server) decompressLines(ctx context.Context, req *decompressRequest) ([
 		stored := blocks[off : off+l.Len]
 		off += l.Len
 		if l.Raw {
+			// Raw bypass: copying is cheaper than a cache probe.
 			line := make([]byte, core.LineSize)
 			copy(line, stored)
 			out = append(out, line...)
 			continue
 		}
-		line, err := entry.decodeLine(stored)
-		if err != nil {
-			return nil, errUnprocessable("line %d: %v", i, err)
+		key := lineKey(entry.ID, i, stored)
+		line, ok := s.lines.get(key, &st)
+		if !ok {
+			var err error
+			line, err = entry.decodeLine(stored)
+			if err != nil {
+				s.applyLineCacheStats(st)
+				return nil, errUnprocessable("line %d: %v", i, err)
+			}
+			s.lines.put(key, line, &st)
 		}
 		out = append(out, line...)
 	}
+	s.applyLineCacheStats(st)
 	return out, nil
+}
+
+// applyLineCacheStats folds one request's cache deltas into the
+// registry; instruments are single-threaded so updates go under
+// metricsMu like every other handler-side metric.
+func (s *Server) applyLineCacheStats(st lineCacheStats) {
+	s.metricsMu.Lock()
+	s.inst.lineHits.Add(st.hits)
+	s.inst.lineMisses.Add(st.misses)
+	s.inst.lineEvictions.Add(st.evictions)
+	s.inst.lineResident.Set(float64(s.lines.len()))
+	s.metricsMu.Unlock()
 }
 
 // decodeLine expands one stored block back to a full cache line.
@@ -245,6 +267,7 @@ func (e *coderEntry) decodeLine(stored []byte) ([]byte, error) {
 		return e.codec.DecodeLine(stored, core.LineSize)
 	}
 	// Single-code byte-Huffman; multi-code images need per-line tags and
-	// travel as CROM files instead.
-	return e.codes[0].DecodeBytes(stored, core.LineSize)
+	// travel as CROM files instead. Decode runs through the table-driven
+	// fast path (byte-identical to the canonical decoder).
+	return e.codes[0].Fast().DecodeBytes(stored, core.LineSize)
 }

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+)
+
+// defaultLineCacheLines bounds the decoded-line cache when the Config
+// leaves it unset: 4096 lines × 32 decoded bytes = 128 KiB of payload,
+// a few multiples of that with keys and list overhead.
+const defaultLineCacheLines = 4096
+
+// lineCacheKey identifies one decoded line. The coder id pins the code
+// tables, the block address distinguishes identical stored bytes at
+// different image positions (cheap invalidation when images diverge),
+// and the FNV-64a content hash plus stored length tie the entry to the
+// exact compressed bytes so a stale client resubmitting edited blocks
+// can never receive another block's expansion.
+type lineCacheKey struct {
+	coderID string
+	addr    int
+	hash    uint64
+	n       int
+}
+
+// lineCacheStats is a per-request delta, applied to the metrics registry
+// under metricsMu by the caller (registry instruments are
+// single-threaded by design).
+type lineCacheStats struct {
+	hits, misses, evictions uint64
+}
+
+// lineCache is a bounded LRU of decoded cache lines — the daemon-side
+// twin of the simulator's instruction cache: hot lines skip Huffman
+// decode entirely, mirroring how CCRP only pays the decompression
+// latency on cache misses.
+type lineCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *lineCacheEnt
+	entries map[lineCacheKey]*list.Element
+}
+
+type lineCacheEnt struct {
+	key  lineCacheKey
+	line []byte
+}
+
+// newLineCache returns a cache bounded to capLines entries, or nil when
+// capLines < 0 (caching disabled); nil receivers are safe no-ops.
+func newLineCache(capLines int) *lineCache {
+	if capLines < 0 {
+		return nil
+	}
+	if capLines == 0 {
+		capLines = defaultLineCacheLines
+	}
+	return &lineCache{
+		cap:     capLines,
+		order:   list.New(),
+		entries: make(map[lineCacheKey]*list.Element),
+	}
+}
+
+// lineKey hashes one stored block into its cache key.
+func lineKey(coderID string, addr int, stored []byte) lineCacheKey {
+	h := fnv.New64a()
+	h.Write(stored)
+	return lineCacheKey{coderID: coderID, addr: addr, hash: h.Sum64(), n: len(stored)}
+}
+
+// get returns the cached decoded line, promoting it to most recent. The
+// returned slice is shared — callers must not mutate it.
+func (c *lineCache) get(key lineCacheKey, st *lineCacheStats) ([]byte, bool) {
+	if c == nil {
+		st.misses++
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		st.misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	st.hits++
+	return el.Value.(*lineCacheEnt).line, true
+}
+
+// put inserts a decoded line, evicting from the LRU tail when full. The
+// cache takes ownership of line.
+func (c *lineCache) put(key lineCacheKey, line []byte, st *lineCacheStats) {
+	if c == nil || c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Same key decodes to the same bytes (the key covers the coder and
+		// the stored content); just refresh recency.
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*lineCacheEnt).key)
+		st.evictions++
+	}
+	c.entries[key] = c.order.PushFront(&lineCacheEnt{key: key, line: line})
+}
+
+// len reports the resident entry count (tests and healthz).
+func (c *lineCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

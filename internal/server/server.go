@@ -52,6 +52,10 @@ type Config struct {
 	TrainTimeout    time.Duration
 	CompressTimeout time.Duration
 	SimulateTimeout time.Duration
+	// LineCacheLines bounds the decoded-line LRU cache used by
+	// /v1/decompress (entries, each one 32-byte cache line). 0 selects
+	// 4096; negative disables caching.
+	LineCacheLines int
 	// Version is reported by /healthz (cliutil.Version in cmd/ccrpd).
 	Version string
 	// AccessLog, when set, receives one metrics.EvHTTP event per
@@ -88,6 +92,7 @@ type Server struct {
 	cfg   Config
 	mux   *http.ServeMux
 	cache *sweep.Cache // single-flight artifacts: coders and compressed ROMs
+	lines *lineCache   // decoded-line LRU for /v1/decompress
 	start time.Time
 
 	// coders indexes trained coders by content-addressed id. The cache
@@ -121,6 +126,11 @@ type serverMetrics struct {
 	builds    *metrics.Counter // coder builds that actually ran
 	uptime    *metrics.Gauge
 	inflight  *metrics.Gauge
+
+	lineHits      *metrics.Counter // decoded-line cache hits
+	lineMisses    *metrics.Counter // decoded-line cache misses
+	lineEvictions *metrics.Counter // decoded-line cache evictions
+	lineResident  *metrics.Gauge   // decoded lines currently cached
 }
 
 // New builds a Server with its routes registered.
@@ -130,6 +140,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		cache:    sweep.NewCache(),
+		lines:    newLineCache(cfg.LineCacheLines),
 		coders:   make(map[string]*coderEntry),
 		sem:      make(chan struct{}, cfg.SimWorkers),
 		registry: metrics.New(),
@@ -148,6 +159,11 @@ func New(cfg Config) *Server {
 		builds:   s.registry.Counter("ccrpd_coder_builds_total", "coder builds executed (cache misses)"),
 		uptime:   s.registry.Gauge("ccrpd_uptime_seconds", "seconds since server start"),
 		inflight: s.registry.Gauge("ccrpd_inflight_requests", "requests currently being served"),
+
+		lineHits:      s.registry.Counter("ccrpd_linecache_hits_total", "decoded-line cache hits"),
+		lineMisses:    s.registry.Counter("ccrpd_linecache_misses_total", "decoded-line cache misses"),
+		lineEvictions: s.registry.Counter("ccrpd_linecache_evictions_total", "decoded-line cache evictions"),
+		lineResident:  s.registry.Gauge("ccrpd_linecache_resident_lines", "decoded lines currently cached"),
 	}
 
 	s.route("POST /v1/coders", cfg.TrainTimeout, s.handleTrainCoder)

@@ -43,5 +43,6 @@ else
 fi
 
 stage "go test -race ./..." go test -race ./...
+stage "decode smoke" sh scripts/decode_smoke.sh
 
 echo "check: OK"

@@ -1,0 +1,32 @@
+#!/bin/sh
+# Decode-equivalence smoke: packs a corpus program into a CROM image,
+# decompresses it with both software decode paths (canonical bit-serial
+# and table-driven fast), and byte-compares the recovered text. A fast
+# path that diverges from the canonical decoder fails the build here,
+# before any benchmark can report a meaningless speedup. Finishes with
+# a short decode benchmark so a severe fast-path regression is visible
+# in CI logs.
+#
+# Usage: sh scripts/decode_smoke.sh [workload]   (default: espresso)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+WL=${1:-espresso}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+echo "== ccpack -workload $WL"
+go run ./cmd/ccpack -workload "$WL" -o "$TMP/prog.rom"
+
+echo "== ccdis -rom -decoder fast vs canonical"
+go run ./cmd/ccdis -rom -decoder fast -raw "$TMP/fast.bin" "$TMP/prog.rom" > "$TMP/fast.dis"
+go run ./cmd/ccdis -rom -decoder canonical -raw "$TMP/canon.bin" "$TMP/prog.rom" > "$TMP/canon.dis"
+cmp "$TMP/fast.bin" "$TMP/canon.bin"
+cmp "$TMP/fast.dis" "$TMP/canon.dis"
+echo "decoded text byte-identical ($(wc -c < "$TMP/fast.bin") bytes)"
+
+echo "== go test -bench=Decode (internal/huffman)"
+go test -run='^$' -bench='BenchmarkDecode(Canonical|Fast)$' -benchtime=200ms ./internal/huffman
+
+echo "decode_smoke: OK"
