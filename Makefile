@@ -2,7 +2,7 @@ GO ?= go
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
 .PHONY: all build test race vet fmt staticcheck check bench trajectory \
-	serve-smoke serve-bench decode-smoke fuzz
+	serve-smoke serve-bench decode-smoke trace-smoke fuzz
 
 all: build
 
@@ -51,6 +51,11 @@ serve-bench:
 # program, plus a short decode benchmark.
 decode-smoke:
 	sh scripts/decode_smoke.sh
+
+# Tracing end-to-end smoke: ccrpd -trace under a ccrp-load burst, then
+# ccrp-spans must decompose every instrumented request stage.
+trace-smoke:
+	sh scripts/trace_smoke.sh
 
 # Short fuzz pass over the decode hardening targets.
 FUZZTIME ?= 10s

@@ -69,6 +69,7 @@ func main() {
 		Workers:  *workers,
 		Registry: obs.Registry,
 		Sink:     obs.Sink,
+		Tracer:   obs.Tracer,
 	})
 
 	var names []string

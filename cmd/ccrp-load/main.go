@@ -6,6 +6,7 @@
 //
 //	ccrp-load [-url http://localhost:8642] [-clients 4] [-requests 200]
 //	          [-mix compress=4,roundtrip=2,simulate=1] [-timeout 2m]
+//	          [-slo p99=500ms,error-rate=0,min-rps=20]
 //	          [-o BENCH_PR3.json] [-version]
 //
 // Traffic classes:
@@ -15,7 +16,16 @@
 //	simulate   POST /v1/simulate of one cache/CLB point
 //
 // The run fails (exit 1) on any 5xx response, any transport error, or any
-// round trip that is not byte-identical.
+// round trip that is not byte-identical. -slo adds service-level gates
+// evaluated over the whole run: duration clauses (p50/p95/p99/max, any
+// time.ParseDuration value) bound overall latency, error-rate bounds the
+// failed fraction, and min-rps sets a throughput floor. The first
+// violated clause is named on stderr and fails the run, which is what
+// the CI load gate keys off.
+//
+// Every response's X-Ccrp-Trace-Id is captured, and the report records
+// the trace ids of the slowest request per class, so a -trace'd daemon's
+// span file can be cross-examined with ccrp-spans.
 package main
 
 import (
@@ -39,12 +49,14 @@ import (
 	"ccrp/internal/workload"
 )
 
-// opResult is one completed request.
+// opResult is one completed operation (possibly several HTTP requests)
+// with the server trace ids it touched.
 type opResult struct {
 	class  string
 	status int
 	dur    time.Duration
 	err    error
+	traces []string
 }
 
 // classStats aggregates one traffic class for the report.
@@ -57,6 +69,16 @@ type classStats struct {
 	MaxMS      float64 `json:"max_ms"`
 	MeanMS     float64 `json:"mean_ms"`
 	Throughput float64 `json:"throughput_rps"`
+	// SlowTraces holds the X-Ccrp-Trace-Id values of the class's slowest
+	// operation, the handles ccrp-spans resolves into span trees.
+	SlowTraces []string `json:"slow_traces,omitempty"`
+}
+
+// sloResult is one evaluated -slo clause in the report.
+type sloResult struct {
+	Clause string `json:"clause"`
+	Actual string `json:"actual"`
+	OK     bool   `json:"ok"`
 }
 
 // report is the BENCH_PR3.json document.
@@ -72,7 +94,9 @@ type report struct {
 	Throughput float64               `json:"throughput_rps"`
 	Status5xx  int                   `json:"status_5xx"`
 	RoundTrips int                   `json:"round_trips_verified"`
+	Overall    classStats            `json:"overall"`
 	Classes    map[string]classStats `json:"classes"`
+	SLO        []sloResult           `json:"slo,omitempty"`
 	Host       hostinfo.Info         `json:"host"`
 }
 
@@ -81,6 +105,7 @@ func main() {
 	clients := flag.Int("clients", 4, "concurrent clients")
 	requests := flag.Int("requests", 200, "total requests across all clients")
 	mix := flag.String("mix", "compress=4,roundtrip=2,simulate=1", "traffic mix as class=weight pairs")
+	slo := flag.String("slo", "", "fail the run unless these clauses hold (e.g. p99=500ms,error-rate=0,min-rps=20)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	seed := flag.Int64("seed", 1, "traffic-shuffle seed")
@@ -89,6 +114,10 @@ func main() {
 	cliutil.HandleVersionFlag("ccrp-load", version)
 
 	classes, err := parseMix(*mix)
+	if err != nil {
+		fatal("%v", err)
+	}
+	sloClauses, err := parseSLO(*slo)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -147,7 +176,8 @@ func main() {
 		Classes: map[string]classStats{},
 		Host:    hostinfo.Collect(),
 	}
-	perClass := map[string][]time.Duration{}
+	perClass := map[string][]opResult{}
+	var all []time.Duration
 	failures := 0
 	for r := range results {
 		rep.Requests++
@@ -165,16 +195,22 @@ func main() {
 		if r.class == "roundtrip" {
 			rep.RoundTrips++
 		}
-		perClass[r.class] = append(perClass[r.class], r.dur)
+		perClass[r.class] = append(perClass[r.class], r)
+		all = append(all, r.dur)
 	}
-	for class, durs := range perClass {
+	for class, ops := range perClass {
 		cs := rep.Classes[class]
-		cs.Requests = len(durs) + cs.Errors
-		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		cs.Requests = len(ops) + cs.Errors
+		sort.Slice(ops, func(i, j int) bool { return ops[i].dur < ops[j].dur })
+		durs := make([]time.Duration, len(ops))
+		for i, op := range ops {
+			durs[i] = op.dur
+		}
 		cs.P50MS = percentile(durs, 0.50)
 		cs.P95MS = percentile(durs, 0.95)
 		cs.P99MS = percentile(durs, 0.99)
 		cs.MaxMS = ms(durs[len(durs)-1])
+		cs.SlowTraces = ops[len(ops)-1].traces
 		var sum time.Duration
 		for _, d := range durs {
 			sum += d
@@ -184,6 +220,20 @@ func main() {
 		rep.Classes[class] = cs
 	}
 	rep.Throughput = float64(rep.Requests-failures) / wall.Seconds()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	rep.Overall = classStats{
+		Requests:   rep.Requests,
+		Errors:     failures,
+		Throughput: rep.Throughput,
+	}
+	if len(all) > 0 {
+		rep.Overall.P50MS = percentile(all, 0.50)
+		rep.Overall.P95MS = percentile(all, 0.95)
+		rep.Overall.P99MS = percentile(all, 0.99)
+		rep.Overall.MaxMS = ms(all[len(all)-1])
+	}
+
+	sloViolation := evalSLO(sloClauses, &rep, failures)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -200,9 +250,108 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "ccrp-load: %d requests, %d clients, %.1f req/s, %d 5xx, %d failures\n",
 		rep.Requests, *clients, rep.Throughput, rep.Status5xx, failures)
+	if sloViolation != "" {
+		fmt.Fprintf(os.Stderr, "ccrp-load: SLO violated: %s\n", sloViolation)
+		os.Exit(1)
+	}
 	if rep.Status5xx > 0 || failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// sloClause is one parsed -slo term.
+type sloClause struct {
+	key string
+	// dur is set for latency clauses (p50/p95/p99/max), rate for
+	// error-rate, rps for min-rps.
+	dur  time.Duration
+	rate float64
+	rps  float64
+	text string
+}
+
+// parseSLO parses "key=value,..." into clauses. Latency keys take any
+// time.ParseDuration value; error-rate takes a fraction in [0, 1];
+// min-rps takes a float.
+func parseSLO(s string) ([]sloClause, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var clauses []sloClause
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("slo clause %q is not key=value", pair)
+		}
+		c := sloClause{key: key, text: pair}
+		switch key {
+		case "p50", "p95", "p99", "max":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("slo clause %q needs a positive duration", pair)
+			}
+			c.dur = d
+		case "error-rate":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return nil, fmt.Errorf("slo clause %q needs a fraction in [0, 1]", pair)
+			}
+			c.rate = f
+		case "min-rps":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 {
+				return nil, fmt.Errorf("slo clause %q needs a positive rate", pair)
+			}
+			c.rps = f
+		default:
+			return nil, fmt.Errorf("unknown slo key %q (have p50, p95, p99, max, error-rate, min-rps)", key)
+		}
+		clauses = append(clauses, c)
+	}
+	return clauses, nil
+}
+
+// evalSLO checks every clause against the finished report, records the
+// verdicts in rep.SLO, and returns a description of the first violated
+// clause ("" when all hold).
+func evalSLO(clauses []sloClause, rep *report, failures int) string {
+	violation := ""
+	for _, c := range clauses {
+		var actualMS float64
+		var actual string
+		ok := true
+		switch c.key {
+		case "p50", "p95", "p99", "max":
+			switch c.key {
+			case "p50":
+				actualMS = rep.Overall.P50MS
+			case "p95":
+				actualMS = rep.Overall.P95MS
+			case "p99":
+				actualMS = rep.Overall.P99MS
+			case "max":
+				actualMS = rep.Overall.MaxMS
+			}
+			actual = fmt.Sprintf("%.1fms", actualMS)
+			ok = actualMS <= float64(c.dur.Microseconds())/1000
+		case "error-rate":
+			rate := 0.0
+			if rep.Requests > 0 {
+				rate = float64(failures) / float64(rep.Requests)
+			}
+			actual = fmt.Sprintf("%.4f", rate)
+			ok = rate <= c.rate
+		case "min-rps":
+			actual = fmt.Sprintf("%.1f", rep.Throughput)
+			ok = rep.Throughput >= c.rps
+		}
+		rep.SLO = append(rep.SLO, sloResult{Clause: c.text, Actual: actual, OK: ok})
+		if !ok && violation == "" {
+			violation = fmt.Sprintf("%s (actual %s)", c.text, actual)
+		}
+	}
+	return violation
 }
 
 // parseMix parses "class=weight,..." into an ordered weight table.
@@ -263,41 +412,56 @@ func runOp(client *http.Client, base, class, coderID, wl string, i int) opResult
 	start := time.Now()
 	var err error
 	var status int
+	var traces []string
 	switch class {
 	case "compress":
-		status, _, err = compress(client, base, coderID, wl)
+		var tid string
+		status, tid, _, err = compress(client, base, coderID, wl)
+		traces = appendTrace(traces, tid)
 	case "roundtrip":
-		status, err = roundTrip(client, base, coderID, wl)
+		status, traces, err = roundTrip(client, base, coderID, wl)
 	case "simulate":
-		status, err = simulate(client, base, wl, 256<<(i%4))
+		var tid string
+		status, tid, err = simulate(client, base, wl, 256<<(i%4))
+		traces = appendTrace(traces, tid)
 	}
-	return opResult{class: class, status: status, dur: time.Since(start), err: err}
+	return opResult{class: class, status: status, dur: time.Since(start), err: err, traces: traces}
 }
 
-// post round-trips one JSON request, decoding the response into out.
-func post(client *http.Client, url string, in, out any) (int, error) {
+// appendTrace collects non-empty trace ids.
+func appendTrace(traces []string, tid string) []string {
+	if tid == "" {
+		return traces
+	}
+	return append(traces, tid)
+}
+
+// post round-trips one JSON request, decoding the response into out and
+// returning the response's X-Ccrp-Trace-Id for span correlation.
+func post(client *http.Client, url string, in, out any) (int, string, error) {
 	blob, err := json.Marshal(in)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	resp, err := client.Post(url, "application/json", bytes.NewReader(blob))
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
+	tid := resp.Header.Get("X-Ccrp-Trace-Id")
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return resp.StatusCode, err
+		return resp.StatusCode, tid, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return resp.StatusCode, fmt.Errorf("%s: %d: %s", url, resp.StatusCode, body)
+		return resp.StatusCode, tid, fmt.Errorf("%s: %d: %s", url, resp.StatusCode, body)
 	}
 	if out != nil {
 		if err := json.Unmarshal(body, out); err != nil {
-			return resp.StatusCode, fmt.Errorf("%s: bad response: %v", url, err)
+			return resp.StatusCode, tid, fmt.Errorf("%s: bad response: %v", url, err)
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, tid, nil
 }
 
 // trainCoder trains the run's shared preselected coder.
@@ -305,7 +469,7 @@ func trainCoder(client *http.Client, base string) (string, error) {
 	var info struct {
 		ID string `json:"id"`
 	}
-	if _, err := post(client, base+"/v1/coders",
+	if _, _, err := post(client, base+"/v1/coders",
 		map[string]any{"kind": "preselected"}, &info); err != nil {
 		return "", err
 	}
@@ -323,11 +487,11 @@ type compressOut struct {
 	} `json:"lines"`
 }
 
-func compress(client *http.Client, base, coderID, wl string) (int, *compressOut, error) {
+func compress(client *http.Client, base, coderID, wl string) (int, string, *compressOut, error) {
 	var out compressOut
-	status, err := post(client, base+"/v1/compress",
+	status, tid, err := post(client, base+"/v1/compress",
 		map[string]any{"coder_id": coderID, "workload": wl}, &out)
-	return status, &out, err
+	return status, tid, &out, err
 }
 
 // roundTrip compresses a workload, decompresses the result, and verifies
@@ -335,56 +499,58 @@ func compress(client *http.Client, base, coderID, wl string) (int, *compressOut,
 // goes through the coder_id+blocks+lines path so repeated round trips
 // of the same workload exercise ccrpd's decoded-line cache (the rom_b64
 // path is self-describing and bypasses it).
-func roundTrip(client *http.Client, base, coderID, wl string) (int, error) {
-	status, comp, err := compress(client, base, coderID, wl)
+func roundTrip(client *http.Client, base, coderID, wl string) (int, []string, error) {
+	status, tid, comp, err := compress(client, base, coderID, wl)
+	traces := appendTrace(nil, tid)
 	if err != nil {
-		return status, err
+		return status, traces, err
 	}
 	var dec struct {
 		TextB64 string `json:"text_b64"`
 	}
-	status, err = post(client, base+"/v1/decompress",
+	status, tid, err = post(client, base+"/v1/decompress",
 		map[string]any{
 			"coder_id":   coderID,
 			"blocks_b64": comp.BlocksB64,
 			"lines":      comp.Lines,
 		}, &dec)
+	traces = appendTrace(traces, tid)
 	if err != nil {
-		return status, err
+		return status, traces, err
 	}
 	got, err := base64.StdEncoding.DecodeString(dec.TextB64)
 	if err != nil {
-		return status, err
+		return status, traces, err
 	}
 	w, ok := workload.ByName(wl)
 	if !ok {
-		return status, fmt.Errorf("unknown workload %q", wl)
+		return status, traces, fmt.Errorf("unknown workload %q", wl)
 	}
 	text, err := w.Text()
 	if err != nil {
-		return status, err
+		return status, traces, err
 	}
 	want := make([]byte, comp.OriginalBytes)
 	copy(want, text)
 	if !bytes.Equal(got, want) {
-		return status, fmt.Errorf("round trip of %q is not byte-identical", wl)
+		return status, traces, fmt.Errorf("round trip of %q is not byte-identical", wl)
 	}
-	return status, nil
+	return status, traces, nil
 }
 
-func simulate(client *http.Client, base, wl string, cacheBytes int) (int, error) {
+func simulate(client *http.Client, base, wl string, cacheBytes int) (int, string, error) {
 	var out struct {
 		RelativePerformance float64 `json:"relative_performance"`
 	}
-	status, err := post(client, base+"/v1/simulate",
+	status, tid, err := post(client, base+"/v1/simulate",
 		map[string]any{"workload": wl, "cache_bytes": cacheBytes}, &out)
 	if err != nil {
-		return status, err
+		return status, tid, err
 	}
 	if out.RelativePerformance <= 0 {
-		return status, fmt.Errorf("simulate %q: nonpositive relative performance", wl)
+		return status, tid, fmt.Errorf("simulate %q: nonpositive relative performance", wl)
 	}
-	return status, nil
+	return status, tid, nil
 }
 
 // percentile reads the p-th percentile from sorted durations.

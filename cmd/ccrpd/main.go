@@ -6,7 +6,8 @@
 //
 //	ccrpd [-addr :8642] [-sim-workers N] [-max-body 16777216]
 //	      [-train-timeout 60s] [-compress-timeout 30s] [-sim-timeout 120s]
-//	      [-access-log access.jsonl] [-drain 15s] [-version]
+//	      [-access-log access.jsonl] [-trace spans.jsonl] [-trace-tail 16]
+//	      [-drain 15s] [-version]
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests get -drain to finish, then the process
@@ -27,6 +28,7 @@ import (
 	"ccrp/internal/cliutil"
 	"ccrp/internal/metrics"
 	"ccrp/internal/server"
+	"ccrp/internal/tracing"
 )
 
 func main() {
@@ -37,6 +39,8 @@ func main() {
 	compressTimeout := flag.Duration("compress-timeout", 0, "compress/decompress deadline (0 = 30s)")
 	simTimeout := flag.Duration("sim-timeout", 0, "POST /v1/simulate deadline (0 = 120s)")
 	accessLog := flag.String("access-log", "", "append JSONL access logs to this file (- for stderr)")
+	traceOut := flag.String("trace", "", "append JSONL span records to this file (- for stderr)")
+	traceTail := flag.Int("trace-tail", tracing.DefaultTailSlow, "slowest request trees retained for GET /debug/traces")
 	drain := flag.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
 	version := cliutil.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
@@ -59,6 +63,23 @@ func main() {
 		defer closeSink()
 		cfg.AccessLog = sink
 	}
+
+	// Tracing is always on: the tail capture behind GET /debug/traces
+	// costs only the slowest-N span trees. -trace additionally streams
+	// every finished span as JSONL for offline analysis (ccrp-spans).
+	tcfg := tracing.Config{TailSlow: *traceTail}
+	if *traceOut != "" {
+		sink, closeSink, err := openTraceSink(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccrpd: %v\n", err)
+			os.Exit(1)
+		}
+		defer closeSink()
+		tcfg.Sink = sink
+	}
+	tracer := tracing.New(tcfg)
+	defer tracer.Close()
+	cfg.Tracer = tracer
 
 	srv := &http.Server{
 		Addr:              *addr,
@@ -110,5 +131,19 @@ func openAccessLog(path string) (metrics.EventSink, func(), error) {
 		return nil, nil, fmt.Errorf("access log: %w", err)
 	}
 	sink := metrics.NewJSONLSink(f)
+	return sink, func() { sink.Close(); f.Close() }, nil
+}
+
+// openTraceSink builds the JSONL span sink for -trace.
+func openTraceSink(path string) (tracing.SpanSink, func(), error) {
+	if path == "-" {
+		sink := tracing.NewJSONLSink(os.Stderr)
+		return sink, func() { sink.Close() }, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("trace sink: %w", err)
+	}
+	sink := tracing.NewJSONLSink(f)
 	return sink, func() { sink.Close(); f.Close() }, nil
 }

@@ -17,6 +17,7 @@ import (
 	"ccrp/internal/memory"
 	"ccrp/internal/metrics"
 	"ccrp/internal/trace"
+	"ccrp/internal/tracing"
 	"ccrp/internal/workload"
 )
 
@@ -96,6 +97,7 @@ type ObsFlags struct {
 	Metrics    *string
 	Events     *string
 	Sample     *uint64
+	Spans      *string
 	CPUProfile *string
 	MemProfile *string
 }
@@ -108,6 +110,7 @@ func RegisterObsFlags(fs *flag.FlagSet) *ObsFlags {
 			fmt.Sprintf("export metrics on stdout: %s", strings.Join(metrics.Formats(), ", "))),
 		Events:     fs.String("events", "", "write the structured JSONL event stream to this file"),
 		Sample:     fs.Uint64("sample", 64, "emit every Nth fetch event (structural events are never sampled)"),
+		Spans:      fs.String("spans", "", "write per-stage tracing spans as JSONL to this file (analyze with ccrp-spans)"),
 		CPUProfile: fs.String("cpuprofile", "", "write a pprof CPU profile to this file"),
 		MemProfile: fs.String("memprofile", "", "write a pprof heap profile at exit to this file"),
 	}
@@ -117,6 +120,7 @@ func RegisterObsFlags(fs *flag.FlagSet) *ObsFlags {
 type Obs struct {
 	Registry *metrics.Registry // nil unless -metrics was given
 	Sink     metrics.EventSink // nil unless -events was given
+	Tracer   *tracing.Tracer   // nil unless -spans was given
 	format   string
 	memPath  string
 	stopCPU  func() error
@@ -144,6 +148,14 @@ func (f *ObsFlags) Begin() (*Obs, error) {
 		}
 		o.Sink = &metrics.SampledSink{Inner: metrics.NewJSONLSink(ef), Every: *f.Sample}
 	}
+	if *f.Spans != "" {
+		tf, err := os.Create(*f.Spans)
+		if err != nil {
+			return nil, err
+		}
+		// The sink owns tf: its Close flushes and closes the file.
+		o.Tracer = tracing.New(tracing.Config{Sink: tracing.NewJSONLSink(tf)})
+	}
 	if *f.CPUProfile != "" {
 		stop, err := StartCPUProfile(*f.CPUProfile)
 		if err != nil {
@@ -165,6 +177,9 @@ func (o *Obs) Finish() error {
 	}
 	if o.Sink != nil {
 		keep(o.Sink.Close())
+	}
+	if o.Tracer != nil {
+		keep(o.Tracer.Close())
 	}
 	if o.stopCPU != nil {
 		keep(o.stopCPU())

@@ -10,6 +10,7 @@ import (
 
 	"ccrp/internal/asm"
 	"ccrp/internal/trace"
+	"ccrp/internal/tracing"
 )
 
 const tinySource = `
@@ -199,5 +200,41 @@ func TestObsBeginFinish(t *testing.T) {
 	}
 	if _, err := os.Stat(events); err != nil {
 		t.Errorf("event file missing: %v", err)
+	}
+}
+
+// TestObsSpansFinish pins the -spans lifecycle: Finish flushes the span
+// sink exactly once (the sink owns the file; a second close used to make
+// every -spans run exit non-zero with "file already closed") and the
+// file holds the emitted records.
+func TestObsSpansFinish(t *testing.T) {
+	spans := filepath.Join(t.TempDir(), "sp.jsonl")
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterObsFlags(fs)
+	if err := fs.Parse([]string{"-spans", spans}); err != nil {
+		t.Fatal(err)
+	}
+	o, err := f.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tracer == nil {
+		t.Fatal("no tracer despite -spans")
+	}
+	o.Tracer.Start("sweep_point").End()
+	if err := o.Finish(); err != nil {
+		t.Fatalf("Finish() = %v, want nil", err)
+	}
+	sf, err := os.Open(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sf.Close()
+	recs, err := tracing.ReadRecords(sf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Stage != "sweep_point" {
+		t.Errorf("span file holds %+v, want one sweep_point record", recs)
 	}
 }

@@ -229,12 +229,16 @@ func currentEngine() *sweep.Engine {
 }
 
 // compareConfig runs one workload through core.Compare with the
-// preselected code and the given knobs, reusing the cached ROM.
+// preselected code and the given knobs, reusing the cached ROM. The
+// train/build/run stages hang off obs.Span (no-ops when tracing is off),
+// so a traced sweep decomposes each point's cost the same way the paper
+// splits coder selection, compression, and execution.
 func compareConfig(name string, cacheBytes, clbEntries int, mem memory.Model, dmiss float64, obs sweep.Obs) (*core.Comparison, error) {
 	w, ok := workload.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown workload %q", name)
 	}
+	obs.Span.SetAttr("workload", name)
 	tr, err := w.Trace()
 	if err != nil {
 		return nil, err
@@ -243,10 +247,22 @@ func compareConfig(name string, cacheBytes, clbEntries int, mem memory.Model, dm
 	if err != nil {
 		return nil, err
 	}
-	rom, err := preselROM(text)
+	tsp := obs.Span.Child(sweep.StageTrain)
+	_, err = PreselectedCode()
 	if err != nil {
+		tsp.SetError(err)
+		tsp.End()
 		return nil, err
 	}
+	tsp.End()
+	bsp := obs.Span.Child(sweep.StageBuild)
+	rom, err := preselROM(text)
+	if err != nil {
+		bsp.SetError(err)
+		bsp.End()
+		return nil, err
+	}
+	bsp.End()
 	cfg := core.Config{
 		CacheBytes: cacheBytes,
 		CLBEntries: clbEntries,
@@ -259,7 +275,13 @@ func compareConfig(name string, cacheBytes, clbEntries int, mem memory.Model, dm
 		cfg.DataCache = true
 		cfg.DCacheMissRate = dmiss
 	}
-	return core.Compare(tr, text, cfg)
+	rsp := obs.Span.Child(sweep.StageRun)
+	cmp, err := core.Compare(tr, text, cfg)
+	if err != nil {
+		rsp.SetError(err)
+	}
+	rsp.End()
+	return cmp, err
 }
 
 // PerfPoint is one row of Tables 1-10 and one point of Figure 9.

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// hostileRegistry carries every character the exposition format must
+// escape: backslashes and newlines in HELP text, plus quotes, newlines,
+// and backslashes in label values.
+func hostileRegistry() *Registry {
+	r := New()
+	r.Counter("ccrp_test_hostile_total",
+		"line one\nline two with a \\ backslash").Add(3)
+	vec := r.CounterVec("ccrp_test_hostile_labels_total",
+		"labels with \\ and\nnewlines", "path")
+	vec.With(`/v1/with "quotes"`).Add(1)
+	vec.With("multi\nline").Add(2)
+	vec.With(`back\slash`).Add(4)
+	return r
+}
+
+// TestPrometheusEscapeGolden pins the exposition-format escaping:
+// \\ and \n in HELP lines, \\ \n and \" in label values. A regression
+// here silently corrupts every scrape that carries a hostile name.
+func TestPrometheusEscapeGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := hostileRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "escape.prom", b.String())
+}
+
+// TestPrometheusEscapeProperties checks the invariants independent of the
+// golden bytes: one logical line per sample, no raw control characters,
+// every escaped sequence present.
+func TestPrometheusEscapeProperties(t *testing.T) {
+	var b bytes.Buffer
+	if err := hostileRegistry().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// A sample line must parse as name{...} value: a raw newline in a
+		// label value would have split it and left a fragment without a
+		// metric-name prefix.
+		if !strings.HasPrefix(line, "ccrp_test_hostile") {
+			t.Errorf("exposition line %q escaped its metric (raw newline leak?)", line)
+		}
+	}
+	for _, want := range []string{
+		`line one\nline two with a \\ backslash`,
+		`path="/v1/with \"quotes\""`,
+		`path="multi\nline"`,
+		`path="back\\slash"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -47,6 +47,7 @@ type Event struct {
 	Status int    `json:"status,omitempty"` // response status code
 	DurUS  uint64 `json:"dur_us,omitempty"` // handler wall time in microseconds
 	Err    string `json:"err,omitempty"`    // API error code for non-2xx responses
+	Trace  string `json:"trace,omitempty"`  // request trace id (matches X-Ccrp-Trace-Id and span records)
 }
 
 // EventSink consumes simulator events. Implementations need not be

@@ -124,9 +124,22 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	}{out})
 }
 
+// Escaping per the Prometheus text exposition format: HELP text escapes
+// backslash and newline; label values additionally escape double quotes.
+// Go's %q is close but not conformant (it escapes tabs, non-ASCII, and
+// more, which scrapers then render literally), so the replacers below
+// implement exactly the spec's three sequences.
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+)
+
 // WritePrometheus emits the registry in the Prometheus text exposition
 // format (version 0.0.4): # HELP / # TYPE headers, cumulative histogram
-// buckets with le labels, and a label per CounterVec child.
+// buckets with le labels, and a label per CounterVec child. Help text and
+// label values are escaped per the format, so hostile instrument help or
+// label values (quotes, newlines, backslashes) cannot corrupt the
+// exposition stream.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, in := range r.snapshot() {
 		typ := map[kind]string{
@@ -134,7 +147,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			kindHistogram: "histogram", kindCounterVec: "counter",
 		}[in.kind]
 		if in.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", in.name, in.help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", in.name, helpEscaper.Replace(in.help)); err != nil {
 				return err
 			}
 		}
@@ -157,7 +170,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(w, "%s_count %d\n", in.name, in.h.Count())
 		case kindCounterVec:
 			for _, lv := range in.vec.labels() {
-				fmt.Fprintf(w, "%s{%s=%q} %d\n", in.name, in.vec.label, lv, in.vec.index[lv].Value())
+				fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", in.name, in.vec.label,
+					labelEscaper.Replace(lv), in.vec.index[lv].Value())
 			}
 		}
 	}

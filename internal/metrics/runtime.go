@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"runtime"
+)
+
+// RuntimeStats is the process-level telemetry collector: Go runtime
+// health (GC pauses, heap occupancy, goroutine count, GOMAXPROCS)
+// registered as gauges so a /metrics scrape can tell GC stalls and
+// goroutine leaks apart from genuine serving latency. Collect is cheap
+// enough to run per scrape; it is not wired into any hot path.
+type RuntimeStats struct {
+	goroutines   *Gauge
+	gomaxprocs   *Gauge
+	heapAlloc    *Gauge
+	heapSys      *Gauge
+	heapObjects  *Gauge
+	nextGC       *Gauge
+	gcCycles     *Gauge
+	gcPauseTotal *Gauge
+	gcPauseLast  *Gauge
+}
+
+// NewRuntimeStats registers the runtime gauges on r. Returns nil on a nil
+// registry; Collect on a nil *RuntimeStats is a no-op, matching the
+// package's disabled-is-free convention.
+func NewRuntimeStats(r *Registry) *RuntimeStats {
+	if r == nil {
+		return nil
+	}
+	return &RuntimeStats{
+		goroutines:   r.Gauge("go_goroutines", "goroutines currently live"),
+		gomaxprocs:   r.Gauge("go_gomaxprocs", "GOMAXPROCS at last collect"),
+		heapAlloc:    r.Gauge("go_heap_alloc_bytes", "bytes of allocated heap objects"),
+		heapSys:      r.Gauge("go_heap_sys_bytes", "heap memory obtained from the OS"),
+		heapObjects:  r.Gauge("go_heap_objects", "allocated heap objects"),
+		nextGC:       r.Gauge("go_next_gc_bytes", "heap size target of the next GC cycle"),
+		gcCycles:     r.Gauge("go_gc_cycles_total", "completed GC cycles"),
+		gcPauseTotal: r.Gauge("go_gc_pause_seconds_total", "cumulative stop-the-world pause time"),
+		gcPauseLast:  r.Gauge("go_gc_last_pause_seconds", "most recent stop-the-world pause"),
+	}
+}
+
+// Collect refreshes every runtime gauge. ReadMemStats stops the world for
+// microseconds; callers run it per scrape, not per request.
+func (s *RuntimeStats) Collect() {
+	if s == nil {
+		return
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.goroutines.Set(float64(runtime.NumGoroutine()))
+	s.gomaxprocs.Set(float64(runtime.GOMAXPROCS(0)))
+	s.heapAlloc.Set(float64(m.HeapAlloc))
+	s.heapSys.Set(float64(m.HeapSys))
+	s.heapObjects.Set(float64(m.HeapObjects))
+	s.nextGC.Set(float64(m.NextGC))
+	s.gcCycles.Set(float64(m.NumGC))
+	s.gcPauseTotal.Set(float64(m.PauseTotalNs) / 1e9)
+	if m.NumGC > 0 {
+		s.gcPauseLast.Set(float64(m.PauseNs[(m.NumGC+255)%256]) / 1e9)
+	}
+}

@@ -1,0 +1,43 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeStatsCollect(t *testing.T) {
+	r := New()
+	rt := NewRuntimeStats(r)
+	rt.Collect()
+	if rt.goroutines.Value() < 1 {
+		t.Errorf("go_goroutines = %g, want >= 1", rt.goroutines.Value())
+	}
+	if rt.gomaxprocs.Value() < 1 {
+		t.Errorf("go_gomaxprocs = %g, want >= 1", rt.gomaxprocs.Value())
+	}
+	if rt.heapAlloc.Value() <= 0 {
+		t.Errorf("go_heap_alloc_bytes = %g, want > 0", rt.heapAlloc.Value())
+	}
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"go_goroutines", "go_gomaxprocs", "go_heap_alloc_bytes",
+		"go_gc_cycles_total", "go_gc_pause_seconds_total",
+	} {
+		if !strings.Contains(b.String(), name+" ") {
+			t.Errorf("exposition missing %s", name)
+		}
+	}
+}
+
+func TestRuntimeStatsDisabled(t *testing.T) {
+	var r *Registry
+	rt := NewRuntimeStats(r)
+	if rt != nil {
+		t.Fatal("nil registry must yield a nil collector")
+	}
+	rt.Collect() // must not panic
+}

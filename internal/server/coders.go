@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"ccrp/internal/experiments"
 	"ccrp/internal/huffman"
 	"ccrp/internal/sweep"
+	"ccrp/internal/tracing"
 	"ccrp/internal/workload"
 )
 
@@ -72,11 +74,15 @@ type trainRequest struct {
 }
 
 // decodeRequest parses a JSON body into v with unknown-field rejection,
-// mapping failures onto the error taxonomy.
+// mapping failures onto the error taxonomy. The parse runs under a
+// decode_body span so JSON cost is attributable per request.
 func decodeRequest(r *http.Request, v any) error {
+	sp := tracing.FromContext(r.Context()).Child(StageDecodeBody)
+	defer sp.End()
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		sp.SetError(err)
 		if _, ok := err.(*http.MaxBytesError); ok {
 			return err // let asAPIError map it to 413
 		}
@@ -208,30 +214,37 @@ func (s *Server) handleTrainCoder(w http.ResponseWriter, r *http.Request) error 
 	_, cached := s.coders[id]
 	s.codersMu.Unlock()
 
+	sp := tracing.FromContext(r.Context()).Child(StageCoderTrain)
+	sp.SetAttr("kind", req.Kind)
+	sp.SetAttr("coder", id)
 	entry, err := sweep.Get(s.cache, key, func() (*coderEntry, error) {
 		s.metricsMu.Lock()
 		s.inst.builds.Inc()
 		s.metricsMu.Unlock()
+		sp.SetAttrInt("built", 1) // this request ran the build, not the cache
 		return buildCoder(id, req.Kind, req.Bound, corpus)
 	})
 	if err != nil {
+		sp.SetError(err)
+		sp.End()
 		return err
 	}
+	sp.End()
 	s.codersMu.Lock()
 	s.coders[id] = entry
 	s.codersMu.Unlock()
 
-	writeJSON(w, http.StatusOK, entry.info(cached))
+	traceJSON(w, r, entry.info(cached))
 	return nil
 }
 
 func (s *Server) handleGetCoder(w http.ResponseWriter, r *http.Request) error {
 	id := r.PathValue("id")
-	entry, err := s.coderByID(id)
+	entry, err := s.resolveCoder(r.Context(), id)
 	if err != nil {
 		return err
 	}
-	writeJSON(w, http.StatusOK, entry.info(true))
+	traceJSON(w, r, entry.info(true))
 	return nil
 }
 
@@ -245,6 +258,18 @@ func (s *Server) coderByID(id string) (*coderEntry, error) {
 			"unknown coder id %q (train it with POST /v1/coders)", id)
 	}
 	return entry, nil
+}
+
+// resolveCoder is coderByID under a coder_resolve span, the instrumented
+// path the request handlers share.
+func (s *Server) resolveCoder(ctx context.Context, id string) (*coderEntry, error) {
+	sp := tracing.FromContext(ctx).Child(StageCoderGet)
+	defer sp.End()
+	entry, err := s.coderByID(id)
+	if err != nil {
+		sp.SetError(err)
+	}
+	return entry, err
 }
 
 // romOptions builds the core compression options for a coder.

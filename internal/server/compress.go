@@ -8,6 +8,7 @@ import (
 
 	"ccrp/internal/core"
 	"ccrp/internal/sweep"
+	"ccrp/internal/tracing"
 	"ccrp/internal/workload"
 )
 
@@ -43,8 +44,23 @@ type compressResponse struct {
 	ROMB64          string     `json:"rom_b64,omitempty"`
 }
 
-// resolveText produces the program text image of a request.
-func (s *Server) resolveText(textB64, workloadName string) ([]byte, error) {
+// resolveText produces the program text image of a request under a
+// text_resolve span: the first touch of a named workload assembles and
+// runs it to build the image (later touches hit the sync.Once cache),
+// a cost that would otherwise be invisible root time.
+func (s *Server) resolveText(ctx context.Context, textB64, workloadName string) ([]byte, error) {
+	sp := tracing.FromContext(ctx).Child(StageText)
+	defer sp.End()
+	text, err := s.resolveTextImage(textB64, workloadName)
+	if err != nil {
+		sp.SetError(err)
+		return nil, err
+	}
+	sp.SetAttrInt("text_bytes", int64(len(text)))
+	return text, nil
+}
+
+func (s *Server) resolveTextImage(textB64, workloadName string) ([]byte, error) {
 	switch {
 	case textB64 != "" && workloadName != "":
 		return nil, errBadRequest("text_b64 and workload are mutually exclusive")
@@ -76,10 +92,16 @@ func (s *Server) resolveText(textB64, workloadName string) ([]byte, error) {
 // buildROM compresses text under the coder through the artifact cache:
 // concurrent identical requests (same coder, same image, same alignment)
 // share one build, and simulate reuses compress's ROMs. Built ROMs are
-// immutable, which is what makes the sharing sound.
-func (s *Server) buildROM(entry *coderEntry, text []byte, wordAligned bool) (*core.ROM, error) {
+// immutable, which is what makes the sharing sound. The whole step —
+// cache probe included, since a hit is the latency the client sees — runs
+// under a compress span.
+func (s *Server) buildROM(ctx context.Context, entry *coderEntry, text []byte, wordAligned bool) (*core.ROM, error) {
+	sp := tracing.FromContext(ctx).Child(StageCompress)
+	sp.SetAttrInt("text_bytes", int64(len(text)))
+	defer sp.End()
 	key := sweep.Key("rom", entry.ID, wordAligned, text)
-	return sweep.Get(s.cache, key, func() (*core.ROM, error) {
+	rom, err := sweep.Get(s.cache, key, func() (*core.ROM, error) {
+		sp.SetAttrInt("built", 1) // a cache miss: this request paid the build
 		rom, err := core.BuildROM(text, entry.romOptions(wordAligned))
 		if err != nil {
 			return nil, errUnprocessable("compression failed: %v", err)
@@ -90,6 +112,10 @@ func (s *Server) buildROM(entry *coderEntry, text []byte, wordAligned bool) (*co
 		}
 		return rom, nil
 	})
+	if err != nil {
+		sp.SetError(err)
+	}
+	return rom, err
 }
 
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) error {
@@ -100,19 +126,25 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) error {
 	if req.CoderID == "" {
 		return errBadRequest("missing coder_id (train one with POST /v1/coders)")
 	}
-	entry, err := s.coderByID(req.CoderID)
+	entry, err := s.resolveCoder(r.Context(), req.CoderID)
 	if err != nil {
 		return err
 	}
-	text, err := s.resolveText(req.TextB64, req.Workload)
+	text, err := s.resolveText(r.Context(), req.TextB64, req.Workload)
 	if err != nil {
 		return err
 	}
-	rom, err := s.buildROM(entry, text, req.WordAligned)
+	rom, err := s.buildROM(r.Context(), entry, text, req.WordAligned)
 	if err != nil {
 		return err
 	}
 
+	// The encode span opens before response construction: base64-packing
+	// the blocks and serializing the CROM image dominate the write path
+	// for large programs, and unattributed time here would show up as a
+	// coverage gap in ccrp-spans.
+	sp := tracing.FromContext(r.Context()).Child(StageEncode)
+	defer sp.End()
 	resp := compressResponse{
 		CoderID:         req.CoderID,
 		OriginalBytes:   rom.OriginalSize,
@@ -129,6 +161,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) error {
 	if entry.serializable() {
 		var buf bytes.Buffer
 		if err := rom.WriteFile(&buf); err != nil {
+			sp.SetError(err)
 			return err
 		}
 		resp.ROMB64 = base64.StdEncoding.EncodeToString(buf.Bytes())
@@ -166,15 +199,21 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) error 
 	var text []byte
 	switch {
 	case req.ROMB64 != "":
+		sp := tracing.FromContext(r.Context()).Child(StageDecompress)
 		blob, err := base64.StdEncoding.DecodeString(req.ROMB64)
 		if err != nil {
+			sp.End()
 			return errBadRequest("rom_b64: invalid base64: %v", err)
 		}
 		rom, err := core.ReadROMFile(bytes.NewReader(blob))
 		if err != nil {
+			sp.SetError(err)
+			sp.End()
 			return errUnprocessable("malformed ROM image: %v", err)
 		}
 		text = rom.Text()
+		sp.SetAttrInt("text_bytes", int64(len(text)))
+		sp.End()
 	case req.CoderID != "":
 		var err error
 		text, err = s.decompressLines(r.Context(), &req)
@@ -189,22 +228,30 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) error 
 	s.inst.bytesOut.Add(uint64(len(text)))
 	s.metricsMu.Unlock()
 
+	// As in handleCompress, the encode span covers the base64 packing of
+	// the recovered text, not just the JSON write.
+	sp := tracing.FromContext(r.Context()).Child(StageEncode)
 	writeJSON(w, http.StatusOK, decompressResponse{
 		TextB64:       base64.StdEncoding.EncodeToString(text),
 		OriginalBytes: len(text),
 	})
+	sp.End()
 	return nil
 }
 
 // decompressLines expands a blocks+lines payload under a registered
 // coder, the path for codec-based (non-serializable) images. The context
 // bounds the walk so a hostile line list cannot outlive the route
-// deadline.
+// deadline. The walk runs under a decompress span annotated with the
+// request's line-cache hit/miss split, so a cold cache is visible as
+// latency attribution, not just aggregate counters.
 func (s *Server) decompressLines(ctx context.Context, req *decompressRequest) ([]byte, error) {
-	entry, err := s.coderByID(req.CoderID)
+	entry, err := s.resolveCoder(ctx, req.CoderID)
 	if err != nil {
 		return nil, err
 	}
+	sp := tracing.FromContext(ctx).Child(StageDecompress)
+	defer sp.End()
 	blocks, err := base64.StdEncoding.DecodeString(req.BlocksB64)
 	if err != nil {
 		return nil, errBadRequest("blocks_b64: invalid base64: %v", err)
@@ -239,13 +286,18 @@ func (s *Server) decompressLines(ctx context.Context, req *decompressRequest) ([
 			line, err = entry.decodeLine(stored)
 			if err != nil {
 				s.applyLineCacheStats(st)
-				return nil, errUnprocessable("line %d: %v", i, err)
+				err = errUnprocessable("line %d: %v", i, err)
+				sp.SetError(err)
+				return nil, err
 			}
 			s.lines.put(key, line, &st)
 		}
 		out = append(out, line...)
 	}
 	s.applyLineCacheStats(st)
+	sp.SetAttrInt("lines", int64(len(req.Lines)))
+	sp.SetAttrInt("linecache_hits", int64(st.hits))
+	sp.SetAttrInt("linecache_misses", int64(st.misses))
 	return out, nil
 }
 

@@ -39,6 +39,29 @@ import (
 	"ccrp/internal/hostinfo"
 	"ccrp/internal/metrics"
 	"ccrp/internal/sweep"
+	"ccrp/internal/tracing"
+)
+
+// TraceHeader carries the request's trace id on every response, 2xx and
+// error alike, so clients (ccrp-load) can correlate their latency
+// outliers with server-side span trees and access-log records.
+const TraceHeader = "X-Ccrp-Trace-Id"
+
+// Stage names of the served request path, the per-request analogue of
+// the paper's per-fetch cost decomposition: every span ccrpd emits uses
+// one of these, and scripts/trace_smoke.sh asserts the full set appears
+// under load.
+const (
+	StageRequest    = "request"         // root span, one per request
+	StageDecodeBody = "decode_body"     // JSON body parse
+	StageText       = "text_resolve"    // program-image resolution (first touch builds the workload)
+	StageCoderGet   = "coder_resolve"   // coder-id lookup
+	StageCoderTrain = "coder_train"     // coder build (or artifact-cache hit)
+	StageCompress   = "compress"        // block-bounded ROM build
+	StageDecompress = "decompress"      // per-line expansion incl. line cache
+	StageSimQueue   = "sim_queue"       // waiting for a simulate worker slot
+	StageSimRun     = "sim_run"         // trace-driven simulation
+	StageEncode     = "encode_response" // response JSON marshalling
 )
 
 // Config tunes the service. The zero value selects production defaults.
@@ -62,6 +85,11 @@ type Config struct {
 	// completed request. The server serializes Emit calls, so a plain
 	// JSONLSink is safe.
 	AccessLog metrics.EventSink
+	// Tracer, when set, records request-scoped spans: a root span per
+	// request plus the stage children the handlers emit, with tail
+	// capture served on /debug/traces. nil disables span recording; the
+	// trace id in responses and access logs is independent of it.
+	Tracer *tracing.Tracer
 }
 
 // withDefaults fills unset fields.
@@ -107,6 +135,8 @@ type Server struct {
 	metricsMu sync.Mutex
 	registry  *metrics.Registry
 	inst      serverMetrics
+	runtime   *metrics.RuntimeStats
+	tracer    *tracing.Tracer
 
 	accessMu sync.Mutex // serializes AccessLog.Emit
 	reqSeq   atomic.Uint64
@@ -144,8 +174,10 @@ func New(cfg Config) *Server {
 		coders:   make(map[string]*coderEntry),
 		sem:      make(chan struct{}, cfg.SimWorkers),
 		registry: metrics.New(),
+		tracer:   cfg.Tracer,
 		start:    time.Now(),
 	}
+	s.runtime = metrics.NewRuntimeStats(s.registry)
 	s.inst = serverMetrics{
 		requests:  s.registry.CounterVec("ccrpd_requests_total", "requests received", "route"),
 		responses: s.registry.CounterVec("ccrpd_responses_total", "responses sent", "status"),
@@ -173,6 +205,7 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/simulate", cfg.SimulateTimeout, s.handleSimulate)
 	s.route("GET /healthz", 5*time.Second, s.handleHealthz)
 	s.route("GET /metrics", 5*time.Second, s.handleMetrics)
+	s.route("GET /debug/traces", 5*time.Second, s.handleTraces)
 
 	// pprof must bypass the JSON middleware (it streams its own formats
 	// and profile durations exceed route timeouts by design).
@@ -248,15 +281,29 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 }
 
 // middleware wraps h with the production stack: panic confinement, the
-// request-size limit, the per-route deadline, metrics, and the access
-// log. Order matters: the recover must be outermost so even logging bugs
-// produce a typed 500 rather than a dropped connection.
+// request-size limit, the per-route deadline, trace propagation, metrics,
+// and the access log. Order matters: the recover must be outermost so
+// even logging bugs produce a typed 500 rather than a dropped connection.
+//
+// Every request gets a trace id — stamped on the response header and the
+// access-log record whether or not a tracer is configured, so client-side
+// outliers are always correlatable. Span recording (the root span here
+// plus the stage children the handlers start) happens only when
+// Config.Tracer is set; with a nil tracer every span call below is an
+// allocation-free no-op.
 func (s *Server) middleware(routeName string, timeout time.Duration, h handlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		seq := s.reqSeq.Add(1)
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
 		s.inflight.Add(1)
+
+		tid := tracing.NewTraceID()
+		// Set before the handler runs: headers freeze at WriteHeader.
+		sw.Header().Set(TraceHeader, tid.String())
+		span := s.tracer.StartTrace(tid, StageRequest)
+		span.SetAttr("route", routeName)
+		span.SetAttr("method", r.Method)
 
 		var handlerErr error
 		func() {
@@ -271,6 +318,7 @@ func (s *Server) middleware(routeName string, timeout time.Duration, h handlerFu
 				ctx, cancel = context.WithTimeout(ctx, timeout)
 			}
 			defer cancel()
+			ctx = tracing.ContextWith(ctx, span)
 			r = r.WithContext(ctx)
 			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 			handlerErr = h(sw, r)
@@ -285,6 +333,12 @@ func (s *Server) middleware(routeName string, timeout time.Duration, h handlerFu
 		if handlerErr != nil {
 			errCode = asAPIError(handlerErr).Code
 		}
+
+		span.SetAttrInt("status", int64(sw.status))
+		if handlerErr != nil {
+			span.SetError(handlerErr)
+		}
+		span.End()
 
 		s.metricsMu.Lock()
 		s.inst.requests.With(routeName).Inc()
@@ -302,6 +356,7 @@ func (s *Server) middleware(routeName string, timeout time.Duration, h handlerFu
 				Type: metrics.EvHTTP, Seq: seq, Line: -1, Set: -1,
 				Method: r.Method, Path: r.URL.Path, Status: sw.status,
 				DurUS: uint64(dur.Microseconds()), Err: errCode,
+				Trace: tid.String(),
 			})
 			s.accessMu.Unlock()
 		}
@@ -340,5 +395,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	s.metricsMu.Lock()
 	defer s.metricsMu.Unlock()
 	s.inst.uptime.Set(time.Since(s.start).Seconds())
+	s.runtime.Collect()
 	return s.registry.WritePrometheus(w)
+}
+
+// handleTraces serves tail capture: full span trees of the slowest and
+// errored requests since boot. With no tracer configured the snapshot is
+// empty rather than an error, so dashboards can poll unconditionally.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, s.tracer.TailSnapshot())
+	return nil
+}
+
+// traceJSON writes a 200 JSON response under an encode_response span, the
+// last stage of every successful request.
+func traceJSON(w http.ResponseWriter, r *http.Request, v any) {
+	sp := tracing.FromContext(r.Context()).Child(StageEncode)
+	writeJSON(w, http.StatusOK, v)
+	sp.End()
 }

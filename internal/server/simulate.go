@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"net/http"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"ccrp/internal/huffman"
 	"ccrp/internal/memory"
 	"ccrp/internal/sweep"
+	"ccrp/internal/tracing"
 	"ccrp/internal/workload"
 )
 
@@ -84,7 +86,8 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	}
 
 	// The coder resolves before queuing so typed errors beat the wait.
-	codes, codec, romRatio, rom, err := s.simulateROM(&req, wl)
+	ctx := r.Context()
+	codes, codec, romRatio, rom, err := s.simulateROM(ctx, &req, wl)
 	if err != nil {
 		return err
 	}
@@ -92,15 +95,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 	// Bounded worker pool: block for a slot, but never past the route
 	// deadline. Saturation past the deadline is a client-visible 429,
 	// not a 5xx — the service is healthy, just full.
-	ctx := r.Context()
+	qspan := tracing.FromContext(ctx).Child(StageSimQueue)
 	queueStart := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
-		return Errf(http.StatusTooManyRequests, CodeOverloaded,
+		err := Errf(http.StatusTooManyRequests, CodeOverloaded,
 			"no simulate worker within the deadline (%d workers busy)", s.cfg.SimWorkers)
+		qspan.SetError(err)
+		qspan.End()
+		return err
 	}
 	queued := time.Since(queueStart)
+	qspan.End()
 
 	type simOut struct {
 		cmp *core.Comparison
@@ -108,16 +115,23 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		err error
 	}
 	done := make(chan simOut, 1)
+	rspan := tracing.FromContext(ctx).Child(StageSimRun)
+	rspan.SetAttr("workload", req.Workload)
 	go func() {
 		defer func() { <-s.sem }()
+		defer rspan.End()
 		tr, err := wl.Trace()
 		if err != nil {
-			done <- simOut{err: errUnprocessable("workload %q failed to build: %v", req.Workload, err)}
+			err = errUnprocessable("workload %q failed to build: %v", req.Workload, err)
+			rspan.SetError(err)
+			done <- simOut{err: err}
 			return
 		}
 		text, err := wl.Text()
 		if err != nil {
-			done <- simOut{err: errUnprocessable("workload %q failed to build: %v", req.Workload, err)}
+			err = errUnprocessable("workload %q failed to build: %v", req.Workload, err)
+			rspan.SetError(err)
+			done <- simOut{err: err}
 			return
 		}
 		cfg := core.Config{
@@ -138,7 +152,9 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		start := time.Now()
 		cmp, err := core.Compare(tr, text, cfg)
 		if err != nil {
-			done <- simOut{err: errUnprocessable("simulation failed: %v", err)}
+			err = errUnprocessable("simulation failed: %v", err)
+			rspan.SetError(err)
+			done <- simOut{err: err}
 			return
 		}
 		done <- simOut{cmp: cmp, dur: time.Since(start)}
@@ -172,7 +188,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 		if cmp.CCRP.Misses > 0 {
 			resp.CLBMissRate = float64(cmp.CCRP.CLBMisses) / float64(cmp.CCRP.Misses)
 		}
-		writeJSON(w, http.StatusOK, resp)
+		traceJSON(w, r, resp)
 		return nil
 	case <-ctx.Done():
 		// The simulator is not interruptible mid-trace; the goroutine
@@ -187,14 +203,20 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) error {
 // compressed image through the artifact cache, so every point over the
 // same (coder, program) pair shares one ROM — the same sharing the sweep
 // engine relies on.
-func (s *Server) simulateROM(req *simulateRequest, wl *workload.Workload) ([]*huffman.Code, core.LineCodec, float64, *core.ROM, error) {
+func (s *Server) simulateROM(ctx context.Context, req *simulateRequest, wl *workload.Workload) ([]*huffman.Code, core.LineCodec, float64, *core.ROM, error) {
+	tsp := tracing.FromContext(ctx).Child(StageText)
 	text, err := wl.Text()
 	if err != nil {
-		return nil, nil, 0, nil, errUnprocessable("workload %q failed to build: %v", req.Workload, err)
+		err = errUnprocessable("workload %q failed to build: %v", req.Workload, err)
+		tsp.SetError(err)
+		tsp.End()
+		return nil, nil, 0, nil, err
 	}
+	tsp.SetAttrInt("text_bytes", int64(len(text)))
+	tsp.End()
 	var entry *coderEntry
 	if req.CoderID != "" {
-		entry, err = s.coderByID(req.CoderID)
+		entry, err = s.resolveCoder(ctx, req.CoderID)
 		if err != nil {
 			return nil, nil, 0, nil, err
 		}
@@ -214,7 +236,7 @@ func (s *Server) simulateROM(req *simulateRequest, wl *workload.Workload) ([]*hu
 			return nil, nil, 0, nil, err
 		}
 	}
-	rom, err := s.buildROM(entry, text, req.WordAligned)
+	rom, err := s.buildROM(ctx, entry, text, req.WordAligned)
 	if err != nil {
 		return nil, nil, 0, nil, err
 	}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"ccrp/internal/metrics"
+	"ccrp/internal/tracing"
+)
+
+// memSink collects span records in memory.
+type memSink struct {
+	mu   sync.Mutex
+	recs []tracing.Record
+}
+
+func (s *memSink) Emit(rec tracing.Record) {
+	s.mu.Lock()
+	s.recs = append(s.recs, rec)
+	s.mu.Unlock()
+}
+
+func (s *memSink) Close() error { return nil }
+
+func (s *memSink) records() []tracing.Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]tracing.Record(nil), s.recs...)
+}
+
+// TestResponsesCarryTraceIDs pins the serving contract: every 2xx and
+// 4xx response carries an X-Ccrp-Trace-Id header, and the same id
+// appears in the request's access-log record. This holds with no tracer
+// configured — trace correlation is part of serving, span recording is
+// the optional half.
+func TestResponsesCarryTraceIDs(t *testing.T) {
+	var buf bytes.Buffer
+	sink := metrics.NewJSONLSink(&buf)
+	_, ts := newTestServer(t, Config{AccessLog: sink})
+
+	id := trainPreselected(t, ts.URL)
+	seen := map[string]bool{}
+	record := func(resp *http.Response, wantStatus int) {
+		t.Helper()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("status = %d, want %d", resp.StatusCode, wantStatus)
+		}
+		tid := resp.Header.Get(TraceHeader)
+		if tid == "" {
+			t.Fatalf("%s response has no %s header", resp.Request.URL.Path, TraceHeader)
+		}
+		if _, err := tracing.ParseTraceID(tid); err != nil {
+			t.Fatalf("%s: bad trace id %q: %v", resp.Request.URL.Path, tid, err)
+		}
+		if seen[tid] {
+			t.Fatalf("trace id %s reused across requests", tid)
+		}
+		seen[tid] = true
+	}
+
+	// 2xx: compress; 4xx: unknown coder, malformed JSON.
+	resp, _ := postJSON(t, ts.URL+"/v1/compress", compressRequest{CoderID: id, Workload: "eightq"})
+	record(resp, http.StatusOK)
+	resp, _ = postJSON(t, ts.URL+"/v1/compress", compressRequest{CoderID: "nope", Workload: "eightq"})
+	record(resp, http.StatusNotFound)
+	resp, err := http.Post(ts.URL+"/v1/compress", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	record(resp, http.StatusBadRequest)
+
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	logged := map[string]bool{}
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var ev metrics.Event
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Trace != "" {
+			logged[ev.Trace] = true
+		}
+	}
+	for tid := range seen {
+		if !logged[tid] {
+			t.Errorf("trace id %s from a response header never reached the access log", tid)
+		}
+	}
+}
+
+// TestRequestSpansCoverStages boots a traced server, drives one of each
+// request kind, and asserts the span stream decomposes them into the
+// documented stage names with the request root first in each tree.
+func TestRequestSpansCoverStages(t *testing.T) {
+	sink := &memSink{}
+	tracer := tracing.New(tracing.Config{Sink: sink})
+	_, ts := newTestServer(t, Config{Tracer: tracer})
+
+	id := trainPreselected(t, ts.URL)
+	resp, body := postJSON(t, ts.URL+"/v1/compress", compressRequest{CoderID: id, Workload: "eightq"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d %s", resp.StatusCode, body)
+	}
+	comp := decodeAs[compressResponse](t, body)
+	resp, body = postJSON(t, ts.URL+"/v1/decompress", decompressRequest{
+		CoderID: id, BlocksB64: comp.BlocksB64, Lines: comp.Lines,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/simulate", simulateRequest{Workload: "eightq"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d %s", resp.StatusCode, body)
+	}
+
+	recs := sink.records()
+	byStage := map[string]int{}
+	roots := map[string]tracing.Record{}
+	for _, rec := range recs {
+		byStage[rec.Stage]++
+		if rec.Parent == "" {
+			roots[rec.Trace] = rec
+		}
+	}
+	for _, stage := range []string{
+		StageRequest, StageDecodeBody, StageText, StageCoderGet, StageCoderTrain,
+		StageCompress, StageDecompress, StageSimQueue, StageSimRun, StageEncode,
+	} {
+		if byStage[stage] == 0 {
+			t.Errorf("no %s spans in the stream (stages: %v)", stage, byStage)
+		}
+	}
+	// Every trace has exactly one root, and it is the request span.
+	if len(roots) != 4 {
+		t.Errorf("got %d rooted traces, want 4 (train, compress, decompress, simulate)", len(roots))
+	}
+	for tid, root := range roots {
+		if root.Stage != StageRequest {
+			t.Errorf("trace %s rooted at %q, want %q", tid, root.Stage, StageRequest)
+		}
+		if root.DurNS <= 0 {
+			t.Errorf("trace %s root has non-positive duration %d", tid, root.DurNS)
+		}
+	}
+	// Child spans must nest inside their trace's root duration.
+	for _, rec := range recs {
+		if rec.Parent == "" {
+			continue
+		}
+		root, ok := roots[rec.Trace]
+		if !ok {
+			t.Errorf("span %s (stage %s) has no root for trace %s", rec.Span, rec.Stage, rec.Trace)
+			continue
+		}
+		if rec.DurNS > root.DurNS {
+			t.Errorf("stage %s span (%d ns) outlasts its request root (%d ns)", rec.Stage, rec.DurNS, root.DurNS)
+		}
+	}
+
+	// The line-cache attribution rides on the decompress span.
+	found := false
+	for _, rec := range recs {
+		if rec.Stage != StageDecompress {
+			continue
+		}
+		if _, ok := rec.Attrs["linecache_hits"]; ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no decompress span carries linecache_hits attribution")
+	}
+
+	// Tail capture retains the request trees for /debug/traces.
+	snap := tracer.TailSnapshot()
+	if len(snap.Slow) == 0 {
+		t.Error("tail capture holds no slow traces after four requests")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"ccrp/internal/metrics"
+	"ccrp/internal/tracing"
 )
 
 // Engine configures a worker pool for sweep execution. The zero value
@@ -48,6 +49,12 @@ type Engine struct {
 	// through a metrics.SyncSink; events from different points then
 	// interleave in arrival order, which is not deterministic.
 	Sink metrics.EventSink
+
+	// Tracer, when set, roots one sweep_point span per point; points see
+	// it through Obs.Span and hang their train/build/run child stages off
+	// it. The tracer's span sink is already concurrency-safe, so workers
+	// share it directly.
+	Tracer *tracing.Tracer
 }
 
 // workerCount resolves the pool size for an n-point sweep.
@@ -83,13 +90,26 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("point %d panicked: %v", e.Point, e.Value)
 }
 
-// Obs is the observability pair handed to each sweep point: a per-worker
-// registry (nil when the engine has no Registry) and the engine's shared,
-// serialized event sink (nil when the engine has no Sink). Points pass
-// these through to core.Config.
+// Stage names for the spans a sweep emits: the per-point root and the
+// child stages experiment points conventionally hang off it. They mirror
+// the server's request stages so ccrp-spans reads both streams with one
+// vocabulary.
+const (
+	StagePoint = "sweep_point" // root span of one sweep point
+	StageTrain = "train"       // coder/code training
+	StageBuild = "build"       // ROM compression
+	StageRun   = "run"         // simulator execution
+)
+
+// Obs is the observability bundle handed to each sweep point: a
+// per-worker registry (nil when the engine has no Registry), the engine's
+// shared, serialized event sink (nil when the engine has no Sink), and
+// the point's root span (nil when the engine has no Tracer). Points pass
+// the first two through to core.Config and hang stage children off Span.
 type Obs struct {
 	Registry *metrics.Registry
 	Sink     metrics.EventSink
+	Span     *tracing.Span
 }
 
 // Map runs fn for every index in [0, n) across the engine's worker pool
@@ -128,13 +148,19 @@ func Map[T any](ctx context.Context, e *Engine, n int, fn func(ctx context.Conte
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			obs := Obs{Registry: regs[wi], Sink: sink}
 			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
+				sp := e.tracer().Start(StagePoint)
+				sp.SetAttrInt("point", int64(i))
+				obs := Obs{Registry: regs[wi], Sink: sink, Span: sp}
 				results[i], errs[i] = runPoint(ctx, i, obs, fn)
+				if errs[i] != nil {
+					sp.SetError(errs[i])
+				}
+				sp.End()
 			}
 		}(wi)
 	}
@@ -172,4 +198,12 @@ func (e *Engine) sink() metrics.EventSink {
 		return nil
 	}
 	return e.Sink
+}
+
+// tracer returns the engine's tracer, nil-safe.
+func (e *Engine) tracer() *tracing.Tracer {
+	if e == nil {
+		return nil
+	}
+	return e.Tracer
 }

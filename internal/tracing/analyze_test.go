@@ -1,0 +1,118 @@
+package tracing
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// synthetic trace set: two requests and one orphan, with known stage
+// durations so every aggregate is checkable by hand.
+func analyzerFixture(t *testing.T) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := New(Config{Sink: NewJSONLSink(&buf)})
+	mk := func(rootDur time.Duration, stages map[string]time.Duration) {
+		root := tr.Start("request")
+		for stage, d := range stages {
+			c := root.Child(stage)
+			c.start = c.start.Add(-d)
+			c.End()
+		}
+		root.start = root.start.Add(-rootDur)
+		root.End()
+	}
+	mk(100*time.Millisecond, map[string]time.Duration{
+		"decode_body": 10 * time.Millisecond,
+		"compress":    85 * time.Millisecond,
+	})
+	mk(50*time.Millisecond, map[string]time.Duration{
+		"decode_body": 5 * time.Millisecond,
+		"compress":    40 * time.Millisecond,
+	})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestAnalyzeStageAttribution(t *testing.T) {
+	recs := analyzerFixture(t)
+	a := Analyze(recs, 1)
+	if a.Spans != 6 || a.Traces != 2 || a.Roots != 2 {
+		t.Fatalf("spans/traces/roots = %d/%d/%d, want 6/2/2", a.Spans, a.Traces, a.Roots)
+	}
+	byStage := map[string]StageStat{}
+	for _, s := range a.Stages {
+		byStage[s.Stage] = s
+	}
+	cmp := byStage["compress"]
+	if cmp.Count != 2 {
+		t.Fatalf("compress count = %d, want 2", cmp.Count)
+	}
+	if cmp.TotalMS < 124 || cmp.TotalMS > 126 {
+		t.Errorf("compress total = %g ms, want ~125", cmp.TotalMS)
+	}
+	// Leaf spans: self == total; critical path passes through compress in
+	// both traces, so crit ≈ total too.
+	if math.Abs(cmp.SelfMS-cmp.TotalMS) > 0.01 {
+		t.Errorf("compress self = %g, total = %g; leaves must match", cmp.SelfMS, cmp.TotalMS)
+	}
+	if math.Abs(cmp.CritMS-cmp.TotalMS) > 0.01 {
+		t.Errorf("compress crit = %g, want ~%g", cmp.CritMS, cmp.TotalMS)
+	}
+	// The request root's self time is root minus children: ~5ms both
+	// times. decode_body never sits on the critical path (compress is
+	// always longer).
+	if dec := byStage["decode_body"]; dec.CritMS != 0 {
+		t.Errorf("decode_body crit = %g, want 0", dec.CritMS)
+	}
+	req := byStage["request"]
+	if req.SelfMS < 8 || req.SelfMS > 12 {
+		t.Errorf("request self = %g ms, want ~10", req.SelfMS)
+	}
+	// Stages sort descending by critical-path ownership: compress first.
+	if a.Stages[0].Stage != "compress" {
+		t.Errorf("stage order = %q first, want compress", a.Stages[0].Stage)
+	}
+
+	// Coverage: (95/100 + 45/50) / 2 = 0.925.
+	if a.Coverage.Roots != 2 {
+		t.Fatalf("coverage roots = %d, want 2", a.Coverage.Roots)
+	}
+	if math.Abs(a.Coverage.MeanFrac-0.925) > 0.01 {
+		t.Errorf("coverage mean = %g, want ~0.925", a.Coverage.MeanFrac)
+	}
+
+	if len(a.Slowest) != 1 || a.Slowest[0].DurMS < 99 {
+		t.Fatalf("slowest = %+v, want the 100ms trace", a.Slowest)
+	}
+	if a.Slowest[0].Stages[0].Stage != "compress" {
+		t.Errorf("slowest breakdown leads with %q, want compress", a.Slowest[0].Stages[0].Stage)
+	}
+}
+
+func TestAnalyzeOrphansBecomeRoots(t *testing.T) {
+	recs := []Record{
+		{Trace: "t1", Span: "a", Parent: "missing", Stage: "compress", DurNS: int64(time.Millisecond)},
+	}
+	a := Analyze(recs, 0)
+	if a.Roots != 1 {
+		t.Fatalf("orphan roots = %d, want 1", a.Roots)
+	}
+	if a.Stages[0].Stage != "compress" || a.Stages[0].CritMS == 0 {
+		t.Error("orphan span lost its attribution")
+	}
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	a := Analyze(nil, 5)
+	if a.Spans != 0 || len(a.Stages) != 0 || len(a.Slowest) != 0 {
+		t.Fatalf("empty analysis = %+v", a)
+	}
+}

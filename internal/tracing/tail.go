@@ -1,0 +1,115 @@
+package tracing
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Default tail-capture bounds: how many slowest and errored root-span
+// trees a tracer retains in memory.
+const (
+	DefaultTailSlow    = 16
+	DefaultTailErrored = 16
+)
+
+// TreeNode is one span with its children, the nested shape tail capture
+// retains and /debug/traces serves.
+type TreeNode struct {
+	Record
+	Children []*TreeNode `json:"children,omitempty"`
+}
+
+// TailSnapshot is the exported state of tail capture: the slowest root
+// trees (descending by duration) and the most recent errored ones.
+type TailSnapshot struct {
+	Slow    []*TreeNode `json:"slow"`
+	Errored []*TreeNode `json:"errored"`
+}
+
+// tail retains full span trees for the slowest N and the most recently
+// errored root spans. It is the always-on part of the tracer: even with
+// no sink attached, the operator can ask "what did the worst requests
+// spend their time on" after the fact.
+type tail struct {
+	mu      sync.Mutex
+	slowCap int
+	errCap  int
+	slow    []*TreeNode // kept sorted descending by DurNS
+	errored []*TreeNode // ring of the most recent errored roots
+}
+
+// newTail builds tail capture with the configured bounds (0 selects the
+// defaults, negative disables that side).
+func newTail(slowCap, errCap int) *tail {
+	if slowCap == 0 {
+		slowCap = DefaultTailSlow
+	}
+	if errCap == 0 {
+		errCap = DefaultTailErrored
+	}
+	if slowCap < 0 {
+		slowCap = 0
+	}
+	if errCap < 0 {
+		errCap = 0
+	}
+	return &tail{slowCap: slowCap, errCap: errCap}
+}
+
+// offer considers a finished root span for retention. The tree is
+// snapshotted once and shared between the slow and errored sides (both
+// are read-only after capture).
+func (t *tail) offer(root *Span) {
+	if t == nil || (t.slowCap == 0 && t.errCap == 0) {
+		return
+	}
+	failed := root.errored()
+	dur := root.duration()
+
+	t.mu.Lock()
+	wantSlow := t.slowCap > 0 &&
+		(len(t.slow) < t.slowCap || dur > time.Duration(t.slow[len(t.slow)-1].DurNS))
+	wantErr := t.errCap > 0 && failed
+	t.mu.Unlock()
+	if !wantSlow && !wantErr {
+		return
+	}
+
+	// Snapshot outside the lock: tree walking takes span locks and its
+	// cost should not serialize other roots ending.
+	tree := root.tree()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if wantSlow {
+		i := sort.Search(len(t.slow), func(i int) bool { return t.slow[i].DurNS < tree.DurNS })
+		t.slow = append(t.slow, nil)
+		copy(t.slow[i+1:], t.slow[i:])
+		t.slow[i] = tree
+		if len(t.slow) > t.slowCap {
+			t.slow = t.slow[:t.slowCap]
+		}
+	}
+	if wantErr {
+		t.errored = append(t.errored, tree)
+		if len(t.errored) > t.errCap {
+			t.errored = t.errored[1:]
+		}
+	}
+}
+
+// TailSnapshot returns the retained trees. Safe on a nil tracer (empty
+// snapshot), and the returned trees are immutable shared state — callers
+// must not modify them.
+func (t *Tracer) TailSnapshot() TailSnapshot {
+	snap := TailSnapshot{Slow: []*TreeNode{}, Errored: []*TreeNode{}}
+	if t == nil || t.tail == nil {
+		return snap
+	}
+	t.tail.mu.Lock()
+	defer t.tail.mu.Unlock()
+	snap.Slow = append(snap.Slow, t.tail.slow...)
+	snap.Errored = append(snap.Errored, t.tail.errored...)
+	return snap
+}

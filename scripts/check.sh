@@ -44,5 +44,6 @@ fi
 
 stage "go test -race ./..." go test -race ./...
 stage "decode smoke" sh scripts/decode_smoke.sh
+stage "trace smoke" sh scripts/trace_smoke.sh
 
 echo "check: OK"

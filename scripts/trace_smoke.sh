@@ -1,0 +1,118 @@
+#!/bin/sh
+# Tracing end-to-end smoke test: start ccrpd with span export enabled,
+# drive it with a short ccrp-load burst under an intentionally loose SLO,
+# SIGTERM the daemon so the JSONL span sink flushes, then assert that
+# ccrp-spans parses the stream and that every instrumented request stage
+# shows up: the request root, body decode, coder resolve/train, compress,
+# decompress, simulate queue+run, and response encode. Also checks trace
+# correlation (ccrp-load's recorded slow-trace ids appear in the span
+# file and the access log) and the runtime telemetry on /metrics.
+#
+# Usage: scripts/trace_smoke.sh [port]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+port=${1:-8643}
+base="http://127.0.0.1:${port}"
+work=$(mktemp -d)
+
+fail() {
+	echo "trace_smoke: FAILED: $1" >&2
+	[ -f "$work/ccrpd.log" ] && sed 's/^/ccrpd: /' "$work/ccrpd.log" >&2
+	exit 1
+}
+
+cleanup() {
+	[ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "== building"
+go build -o "$work/ccrpd" ./cmd/ccrpd
+go build -o "$work/ccrp-load" ./cmd/ccrp-load
+go build -o "$work/ccrp-spans" ./cmd/ccrp-spans
+
+echo "== starting ccrpd on $base with -trace"
+"$work/ccrpd" -addr "127.0.0.1:${port}" \
+	-trace "$work/spans.jsonl" -access-log "$work/access.jsonl" \
+	>"$work/ccrpd.log" 2>&1 &
+pid=$!
+
+echo "== waiting for /healthz"
+i=0
+until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -ge 50 ] && fail "daemon did not become healthy"
+	kill -0 "$pid" 2>/dev/null || fail "daemon exited during startup"
+	sleep 0.2
+done
+
+echo "== ccrp-load burst (SLO-gated)"
+"$work/ccrp-load" -url "$base" -clients 4 -requests 24 \
+	-mix compress=2,roundtrip=2,simulate=1 \
+	-slo max=60s,error-rate=0,min-rps=0.5 \
+	-o "$work/load.json" || fail "ccrp-load burst (or its SLO)"
+
+echo "== runtime telemetry on /metrics"
+curl -fsS "$base/metrics" >"$work/metrics.prom" || fail "metrics scrape"
+for m in go_goroutines go_heap_alloc_bytes go_gc_cycles_total; do
+	grep -q "^$m " "$work/metrics.prom" || fail "metrics missing $m"
+done
+
+echo "== tail capture on /debug/traces"
+curl -fsS "$base/debug/traces" >"$work/traces.json" || fail "debug/traces fetch"
+python3 -c '
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert snap["slow"], "tail capture is empty after a load burst"
+assert snap["slow"][0]["stage"] == "request", snap["slow"][0]
+' "$work/traces.json" || fail "tail capture empty or malformed"
+
+echo "== SIGTERM drain (flushes the span sink)"
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+	i=$((i + 1))
+	[ "$i" -ge 100 ] && fail "daemon did not exit after SIGTERM"
+	sleep 0.1
+done
+wait "$pid" || fail "daemon exited nonzero after SIGTERM"
+pid=
+
+[ -s "$work/spans.jsonl" ] || fail "span file is empty"
+
+echo "== ccrp-spans parses the stream"
+"$work/ccrp-spans" -json "$work/spans.jsonl" >"$work/analysis.json" \
+	|| fail "ccrp-spans rejected the span file"
+
+echo "== every instrumented stage is present"
+python3 -c '
+import json, sys
+a = json.load(open(sys.argv[1]))
+stages = {s["stage"] for s in a["stages"]}
+want = {"request", "decode_body", "text_resolve", "coder_resolve",
+        "coder_train", "compress", "decompress", "sim_queue", "sim_run",
+        "encode_response"}
+missing = want - stages
+assert not missing, f"missing stages: {sorted(missing)} (have {sorted(stages)})"
+assert a["roots"] > 0 and a["traces"] > 0, a
+assert a["coverage"]["roots"] > 0, "no decomposed roots"
+' "$work/analysis.json" || fail "stage decomposition incomplete"
+
+echo "== slow-trace ids correlate across load report, spans, and access log"
+python3 -c '
+import json, sys
+load = json.load(open(sys.argv[1]))
+spans = {json.loads(l)["trace"] for l in open(sys.argv[2])}
+access = {json.loads(l).get("trace") for l in open(sys.argv[3])}
+ids = [t for cs in load["classes"].values() for t in cs.get("slow_traces", [])]
+assert ids, "load report recorded no slow-trace ids"
+for t in ids:
+    assert t in spans, f"trace {t} from the load report is not in the span file"
+    assert t in access, f"trace {t} from the load report is not in the access log"
+' "$work/load.json" "$work/spans.jsonl" "$work/access.jsonl" \
+	|| fail "trace ids do not correlate"
+
+echo "trace_smoke: OK"
