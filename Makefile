@@ -2,7 +2,7 @@ GO ?= go
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
 .PHONY: all build test race vet fmt staticcheck check bench trajectory \
-	serve-smoke serve-bench decode-smoke trace-smoke fuzz
+	serve-smoke serve-bench decode-smoke trace-smoke persist-smoke fuzz
 
 all: build
 
@@ -56,6 +56,11 @@ decode-smoke:
 # ccrp-spans must decompose every instrumented request stage.
 trace-smoke:
 	sh scripts/trace_smoke.sh
+
+# Restart-survival gate: train with -store, SIGTERM-drain, reboot on the
+# same store, assert zero retrains and byte-identical served output.
+persist-smoke:
+	sh scripts/persist_smoke.sh
 
 # Short fuzz pass over the decode hardening targets.
 FUZZTIME ?= 10s

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	ccrp-load [-url http://localhost:8642] [-clients 4] [-requests 200]
-//	          [-mix compress=4,roundtrip=2,simulate=1] [-timeout 2m]
+//	          [-mix compress=4,roundtrip=2,simulate=1] [-batch 1] [-timeout 2m]
 //	          [-slo p99=500ms,error-rate=0,min-rps=20]
 //	          [-o BENCH_PR3.json] [-version]
 //
@@ -14,6 +14,16 @@
 //	compress   POST /v1/compress of a corpus workload under a trained coder
 //	roundtrip  compress + decompress with byte-identity verification
 //	simulate   POST /v1/simulate of one cache/CLB point
+//
+// With -batch N (N > 1) the compress and roundtrip classes switch to the
+// /v1/compress:batch and /v1/decompress:batch endpoints, carrying N
+// blocks per HTTP request. -requests still counts blocks, and every
+// latency is recorded per block (the batch's wall time divided by its
+// item count), so a -batch run and a single-request run of the same
+// -requests compare percentiles at equal block counts — the measured
+// quantity is exactly the amortization the batch endpoints buy. Any
+// per-item error in a batch fails the whole operation: the generator
+// only sends well-formed items, so an item error is a server defect.
 //
 // The run fails (exit 1) on any 5xx response, any transport error, or any
 // round trip that is not byte-identical. -slo adds service-level gates
@@ -50,13 +60,16 @@ import (
 )
 
 // opResult is one completed operation (possibly several HTTP requests)
-// with the server trace ids it touched.
+// with the server trace ids it touched. items is the block count the
+// operation carried: 1 for single-request classes, the batch size for
+// batched compress/roundtrip.
 type opResult struct {
 	class  string
 	status int
 	dur    time.Duration
 	err    error
 	traces []string
+	items  int
 }
 
 // classStats aggregates one traffic class for the report.
@@ -89,6 +102,7 @@ type report struct {
 	URL        string                `json:"url"`
 	Clients    int                   `json:"clients"`
 	Requests   int                   `json:"requests"`
+	Batch      int                   `json:"batch,omitempty"`
 	Mix        string                `json:"mix"`
 	WallMS     float64               `json:"wall_ms"`
 	Throughput float64               `json:"throughput_rps"`
@@ -105,6 +119,7 @@ func main() {
 	clients := flag.Int("clients", 4, "concurrent clients")
 	requests := flag.Int("requests", 200, "total requests across all clients")
 	mix := flag.String("mix", "compress=4,roundtrip=2,simulate=1", "traffic mix as class=weight pairs")
+	batch := flag.Int("batch", 1, "blocks per compress/roundtrip request (>1 uses the :batch endpoints; latencies are per block)")
 	slo := flag.String("slo", "", "fail the run unless these clauses hold (e.g. p99=500ms,error-rate=0,min-rps=20)")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request client timeout")
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
@@ -124,6 +139,9 @@ func main() {
 	if *clients < 1 || *requests < 1 {
 		fatal("clients and requests must be positive")
 	}
+	if *batch < 1 {
+		fatal("batch must be positive")
+	}
 
 	client := &http.Client{Timeout: *timeout}
 
@@ -135,16 +153,21 @@ func main() {
 	}
 
 	// Pre-plan the traffic so every run with the same flags issues the
-	// same request sequence.
+	// same request sequence. With -batch N one planned operation covers up
+	// to N blocks, so the plan shrinks to keep -requests counting blocks.
+	numOps := *requests
+	if *batch > 1 {
+		numOps = (*requests + *batch - 1) / *batch
+	}
 	rng := rand.New(rand.NewSource(*seed))
-	plan := make([]string, *requests)
+	plan := make([]string, numOps)
 	for i := range plan {
 		plan[i] = pickClass(rng, classes)
 	}
 	names := workload.Names()
 
 	jobs := make(chan int)
-	results := make(chan opResult, *requests)
+	results := make(chan opResult, numOps)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
@@ -152,12 +175,11 @@ func main() {
 		go func(c int) {
 			defer wg.Done()
 			for i := range jobs {
-				wl := names[i%len(names)]
-				results <- runOp(client, *url, plan[i], coderID, wl, i)
+				results <- runOp(client, *url, plan[i], coderID, names, i, *batch, *requests)
 			}
 		}(c)
 	}
-	for i := 0; i < *requests; i++ {
+	for i := 0; i < numOps; i++ {
 		jobs <- i
 	}
 	close(jobs)
@@ -172,6 +194,7 @@ func main() {
 		URL:     *url,
 		Clients: *clients,
 		Mix:     *mix,
+		Batch:   *batch,
 		WallMS:  float64(wall.Microseconds()) / 1000,
 		Classes: map[string]classStats{},
 		Host:    hostinfo.Collect(),
@@ -180,23 +203,31 @@ func main() {
 	var all []time.Duration
 	failures := 0
 	for r := range results {
-		rep.Requests++
+		if r.items < 1 {
+			r.items = 1
+		}
+		// Per-block accounting: a batch of N contributes N requests at its
+		// amortized latency, so batch and single runs share a unit.
+		r.dur /= time.Duration(r.items)
+		rep.Requests += r.items
 		if r.status >= 500 {
 			rep.Status5xx++
 		}
 		if r.err != nil {
-			failures++
+			failures += r.items
 			fmt.Fprintf(os.Stderr, "ccrp-load: %s: %v\n", r.class, r.err)
 			cs := rep.Classes[r.class]
-			cs.Errors++
+			cs.Errors += r.items
 			rep.Classes[r.class] = cs
 			continue
 		}
 		if r.class == "roundtrip" {
-			rep.RoundTrips++
+			rep.RoundTrips += r.items
 		}
-		perClass[r.class] = append(perClass[r.class], r)
-		all = append(all, r.dur)
+		for j := 0; j < r.items; j++ {
+			perClass[r.class] = append(perClass[r.class], r)
+			all = append(all, r.dur)
+		}
 	}
 	for class, ops := range perClass {
 		cs := rep.Classes[class]
@@ -407,8 +438,25 @@ func pickClass(rng *rand.Rand, classes []struct {
 	return classes[len(classes)-1].name
 }
 
-// runOp issues one request of the given class and times it.
-func runOp(client *http.Client, base, class, coderID, wl string, i int) opResult {
+// runOp issues one operation of the given class and times it. With
+// batch > 1 the compress and roundtrip classes carry a block list (up to
+// batch blocks, clipped so the run covers exactly total blocks) through
+// the :batch endpoints; simulate is inherently single-request.
+func runOp(client *http.Client, base, class, coderID string, names []string, i, batch, total int) opResult {
+	// The block index space is contiguous across operations, so workload
+	// selection is identical whether the run is batched or not.
+	wls := []string{names[(i*batch)%len(names)]}
+	if batch > 1 && class != "simulate" {
+		n := batch
+		if rem := total - i*batch; rem < n {
+			n = rem
+		}
+		wls = make([]string, n)
+		for j := range wls {
+			wls[j] = names[(i*batch+j)%len(names)]
+		}
+	}
+
 	start := time.Now()
 	var err error
 	var status int
@@ -416,16 +464,24 @@ func runOp(client *http.Client, base, class, coderID, wl string, i int) opResult
 	switch class {
 	case "compress":
 		var tid string
-		status, tid, _, err = compress(client, base, coderID, wl)
+		if len(wls) > 1 {
+			status, tid, _, err = compressBatch(client, base, coderID, wls)
+		} else {
+			status, tid, _, err = compress(client, base, coderID, wls[0])
+		}
 		traces = appendTrace(traces, tid)
 	case "roundtrip":
-		status, traces, err = roundTrip(client, base, coderID, wl)
+		if len(wls) > 1 {
+			status, traces, err = roundTripBatch(client, base, coderID, wls)
+		} else {
+			status, traces, err = roundTrip(client, base, coderID, wls[0])
+		}
 	case "simulate":
 		var tid string
-		status, tid, err = simulate(client, base, wl, 256<<(i%4))
+		status, tid, err = simulate(client, base, wls[0], 256<<(i%4))
 		traces = appendTrace(traces, tid)
 	}
-	return opResult{class: class, status: status, dur: time.Since(start), err: err, traces: traces}
+	return opResult{class: class, status: status, dur: time.Since(start), err: err, traces: traces, items: len(wls)}
 }
 
 // appendTrace collects non-empty trace ids.
@@ -518,22 +574,120 @@ func roundTrip(client *http.Client, base, coderID, wl string) (int, []string, er
 	if err != nil {
 		return status, traces, err
 	}
-	got, err := base64.StdEncoding.DecodeString(dec.TextB64)
+	return status, traces, verifyText(wl, comp.OriginalBytes, dec.TextB64)
+}
+
+// verifyText checks a decompressed image against the workload's own text
+// (zero-padded to the compressed original size, which is line-aligned).
+func verifyText(wl string, originalBytes int, textB64 string) error {
+	got, err := base64.StdEncoding.DecodeString(textB64)
 	if err != nil {
-		return status, traces, err
+		return err
 	}
 	w, ok := workload.ByName(wl)
 	if !ok {
-		return status, traces, fmt.Errorf("unknown workload %q", wl)
+		return fmt.Errorf("unknown workload %q", wl)
 	}
 	text, err := w.Text()
 	if err != nil {
-		return status, traces, err
+		return err
 	}
-	want := make([]byte, comp.OriginalBytes)
+	want := make([]byte, originalBytes)
 	copy(want, text)
 	if !bytes.Equal(got, want) {
-		return status, traces, fmt.Errorf("round trip of %q is not byte-identical", wl)
+		return fmt.Errorf("round trip of %q is not byte-identical", wl)
+	}
+	return nil
+}
+
+// batchItem is the generic per-item wire shape of both :batch responses.
+type batchItem[T any] struct {
+	Result *T `json:"result"`
+	Error  *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+// unpackBatch validates a :batch response — right item count, zero item
+// errors — and strips the per-item envelopes.
+func unpackBatch[T any](endpoint string, items []batchItem[T], errors, want int) ([]*T, error) {
+	if errors != 0 {
+		for i, it := range items {
+			if it.Error != nil {
+				return nil, fmt.Errorf("%s item %d: %s: %s", endpoint, i, it.Error.Code, it.Error.Message)
+			}
+		}
+		return nil, fmt.Errorf("%s: %d item errors", endpoint, errors)
+	}
+	if len(items) != want {
+		return nil, fmt.Errorf("%s returned %d items, want %d", endpoint, len(items), want)
+	}
+	out := make([]*T, len(items))
+	for i, it := range items {
+		if it.Result == nil {
+			return nil, fmt.Errorf("%s item %d has neither result nor error", endpoint, i)
+		}
+		out[i] = it.Result
+	}
+	return out, nil
+}
+
+// compressBatch compresses len(wls) workloads in one :batch request.
+func compressBatch(client *http.Client, base, coderID string, wls []string) (int, string, []*compressOut, error) {
+	items := make([]map[string]any, len(wls))
+	for i, wl := range wls {
+		items[i] = map[string]any{"workload": wl}
+	}
+	var resp struct {
+		Items  []batchItem[compressOut] `json:"items"`
+		Errors int                      `json:"errors"`
+	}
+	status, tid, err := post(client, base+"/v1/compress:batch",
+		map[string]any{"coder_id": coderID, "items": items}, &resp)
+	if err != nil {
+		return status, tid, nil, err
+	}
+	outs, err := unpackBatch("compress:batch", resp.Items, resp.Errors, len(wls))
+	return status, tid, outs, err
+}
+
+// roundTripBatch is roundTrip over the :batch endpoints: one compress
+// batch, one decompress batch, byte-identity verified per item.
+func roundTripBatch(client *http.Client, base, coderID string, wls []string) (int, []string, error) {
+	status, tid, comps, err := compressBatch(client, base, coderID, wls)
+	traces := appendTrace(nil, tid)
+	if err != nil {
+		return status, traces, err
+	}
+	items := make([]map[string]any, len(comps))
+	for i, comp := range comps {
+		items[i] = map[string]any{
+			"coder_id":   coderID,
+			"blocks_b64": comp.BlocksB64,
+			"lines":      comp.Lines,
+		}
+	}
+	var resp struct {
+		Items []batchItem[struct {
+			TextB64 string `json:"text_b64"`
+		}] `json:"items"`
+		Errors int `json:"errors"`
+	}
+	status, tid, err = post(client, base+"/v1/decompress:batch",
+		map[string]any{"items": items}, &resp)
+	traces = appendTrace(traces, tid)
+	if err != nil {
+		return status, traces, err
+	}
+	decs, err := unpackBatch("decompress:batch", resp.Items, resp.Errors, len(wls))
+	if err != nil {
+		return status, traces, err
+	}
+	for i, dec := range decs {
+		if err := verifyText(wls[i], comps[i].OriginalBytes, dec.TextB64); err != nil {
+			return status, traces, fmt.Errorf("item %d: %w", i, err)
+		}
 	}
 	return status, traces, nil
 }

@@ -4,10 +4,16 @@
 //
 // Usage:
 //
-//	ccrpd [-addr :8642] [-sim-workers N] [-max-body 16777216]
+//	ccrpd [-addr :8642] [-store DIR] [-sim-workers N] [-max-body 16777216]
 //	      [-train-timeout 60s] [-compress-timeout 30s] [-sim-timeout 120s]
 //	      [-access-log access.jsonl] [-trace spans.jsonl] [-trace-tail 16]
 //	      [-drain 15s] [-version]
+//
+// With -store, trained coders and compressed ROM images persist in a
+// disk-backed content-addressed artifact store under DIR, and the daemon
+// warm-starts on boot: every stored coder is verified, re-registered,
+// and served without retraining — the serving analogue of the paper's
+// ROMs surviving power cycles.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests get -drain to finish, then the process
@@ -28,11 +34,13 @@ import (
 	"ccrp/internal/cliutil"
 	"ccrp/internal/metrics"
 	"ccrp/internal/server"
+	"ccrp/internal/sweep"
 	"ccrp/internal/tracing"
 )
 
 func main() {
 	addr := flag.String("addr", ":8642", "listen address")
+	storeDir := flag.String("store", "", "persist artifacts (trained coders, ROM images) under this directory and warm-start from it on boot")
 	simWorkers := flag.Int("sim-workers", 0, "concurrent simulate runs (0 = NumCPU)")
 	maxBody := flag.Int64("max-body", 0, "request body limit in bytes (0 = 16 MiB)")
 	trainTimeout := flag.Duration("train-timeout", 0, "POST /v1/coders deadline (0 = 60s)")
@@ -81,9 +89,31 @@ func main() {
 	defer tracer.Close()
 	cfg.Tracer = tracer
 
+	if *storeDir != "" {
+		store, err := sweep.OpenDiskStore(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccrpd: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Store = store
+	}
+
+	svc := server.New(cfg)
+	if cfg.Store != nil {
+		// Warm start before the listener opens: the first request already
+		// sees every stored coder. A failed enumeration is fatal — an
+		// operator who asked for persistence should not silently run cold.
+		n, err := svc.WarmStart(context.Background())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ccrpd: warm start: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ccrpd: warm start: %d coders from %s\n", n, *storeDir)
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(cfg).Handler(),
+		Handler:           svc.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -18,7 +18,9 @@
 package codepack
 
 import (
+	"bytes"
 	"encoding/binary"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"sort"
@@ -249,4 +251,83 @@ func (c *Coder) Name() string { return "codepack" }
 // dictionaries (hardwired alongside the Huffman index codes).
 func (c *Coder) DictionaryBytes() int {
 	return 2 * (len(c.upper.table) + len(c.lower.table))
+}
+
+// coderWire is the gob shape of a serialized Coder: the two dictionaries
+// plus their entropy codes (via huffman.Code's own binary form). The
+// index maps are derived state and are rebuilt on decode.
+type coderWire struct {
+	Upper, Lower halfWire
+}
+
+type halfWire struct {
+	Table []uint16
+	Code  []byte
+}
+
+// MarshalBinary serializes the coder so a trained dictionary can persist
+// across processes (the artifact-store analogue of CodePack's
+// development-time fixed tables).
+func (c *Coder) MarshalBinary() ([]byte, error) {
+	wire := coderWire{}
+	var err error
+	if wire.Upper, err = c.upper.wire(); err != nil {
+		return nil, err
+	}
+	if wire.Lower, err = c.lower.wire(); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("codepack: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (h *halfCoder) wire() (halfWire, error) {
+	code, err := h.code.MarshalBinary()
+	if err != nil {
+		return halfWire{}, fmt.Errorf("codepack: marshal code: %w", err)
+	}
+	return halfWire{Table: h.table, Code: code}, nil
+}
+
+// UnmarshalCoder reconstructs a Coder serialized by MarshalBinary. The
+// result encodes and decodes byte-identically to the original: the
+// dictionaries, index maps, and canonical codes are fully determined by
+// the wire form.
+func UnmarshalCoder(p []byte) (*Coder, error) {
+	var wire coderWire
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("codepack: unmarshal: %w", err)
+	}
+	c := &Coder{}
+	var err error
+	if c.upper, err = wire.Upper.coder(); err != nil {
+		return nil, err
+	}
+	if c.lower, err = wire.Lower.coder(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (w halfWire) coder() (halfCoder, error) {
+	if len(w.Table) > tableSize {
+		return halfCoder{}, fmt.Errorf("codepack: unmarshal: dictionary of %d entries exceeds %d",
+			len(w.Table), tableSize)
+	}
+	code, err := huffman.UnmarshalCode(w.Code)
+	if err != nil {
+		return halfCoder{}, fmt.Errorf("codepack: unmarshal code: %w", err)
+	}
+	h := halfCoder{table: w.Table, index: make(map[uint16]uint8, len(w.Table)), code: code}
+	for i, hw := range w.Table {
+		if prev, ok := h.index[hw]; ok {
+			return halfCoder{}, fmt.Errorf("codepack: unmarshal: halfword %#x at indices %d and %d",
+				hw, prev, i)
+		}
+		h.index[hw] = uint8(i)
+	}
+	return h, nil
 }

@@ -195,3 +195,51 @@ func BenchmarkDecodeLine(b *testing.B) {
 		}
 	}
 }
+
+// TestCoderMarshalRoundTrip: a serialized-and-restored coder encodes and
+// decodes byte-identically to the original — the property the durable
+// artifact store relies on.
+func TestCoderMarshalRoundTrip(t *testing.T) {
+	text := make([]byte, 0, 4096)
+	for i := 0; i < 1024; i++ {
+		w := uint32(i*2654435761) ^ uint32(i%7)<<16
+		text = append(text, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	orig, err := Train(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := orig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalCoder(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off+32 <= len(text); off += 32 {
+		line := text[off : off+32]
+		a, err := orig.EncodeLine(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := back.EncodeLine(line)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("line at %d: restored coder encodes differently", off)
+		}
+		dec, err := back.DecodeLine(a, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec, line) {
+			t.Fatalf("line at %d: restored coder decodes wrong bytes", off)
+		}
+	}
+
+	if _, err := UnmarshalCoder([]byte("not a gob stream")); err == nil {
+		t.Fatal("UnmarshalCoder accepted garbage")
+	}
+}

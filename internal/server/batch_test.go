@@ -1,0 +1,151 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"net/http"
+	"testing"
+)
+
+// TestCompressBatchIsolatesItemFailures is the batch contract: one bad
+// item fails alone, its neighbors on both sides still compress.
+func TestCompressBatchIsolatesItemFailures(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	id := trainPreselected(t, ts.URL)
+
+	req := compressBatchRequest{
+		CoderID: id,
+		Items: []compressBatchItem{
+			{Workload: "eightq"},
+			{Workload: "no-such-workload"}, // item 1 fails
+			{Workload: "eightq"},
+		},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/compress:batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch with one bad item: %d %s (want 200: item errors must not fail the batch)", resp.StatusCode, body)
+	}
+	out := decodeAs[compressBatchResponse](t, body)
+	if len(out.Items) != 3 || out.Errors != 1 {
+		t.Fatalf("batch = %d items, %d errors; want 3 items, 1 error", len(out.Items), out.Errors)
+	}
+	for _, i := range []int{0, 2} {
+		it := out.Items[i]
+		if it.Error != nil || it.Result == nil {
+			t.Fatalf("item %d = %+v, want success", i, it)
+		}
+		if it.Result.CompressedBytes <= 0 || it.Result.CompressedBytes >= it.Result.OriginalBytes {
+			t.Errorf("item %d did not compress: %d of %d bytes", i, it.Result.CompressedBytes, it.Result.OriginalBytes)
+		}
+	}
+	bad := out.Items[1]
+	if bad.Result != nil || bad.Error == nil {
+		t.Fatalf("item 1 = %+v, want a per-item error", bad)
+	}
+	if bad.Error.Code != CodeNotFound {
+		t.Errorf("item 1 error code = %q, want %q", bad.Error.Code, CodeNotFound)
+	}
+
+	// The surviving items match the single-request endpoint byte for byte.
+	sResp, sBody := postJSON(t, ts.URL+"/v1/compress", compressRequest{CoderID: id, Workload: "eightq"})
+	if sResp.StatusCode != http.StatusOK {
+		t.Fatalf("single compress: %d %s", sResp.StatusCode, sBody)
+	}
+	single := decodeAs[compressResponse](t, sBody)
+	if out.Items[0].Result.BlocksB64 != single.BlocksB64 {
+		t.Error("batch item blocks differ from the single-request blocks")
+	}
+
+	if got := counterValue(t, s, "ccrpd_batch_items_total"); got != "3" {
+		t.Errorf("batch items counter = %s, want 3", got)
+	}
+	if got := counterValue(t, s, "ccrpd_batch_item_errors_total"); got != "1" {
+		t.Errorf("batch item errors counter = %s, want 1", got)
+	}
+}
+
+// TestDecompressBatchRoundTrip: a mixed batch — a CROM image item, a
+// coder_id+blocks+lines item, and a malformed item — recovers the
+// original text on the good items and reports the bad one in place.
+func TestDecompressBatchRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := trainPreselected(t, ts.URL)
+	resp, body := postJSON(t, ts.URL+"/v1/compress", compressRequest{CoderID: id, Workload: "eightq"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d %s", resp.StatusCode, body)
+	}
+	comp := decodeAs[compressResponse](t, body)
+	if comp.ROMB64 == "" {
+		t.Fatal("preselected coder produced no CROM image")
+	}
+
+	req := decompressBatchRequest{Items: []decompressRequest{
+		{ROMB64: comp.ROMB64},
+		{ROMB64: "!!! not base64 !!!"}, // item 1 fails
+		{CoderID: id, BlocksB64: comp.BlocksB64, Lines: comp.Lines},
+	}}
+	resp, body = postJSON(t, ts.URL+"/v1/decompress:batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch decompress: %d %s", resp.StatusCode, body)
+	}
+	out := decodeAs[decompressBatchResponse](t, body)
+	if len(out.Items) != 3 || out.Errors != 1 {
+		t.Fatalf("batch = %d items, %d errors; want 3 items, 1 error", len(out.Items), out.Errors)
+	}
+	if e := out.Items[1].Error; e == nil || e.Code != CodeBadRequest {
+		t.Fatalf("item 1 = %+v, want a bad_request error", out.Items[1])
+	}
+
+	var want []byte
+	for _, i := range []int{0, 2} {
+		it := out.Items[i]
+		if it.Error != nil || it.Result == nil {
+			t.Fatalf("item %d = %+v, want success", i, it)
+		}
+		text, err := base64.StdEncoding.DecodeString(it.Result.TextB64)
+		if err != nil {
+			t.Fatalf("item %d text does not decode: %v", i, err)
+		}
+		if want == nil {
+			want = text
+		} else if !bytes.Equal(text, want) {
+			t.Errorf("item %d decompressed differently from item 0", i)
+		}
+		if it.Result.OriginalBytes != len(text) || len(text) == 0 {
+			t.Errorf("item %d original_bytes = %d for %d text bytes", i, it.Result.OriginalBytes, len(text))
+		}
+	}
+}
+
+// TestBatchRequestLevelErrors: problems with the batch itself — not any
+// one item — fail the whole request through the error taxonomy.
+func TestBatchRequestLevelErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatchItems: 4})
+	id := trainPreselected(t, ts.URL)
+
+	t.Run("empty batch", func(t *testing.T) {
+		resp, body := postJSON(t, ts.URL+"/v1/compress:batch", compressBatchRequest{CoderID: id})
+		wantError(t, resp, body, http.StatusBadRequest, CodeBadRequest)
+	})
+
+	t.Run("oversized batch", func(t *testing.T) {
+		items := make([]compressBatchItem, 5)
+		for i := range items {
+			items[i] = compressBatchItem{Workload: "eightq"}
+		}
+		resp, body := postJSON(t, ts.URL+"/v1/compress:batch", compressBatchRequest{CoderID: id, Items: items})
+		wantError(t, resp, body, http.StatusBadRequest, CodeBadRequest)
+	})
+
+	t.Run("unknown coder fails the batch", func(t *testing.T) {
+		req := compressBatchRequest{CoderID: "deadbeef", Items: []compressBatchItem{{Workload: "eightq"}}}
+		resp, body := postJSON(t, ts.URL+"/v1/compress:batch", req)
+		wantError(t, resp, body, http.StatusNotFound, CodeNotFound)
+	})
+
+	t.Run("oversized decompress batch", func(t *testing.T) {
+		req := decompressBatchRequest{Items: make([]decompressRequest, 5)}
+		resp, body := postJSON(t, ts.URL+"/v1/decompress:batch", req)
+		wantError(t, resp, body, http.StatusBadRequest, CodeBadRequest)
+	})
+}

@@ -217,25 +217,37 @@ func (s *Server) handleTrainCoder(w http.ResponseWriter, r *http.Request) error 
 	sp := tracing.FromContext(r.Context()).Child(StageCoderTrain)
 	sp.SetAttr("kind", req.Kind)
 	sp.SetAttr("coder", id)
-	entry, err := sweep.Get(s.cache, key, func() (*coderEntry, error) {
-		s.metricsMu.Lock()
-		s.inst.builds.Inc()
-		s.metricsMu.Unlock()
-		sp.SetAttrInt("built", 1) // this request ran the build, not the cache
-		return buildCoder(id, req.Kind, req.Bound, corpus)
-	})
+	entry, err := s.trainCoderCached(sp, key, id, req.Kind, req.Bound, corpus)
 	if err != nil {
 		sp.SetError(err)
 		sp.End()
 		return err
 	}
 	sp.End()
-	s.codersMu.Lock()
-	s.coders[id] = entry
-	s.codersMu.Unlock()
 
 	traceJSON(w, r, entry.info(cached))
 	return nil
+}
+
+// trainCoderCached resolves (or builds) a trained coder through the
+// artifact cache's persisted path: memory first, then the disk store,
+// then a real build that is written through. Either way the entry is
+// registered under its id for later requests. sp may be the nil span.
+func (s *Server) trainCoderCached(sp *tracing.Span, key, id, kind string, bound int, corpus [][]byte) (*coderEntry, error) {
+	entry, err := sweep.GetStored(s.cache, key, coderCodec, func() (*coderEntry, error) {
+		s.metricsMu.Lock()
+		s.inst.builds.Inc()
+		s.metricsMu.Unlock()
+		sp.SetAttrInt("built", 1) // this request ran the build, not a cache/store hit
+		return buildCoder(id, kind, bound, corpus)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.codersMu.Lock()
+	s.coders[id] = entry
+	s.codersMu.Unlock()
+	return entry, nil
 }
 
 func (s *Server) handleGetCoder(w http.ResponseWriter, r *http.Request) error {

@@ -100,7 +100,7 @@ func (s *Server) buildROM(ctx context.Context, entry *coderEntry, text []byte, w
 	sp.SetAttrInt("text_bytes", int64(len(text)))
 	defer sp.End()
 	key := sweep.Key("rom", entry.ID, wordAligned, text)
-	rom, err := sweep.Get(s.cache, key, func() (*core.ROM, error) {
+	build := func() (*core.ROM, error) {
 		sp.SetAttrInt("built", 1) // a cache miss: this request paid the build
 		rom, err := core.BuildROM(text, entry.romOptions(wordAligned))
 		if err != nil {
@@ -111,7 +111,17 @@ func (s *Server) buildROM(ctx context.Context, entry *coderEntry, text []byte, w
 				"compressed image fails verification: %v", err)
 		}
 		return rom, nil
-	})
+	}
+	// Serializable (pure-Huffman) images persist as CROM artifacts;
+	// codec-backed images have tables outside the ROM format and stay
+	// memory-only.
+	var rom *core.ROM
+	var err error
+	if entry.serializable() {
+		rom, err = sweep.GetStored(s.cache, key, romCodec, build)
+	} else {
+		rom, err = sweep.Get(s.cache, key, build)
+	}
 	if err != nil {
 		sp.SetError(err)
 	}
@@ -145,8 +155,25 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) error {
 	// coverage gap in ccrp-spans.
 	sp := tracing.FromContext(r.Context()).Child(StageEncode)
 	defer sp.End()
-	resp := compressResponse{
-		CoderID:         req.CoderID,
+	resp, err := compressResult(entry, req.CoderID, rom)
+	if err != nil {
+		sp.SetError(err)
+		return err
+	}
+
+	s.metricsMu.Lock()
+	s.inst.bytesIn.Add(uint64(len(text)))
+	s.metricsMu.Unlock()
+
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// compressResult packs a built ROM into the wire shape, including the
+// base64 block image and (for serializable coders) the CROM file.
+func compressResult(entry *coderEntry, coderID string, rom *core.ROM) (*compressResponse, error) {
+	resp := &compressResponse{
+		CoderID:         coderID,
 		OriginalBytes:   rom.OriginalSize,
 		CompressedBytes: rom.CompressedSize(),
 		BlocksBytes:     rom.BlocksSize(),
@@ -161,18 +188,11 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) error {
 	if entry.serializable() {
 		var buf bytes.Buffer
 		if err := rom.WriteFile(&buf); err != nil {
-			sp.SetError(err)
-			return err
+			return nil, err
 		}
 		resp.ROMB64 = base64.StdEncoding.EncodeToString(buf.Bytes())
 	}
-
-	s.metricsMu.Lock()
-	s.inst.bytesIn.Add(uint64(len(text)))
-	s.metricsMu.Unlock()
-
-	writeJSON(w, http.StatusOK, resp)
-	return nil
+	return resp, nil
 }
 
 // decompressRequest is the POST /v1/decompress body. Either a serialized
@@ -191,37 +211,41 @@ type decompressResponse struct {
 	OriginalBytes int    `json:"original_bytes"`
 }
 
+// decompressOne recovers the text image of one decompress payload —
+// either a self-describing CROM file or coder_id+blocks+lines — the unit
+// shared by the single and :batch endpoints.
+func (s *Server) decompressOne(ctx context.Context, req *decompressRequest) ([]byte, error) {
+	switch {
+	case req.ROMB64 != "":
+		sp := tracing.FromContext(ctx).Child(StageDecompress)
+		defer sp.End()
+		blob, err := base64.StdEncoding.DecodeString(req.ROMB64)
+		if err != nil {
+			return nil, errBadRequest("rom_b64: invalid base64: %v", err)
+		}
+		rom, err := core.ReadROMFile(bytes.NewReader(blob))
+		if err != nil {
+			sp.SetError(err)
+			return nil, errUnprocessable("malformed ROM image: %v", err)
+		}
+		text := rom.Text()
+		sp.SetAttrInt("text_bytes", int64(len(text)))
+		return text, nil
+	case req.CoderID != "":
+		return s.decompressLines(ctx, req)
+	default:
+		return nil, errBadRequest("one of rom_b64 or coder_id+blocks_b64+lines is required")
+	}
+}
+
 func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) error {
 	var req decompressRequest
 	if err := decodeRequest(r, &req); err != nil {
 		return err
 	}
-	var text []byte
-	switch {
-	case req.ROMB64 != "":
-		sp := tracing.FromContext(r.Context()).Child(StageDecompress)
-		blob, err := base64.StdEncoding.DecodeString(req.ROMB64)
-		if err != nil {
-			sp.End()
-			return errBadRequest("rom_b64: invalid base64: %v", err)
-		}
-		rom, err := core.ReadROMFile(bytes.NewReader(blob))
-		if err != nil {
-			sp.SetError(err)
-			sp.End()
-			return errUnprocessable("malformed ROM image: %v", err)
-		}
-		text = rom.Text()
-		sp.SetAttrInt("text_bytes", int64(len(text)))
-		sp.End()
-	case req.CoderID != "":
-		var err error
-		text, err = s.decompressLines(r.Context(), &req)
-		if err != nil {
-			return err
-		}
-	default:
-		return errBadRequest("one of rom_b64 or coder_id+blocks_b64+lines is required")
+	text, err := s.decompressOne(r.Context(), &req)
+	if err != nil {
+		return err
 	}
 
 	s.metricsMu.Lock()

@@ -62,6 +62,8 @@ const (
 	StageSimQueue   = "sim_queue"       // waiting for a simulate worker slot
 	StageSimRun     = "sim_run"         // trace-driven simulation
 	StageEncode     = "encode_response" // response JSON marshalling
+	StageStoreLoad  = "store_load"      // boot-time warm start from the artifact store
+	StageBatchItem  = "batch_item"      // one item of a :batch request
 )
 
 // Config tunes the service. The zero value selects production defaults.
@@ -90,6 +92,15 @@ type Config struct {
 	// capture served on /debug/traces. nil disables span recording; the
 	// trace id in responses and access logs is independent of it.
 	Tracer *tracing.Tracer
+	// Store, when set, persists trained coders and compressed ROM images
+	// across restarts: the artifact cache checks it before building and
+	// writes through after, and WarmStart re-registers every stored
+	// coder on boot (cmd/ccrpd's -store flag). nil keeps the cache
+	// memory-only.
+	Store sweep.Store
+	// MaxBatchItems bounds the item count of one :batch request; 0
+	// selects 256.
+	MaxBatchItems int
 }
 
 // withDefaults fills unset fields.
@@ -111,6 +122,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Version == "" {
 		c.Version = "devel"
+	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 256
 	}
 	return c
 }
@@ -161,6 +175,15 @@ type serverMetrics struct {
 	lineMisses    *metrics.Counter // decoded-line cache misses
 	lineEvictions *metrics.Counter // decoded-line cache evictions
 	lineResident  *metrics.Gauge   // decoded lines currently cached
+
+	storeHits       *metrics.Counter // artifacts served from the disk store
+	storeMisses     *metrics.Counter // store probes that fell through to a build
+	storeWrites     *metrics.Counter // freshly built artifacts persisted
+	storeCorrupt    *metrics.Counter // stored artifacts rejected by verification
+	storeWarmCoders *metrics.Gauge   // coders registered by the boot warm start
+
+	batchItems      *metrics.Counter // items processed across :batch requests
+	batchItemErrors *metrics.Counter // items that failed inside a :batch request
 }
 
 // New builds a Server with its routes registered.
@@ -196,12 +219,26 @@ func New(cfg Config) *Server {
 		lineMisses:    s.registry.Counter("ccrpd_linecache_misses_total", "decoded-line cache misses"),
 		lineEvictions: s.registry.Counter("ccrpd_linecache_evictions_total", "decoded-line cache evictions"),
 		lineResident:  s.registry.Gauge("ccrpd_linecache_resident_lines", "decoded lines currently cached"),
+
+		storeHits:       s.registry.Counter("ccrpd_store_hits_total", "artifacts served from the disk store"),
+		storeMisses:     s.registry.Counter("ccrpd_store_misses_total", "store probes that fell through to a build"),
+		storeWrites:     s.registry.Counter("ccrpd_store_writes_total", "freshly built artifacts persisted to the store"),
+		storeCorrupt:    s.registry.Counter("ccrpd_store_corrupt_total", "stored artifacts rejected by verification"),
+		storeWarmCoders: s.registry.Gauge("ccrpd_store_warm_coders", "coders registered by the boot warm start"),
+
+		batchItems:      s.registry.Counter("ccrpd_batch_items_total", "items processed across batch requests"),
+		batchItemErrors: s.registry.Counter("ccrpd_batch_item_errors_total", "batch items that failed"),
+	}
+	if cfg.Store != nil {
+		s.cache.SetStore(cfg.Store, storeObserver{s})
 	}
 
 	s.route("POST /v1/coders", cfg.TrainTimeout, s.handleTrainCoder)
 	s.route("GET /v1/coders/{id}", 5*time.Second, s.handleGetCoder)
 	s.route("POST /v1/compress", cfg.CompressTimeout, s.handleCompress)
 	s.route("POST /v1/decompress", cfg.CompressTimeout, s.handleDecompress)
+	s.route("POST /v1/compress:batch", cfg.CompressTimeout, s.handleCompressBatch)
+	s.route("POST /v1/decompress:batch", cfg.CompressTimeout, s.handleDecompressBatch)
 	s.route("POST /v1/simulate", cfg.SimulateTimeout, s.handleSimulate)
 	s.route("GET /healthz", 5*time.Second, s.handleHealthz)
 	s.route("GET /metrics", 5*time.Second, s.handleMetrics)

@@ -222,16 +222,11 @@ func (s *Server) simulateROM(ctx context.Context, req *simulateRequest, wl *work
 		}
 	} else {
 		// Default coder: the paper's preselected code, built through the
-		// same key (and so the same cache slot) as an explicit
-		// POST /v1/coders {"kind":"preselected"} train request.
+		// same key (and so the same cache slot and store artifact) as an
+		// explicit POST /v1/coders {"kind":"preselected"} train request.
 		key := coderKey(KindPreselected, 0, nil)
 		id := sweep.HashBytes([]byte(key))
-		entry, err = sweep.Get(s.cache, key, func() (*coderEntry, error) {
-			s.metricsMu.Lock()
-			s.inst.builds.Inc()
-			s.metricsMu.Unlock()
-			return buildCoder(id, KindPreselected, 0, nil)
-		})
+		entry, err = s.trainCoderCached(nil, key, id, KindPreselected, 0, nil)
 		if err != nil {
 			return nil, nil, 0, nil, err
 		}

@@ -1,0 +1,204 @@
+// Persistence: the durable-artifact side of ccrpd. In the paper the
+// expensive step — training the code and building the compressed ROM
+// image — happens once, offline, and the results persist in ROM. This
+// file gives the daemon the same property: trained coders and compressed
+// images written through sweep's content-addressed disk store, verified
+// on the way back in, and re-registered on boot so a restarted daemon
+// serves its whole coder catalogue without a single retrain.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+
+	"ccrp/internal/codepack"
+	"ccrp/internal/core"
+	"ccrp/internal/huffman"
+	"ccrp/internal/sweep"
+)
+
+// Artifact classes recorded in every stored header; warm start filters
+// on them and the codecs refuse a class mismatch.
+const (
+	artifactClassCoder = "coder"
+	artifactClassROM   = "rom"
+)
+
+// coderEntryWire is the gob shape of a persisted coderEntry. The
+// in-memory entry holds live *huffman.Code and core.LineCodec values;
+// on disk those travel in their own binary forms and are rebuilt on
+// decode, so a restored coder is byte-identical in behavior.
+type coderEntryWire struct {
+	ID          string
+	Kind        string
+	Bound       int
+	CorpusBytes int
+	Codes       [][]byte // huffman.Code.MarshalBinary, in order
+	CodePack    []byte   // codepack.Coder.MarshalBinary, when Kind == codepack
+}
+
+// coderCodec serializes trained coders for the artifact store.
+var coderCodec = sweep.Codec[*coderEntry]{
+	Name:   artifactClassCoder,
+	Encode: encodeCoderEntry,
+	Decode: decodeCoderEntry,
+}
+
+func encodeCoderEntry(e *coderEntry) ([]byte, error) {
+	wire := coderEntryWire{
+		ID: e.ID, Kind: e.Kind, Bound: e.Bound, CorpusBytes: e.CorpusBytes,
+	}
+	for _, code := range e.codes {
+		blob, err := code.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("coder %s: %w", e.ID, err)
+		}
+		wire.Codes = append(wire.Codes, blob)
+	}
+	if e.codec != nil {
+		cp, ok := e.codec.(*codepack.Coder)
+		if !ok {
+			return nil, fmt.Errorf("coder %s: codec %T is not persistable", e.ID, e.codec)
+		}
+		blob, err := cp.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("coder %s: %w", e.ID, err)
+		}
+		wire.CodePack = blob
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wire); err != nil {
+		return nil, fmt.Errorf("coder %s: %w", e.ID, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeCoderEntry(blob []byte) (*coderEntry, error) {
+	var wire coderEntryWire
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("stored coder: %w", err)
+	}
+	if wire.ID == "" || wire.Kind == "" {
+		return nil, fmt.Errorf("stored coder: missing id or kind")
+	}
+	e := &coderEntry{
+		ID: wire.ID, Kind: wire.Kind,
+		Bound: wire.Bound, CorpusBytes: wire.CorpusBytes,
+	}
+	for i, blob := range wire.Codes {
+		code, err := huffman.UnmarshalCode(blob)
+		if err != nil {
+			return nil, fmt.Errorf("stored coder %s: code %d: %w", wire.ID, i, err)
+		}
+		e.codes = append(e.codes, code)
+	}
+	if wire.CodePack != nil {
+		cp, err := codepack.UnmarshalCoder(wire.CodePack)
+		if err != nil {
+			return nil, fmt.Errorf("stored coder %s: %w", wire.ID, err)
+		}
+		e.codec = cp
+	}
+	if len(e.codes) == 0 && e.codec == nil {
+		return nil, fmt.Errorf("stored coder %s: no codes and no codec", wire.ID)
+	}
+	return e, nil
+}
+
+// romCodec serializes compressed ROM images as CROM files — the exact
+// on-disk format cmd/ccpack writes, so a stored artifact is readable by
+// every existing tool. Reading re-decompresses every block, which is the
+// integrity check: a damaged image fails to decode instead of serving
+// wrong bytes. Only serializable (non-codec) ROMs use this codec; see
+// Server.buildROM.
+var romCodec = sweep.Codec[*core.ROM]{
+	Name: artifactClassROM,
+	Encode: func(rom *core.ROM) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := rom.WriteFile(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	},
+	Decode: func(blob []byte) (*core.ROM, error) {
+		return core.ReadROMFile(bytes.NewReader(blob))
+	},
+}
+
+// storeObserver folds the cache's store traffic into the server's
+// metrics registry. Instruments are single-threaded by design, so every
+// update goes under metricsMu like the handler-side metrics; calls
+// arrive from whichever goroutine is building an artifact.
+type storeObserver struct{ s *Server }
+
+func (o storeObserver) StoreHit(string) { o.inc(o.s.inst.storeHits) }
+
+func (o storeObserver) StoreMiss(string) { o.inc(o.s.inst.storeMisses) }
+
+func (o storeObserver) StoreWrite(string) { o.inc(o.s.inst.storeWrites) }
+
+func (o storeObserver) StoreCorrupt(string, error) { o.inc(o.s.inst.storeCorrupt) }
+
+func (o storeObserver) inc(c interface{ Inc() }) {
+	o.s.metricsMu.Lock()
+	c.Inc()
+	o.s.metricsMu.Unlock()
+}
+
+// WarmStart loads every stored coder into the registry and the in-memory
+// cache, the boot-time analogue of the paper's "the ROM is already
+// written": after it returns, a request for any previously trained coder
+// id resolves without a build, and POST /v1/coders of the same corpus is
+// a pure cache hit. Damaged artifacts are skipped (and counted as
+// corrupt); they will be rebuilt on first demand. Returns the number of
+// coders registered.
+//
+// The pass runs under a store_load span so boot cost shows up in the
+// same stage vocabulary as request cost.
+func (s *Server) WarmStart(ctx context.Context) (int, error) {
+	st := s.cache.Store()
+	if st == nil {
+		return 0, nil
+	}
+	sp := s.tracer.Start(StageStoreLoad)
+	defer sp.End()
+	arts, err := st.List()
+	if err != nil {
+		sp.SetError(err)
+		return 0, err
+	}
+	obs := storeObserver{s}
+	loaded := 0
+	for _, a := range arts {
+		if a.Class != artifactClassCoder {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			sp.SetError(err)
+			return loaded, err
+		}
+		class, blob, err := st.Load(a.Key)
+		if err != nil || class != artifactClassCoder {
+			obs.StoreCorrupt(a.Key, err)
+			continue
+		}
+		entry, err := decodeCoderEntry(blob)
+		if err != nil {
+			obs.StoreCorrupt(a.Key, err)
+			continue
+		}
+		obs.StoreHit(a.Key)
+		s.cache.Seed(a.Key, entry)
+		s.codersMu.Lock()
+		s.coders[entry.ID] = entry
+		s.codersMu.Unlock()
+		loaded++
+	}
+	sp.SetAttrInt("coders", int64(loaded))
+	s.metricsMu.Lock()
+	s.inst.storeWarmCoders.Set(float64(loaded))
+	s.metricsMu.Unlock()
+	return loaded, nil
+}

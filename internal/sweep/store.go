@@ -1,0 +1,230 @@
+package sweep
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Store is a durable artifact store keyed by the same content-addressed
+// strings as the in-memory Cache. It is the service analogue of the
+// paper's ROM: the expensive offline products — trained coders,
+// compressed images — outlive the process that built them, so a daemon
+// restart warm-starts from disk instead of retraining every coder.
+//
+// Implementations must be safe for concurrent use. Load distinguishes
+// three outcomes: the artifact (nil error), ErrNotInStore (absent —
+// build and Save), and *CorruptError (present but failing verification —
+// the caller must rebuild rather than trust the bytes).
+type Store interface {
+	// Load returns the artifact class and payload stored under key.
+	Load(key string) (class string, blob []byte, err error)
+	// Save durably stores blob under key, atomically replacing any
+	// previous artifact for the key.
+	Save(key, class string, blob []byte) error
+	// List enumerates the stored artifacts (for warm start).
+	List() ([]Artifact, error)
+}
+
+// Artifact describes one stored entry without its payload.
+type Artifact struct {
+	Key   string // the cache key the artifact was stored under
+	Class string // the codec name that produced the payload
+}
+
+// ErrNotInStore reports a key with no stored artifact.
+var ErrNotInStore = errors.New("sweep: artifact not in store")
+
+// CorruptError reports a stored artifact that failed verification:
+// truncation, a content-hash mismatch, a header that does not parse, or
+// an artifact filed under the wrong key. Callers treat it exactly like
+// a miss — rebuild and overwrite — but it is counted separately so
+// operators can tell disk rot from cold caches.
+type CorruptError struct {
+	Path   string // offending file
+	Reason string // what failed to verify
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("sweep: corrupt artifact %s: %s", e.Path, e.Reason)
+}
+
+// DiskStore is the file-per-artifact Store: every artifact lives under
+// Root as <sha256(key)>.art — the same digest the server already uses as
+// the coder id, so a coder's file name is its public id. Files are
+// written to a temporary name and renamed into place, so readers never
+// observe a partial artifact, and a crash mid-write leaves at worst a
+// stale .tmp file that the next Save of the key replaces.
+//
+// On-disk format: one JSON header line carrying the key, class, payload
+// length, and payload SHA-256, followed by the raw payload bytes. Load
+// verifies all four — a truncated or bit-flipped artifact is reported as
+// *CorruptError, never returned as data. The header embeds the full key
+// (not just its hash) so a file misfiled under the wrong name is also
+// caught, in the spirit of code attestation: the name, the key, and the
+// content must agree before a byte is served.
+type DiskStore struct {
+	root string
+}
+
+// artifactExt names artifact files; anything else under Root is ignored.
+const artifactExt = ".art"
+
+// artifactHeader is the JSON first line of every artifact file.
+type artifactHeader struct {
+	V      int    `json:"v"`
+	Key    string `json:"key"`
+	Class  string `json:"class"`
+	Len    int    `json:"len"`
+	SHA256 string `json:"sha256"`
+}
+
+const artifactVersion = 1
+
+// OpenDiskStore opens (creating if needed) a disk store rooted at dir.
+func OpenDiskStore(dir string) (*DiskStore, error) {
+	if dir == "" {
+		return nil, errors.New("sweep: empty store root")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: store root: %w", err)
+	}
+	return &DiskStore{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (d *DiskStore) Root() string { return d.root }
+
+// path maps a cache key to its artifact file.
+func (d *DiskStore) path(key string) string {
+	return filepath.Join(d.root, HashBytes([]byte(key))+artifactExt)
+}
+
+// Load reads and verifies the artifact stored under key.
+func (d *DiskStore) Load(key string) (string, []byte, error) {
+	path := d.path(key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return "", nil, ErrNotInStore
+		}
+		return "", nil, fmt.Errorf("sweep: store read: %w", err)
+	}
+	hdr, blob, err := parseArtifact(path, raw)
+	if err != nil {
+		return "", nil, err
+	}
+	if hdr.Key != key {
+		return "", nil, &CorruptError{Path: path, Reason: "artifact filed under a different key"}
+	}
+	return hdr.Class, blob, nil
+}
+
+// parseHeader splits off and parses the JSON header line.
+func parseHeader(path string, raw []byte) (artifactHeader, []byte, error) {
+	var hdr artifactHeader
+	nl := -1
+	for i, b := range raw {
+		if b == '\n' {
+			nl = i
+			break
+		}
+	}
+	if nl < 0 {
+		return hdr, nil, &CorruptError{Path: path, Reason: "missing header line"}
+	}
+	if err := json.Unmarshal(raw[:nl], &hdr); err != nil {
+		return hdr, nil, &CorruptError{Path: path, Reason: fmt.Sprintf("unparseable header: %v", err)}
+	}
+	if hdr.V != artifactVersion {
+		return hdr, nil, &CorruptError{Path: path, Reason: fmt.Sprintf("unsupported version %d", hdr.V)}
+	}
+	return hdr, raw[nl+1:], nil
+}
+
+// parseArtifact splits and verifies header + payload.
+func parseArtifact(path string, raw []byte) (artifactHeader, []byte, error) {
+	hdr, blob, err := parseHeader(path, raw)
+	if err != nil {
+		return hdr, nil, err
+	}
+	if len(blob) != hdr.Len {
+		return hdr, nil, &CorruptError{Path: path,
+			Reason: fmt.Sprintf("payload is %d bytes, header says %d", len(blob), hdr.Len)}
+	}
+	if sum := HashBytes(blob); sum != hdr.SHA256 {
+		return hdr, nil, &CorruptError{Path: path, Reason: "payload hash mismatch"}
+	}
+	return hdr, blob, nil
+}
+
+// Save atomically writes blob under key: the bytes land in a temporary
+// file in the same directory and are renamed over the final name, so a
+// concurrent Load sees either the old artifact or the new one, never a
+// prefix.
+func (d *DiskStore) Save(key, class string, blob []byte) error {
+	hdr, err := json.Marshal(artifactHeader{
+		V: artifactVersion, Key: key, Class: class,
+		Len: len(blob), SHA256: HashBytes(blob),
+	})
+	if err != nil {
+		return fmt.Errorf("sweep: store write: %w", err)
+	}
+	final := d.path(key)
+	tmp, err := os.CreateTemp(d.root, filepath.Base(final)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sweep: store write: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(append(append(hdr, '\n'), blob...)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: store write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sweep: store write: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		return fmt.Errorf("sweep: store write: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return fmt.Errorf("sweep: store write: %w", err)
+	}
+	return nil
+}
+
+// List enumerates the store by reading every artifact header. Payloads
+// are NOT verified here — that is Load's job, so warm start counts (and
+// skips) corruption explicitly rather than silently missing entries. A
+// file whose header does not even parse, or whose name does not match
+// its embedded key's digest, cannot be attributed to any key and is
+// ignored; stray temp files and foreign files likewise.
+func (d *DiskStore) List() ([]Artifact, error) {
+	entries, err := os.ReadDir(d.root)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: store list: %w", err)
+	}
+	var arts []Artifact
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, artifactExt) {
+			continue
+		}
+		path := filepath.Join(d.root, name)
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		hdr, _, err := parseHeader(path, raw)
+		if err != nil {
+			continue
+		}
+		if HashBytes([]byte(hdr.Key))+artifactExt != name {
+			continue
+		}
+		arts = append(arts, Artifact{Key: hdr.Key, Class: hdr.Class})
+	}
+	return arts, nil
+}

@@ -1,0 +1,332 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// testObserver counts store traffic for assertions.
+type testObserver struct {
+	hits, misses, writes, corrupt atomic.Int64
+}
+
+func (o *testObserver) StoreHit(string)            { o.hits.Add(1) }
+func (o *testObserver) StoreMiss(string)           { o.misses.Add(1) }
+func (o *testObserver) StoreWrite(string)          { o.writes.Add(1) }
+func (o *testObserver) StoreCorrupt(string, error) { o.corrupt.Add(1) }
+
+var bytesCodec = Codec[[]byte]{
+	Name:   "bytes",
+	Encode: func(b []byte) ([]byte, error) { return b, nil },
+	Decode: func(b []byte) ([]byte, error) { return b, nil },
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	st, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("coder", "huffman", 16)
+	if _, _, err := st.Load(key); !errors.Is(err, ErrNotInStore) {
+		t.Fatalf("Load of absent key: %v, want ErrNotInStore", err)
+	}
+	blob := []byte("trained coder bytes")
+	if err := st.Save(key, "coder", blob); err != nil {
+		t.Fatal(err)
+	}
+	class, got, err := st.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != "coder" || string(got) != string(blob) {
+		t.Fatalf("Load = (%q, %q), want (coder, %q)", class, got, blob)
+	}
+
+	// Overwrite is atomic and replaces the payload.
+	if err := st.Save(key, "coder", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, got, _ := st.Load(key); string(got) != "v2" {
+		t.Fatalf("after overwrite Load = %q, want v2", got)
+	}
+
+	arts, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 || arts[0].Key != key || arts[0].Class != "coder" {
+		t.Fatalf("List = %+v, want one coder artifact for the key", arts)
+	}
+
+	// No stray temp files survive a successful Save.
+	entries, _ := os.ReadDir(st.Root())
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != artifactExt {
+			t.Errorf("stray file in store: %s", e.Name())
+		}
+	}
+}
+
+// TestDiskStoreCorruption: every damage mode is rejected as
+// *CorruptError, and GetStored rebuilds (and re-persists) rather than
+// serving the damaged bytes.
+func TestDiskStoreCorruption(t *testing.T) {
+	key := Key("coder", "huffman", 16)
+	payload := []byte("the artifact payload, long enough to truncate meaningfully")
+
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated file", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped payload byte", func(t *testing.T, path string) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)-1] ^= 0x40
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"empty file", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"wrong key in header", func(t *testing.T, path string) {
+			// Simulate a misfiled artifact: content stored under another
+			// key copied onto this key's file name.
+			other, err := OpenDiskStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			otherKey := Key("coder", "bounded", 8)
+			if err := other.Save(otherKey, "coder", payload); err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(other.path(otherKey))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, err := OpenDiskStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Save(key, "coder", payload); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, st.path(key))
+
+			var ce *CorruptError
+			if _, _, err := st.Load(key); !errors.As(err, &ce) {
+				t.Fatalf("Load of damaged artifact: %v, want *CorruptError", err)
+			}
+
+			// GetStored: rejected -> rebuilt -> corrupt counted -> written back.
+			c := NewCache()
+			obs := &testObserver{}
+			c.SetStore(st, obs)
+			builds := 0
+			got, err := GetStored(c, key, bytesCodec, func() ([]byte, error) {
+				builds++
+				return payload, nil
+			})
+			if err != nil || string(got) != string(payload) {
+				t.Fatalf("GetStored = (%q, %v), want rebuilt payload", got, err)
+			}
+			if builds != 1 {
+				t.Errorf("build ran %d times, want 1 (rebuild)", builds)
+			}
+			if n := obs.corrupt.Load(); n != 1 {
+				t.Errorf("corrupt count = %d, want 1", n)
+			}
+			if n := obs.writes.Load(); n != 1 {
+				t.Errorf("write count = %d, want 1 (write-through after rebuild)", n)
+			}
+			// The rebuild repaired the store: a cold cache now hits disk.
+			c2 := NewCache()
+			obs2 := &testObserver{}
+			c2.SetStore(st, obs2)
+			if _, err := GetStored(c2, key, bytesCodec, func() ([]byte, error) {
+				t.Fatal("build ran despite a repaired store")
+				return nil, nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if obs2.hits.Load() != 1 {
+				t.Errorf("repaired store did not serve a hit")
+			}
+		})
+	}
+}
+
+// TestGetStoredWriteThrough: miss -> build -> persist -> later cold
+// cache hits disk without building.
+func TestGetStoredWriteThrough(t *testing.T) {
+	st, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("rom", "id", true)
+	c := NewCache()
+	obs := &testObserver{}
+	c.SetStore(st, obs)
+
+	builds := 0
+	build := func() ([]byte, error) { builds++; return []byte("artifact"), nil }
+	if _, err := GetStored(c, key, bytesCodec, build); err != nil {
+		t.Fatal(err)
+	}
+	// Second call through the same cache: memory hit, no store traffic.
+	if _, err := GetStored(c, key, bytesCodec, build); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 1 || obs.misses.Load() != 1 || obs.writes.Load() != 1 {
+		t.Fatalf("builds=%d misses=%d writes=%d, want 1/1/1",
+			builds, obs.misses.Load(), obs.writes.Load())
+	}
+
+	// Fresh process (new cache, same store): served from disk.
+	c2 := NewCache()
+	obs2 := &testObserver{}
+	c2.SetStore(st, obs2)
+	got, err := GetStored(c2, key, bytesCodec, func() ([]byte, error) {
+		t.Fatal("warm store must not rebuild")
+		return nil, nil
+	})
+	if err != nil || string(got) != "artifact" {
+		t.Fatalf("warm GetStored = (%q, %v)", got, err)
+	}
+	if obs2.hits.Load() != 1 {
+		t.Errorf("hit count = %d, want 1", obs2.hits.Load())
+	}
+}
+
+// TestGetStoredClassMismatch: a key collision across artifact types is
+// treated as corruption, not decoded as the wrong type.
+func TestGetStoredClassMismatch(t *testing.T) {
+	st, err := OpenDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("shared")
+	if err := st.Save(key, "other-class", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache()
+	obs := &testObserver{}
+	c.SetStore(st, obs)
+	builds := 0
+	if _, err := GetStored(c, key, bytesCodec, func() ([]byte, error) {
+		builds++
+		return []byte("rebuilt"), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 1 || obs.corrupt.Load() != 1 {
+		t.Fatalf("builds=%d corrupt=%d, want 1/1", builds, obs.corrupt.Load())
+	}
+}
+
+// TestCacheTransientErrorsRetry: a cancelled/deadline/Transient build
+// failure is delivered to its waiters but not memoized — the next caller
+// rebuilds. Deterministic failures stay cached.
+func TestCacheTransientErrorsRetry(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{
+		{"context.Canceled", context.Canceled},
+		{"wrapped deadline", fmt.Errorf("store write: %w", context.DeadlineExceeded)},
+		{"explicit Transient", Transient(errors.New("disk full"))},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCache()
+			builds := 0
+			_, err := Get(c, "k", func() (int, error) { builds++; return 0, tc.err })
+			if !errors.Is(err, tc.err) && err.Error() != tc.err.Error() {
+				t.Fatalf("first Get = %v, want %v", err, tc.err)
+			}
+			v, err := Get(c, "k", func() (int, error) { builds++; return 7, nil })
+			if err != nil || v != 7 {
+				t.Fatalf("retry Get = (%d, %v), want (7, nil)", v, err)
+			}
+			if builds != 2 {
+				t.Fatalf("build ran %d times, want 2 (transient failure retried)", builds)
+			}
+		})
+	}
+
+	t.Run("deterministic error stays cached", func(t *testing.T) {
+		c := NewCache()
+		builds := 0
+		permanent := errors.New("malformed corpus")
+		for i := 0; i < 3; i++ {
+			if _, err := Get(c, "k", func() (int, error) { builds++; return 0, permanent }); !errors.Is(err, permanent) {
+				t.Fatalf("Get = %v, want the cached permanent error", err)
+			}
+		}
+		if builds != 1 {
+			t.Fatalf("build ran %d times, want 1 (permanent failure cached)", builds)
+		}
+	})
+}
+
+// TestCacheSeed: seeding registers an artifact without a build, and
+// never clobbers an existing entry.
+func TestCacheSeed(t *testing.T) {
+	c := NewCache()
+	c.Seed("k", 42)
+	v, err := Get(c, "k", func() (int, error) {
+		t.Fatal("build ran despite a seeded entry")
+		return 0, nil
+	})
+	if err != nil || v != 42 {
+		t.Fatalf("Get after Seed = (%d, %v), want (42, nil)", v, err)
+	}
+	c.Seed("k", 99) // existing entry wins
+	if v, _ := Get(c, "k", func() (int, error) { return 0, nil }); v != 42 {
+		t.Fatalf("Seed clobbered a live entry: got %d, want 42", v)
+	}
+}
+
+// TestGetStoredSaveFailureIsNotFatal: a store that cannot persist does
+// not fail the build — durability is lost, the artifact is not.
+func TestGetStoredSaveFailureIsNotFatal(t *testing.T) {
+	c := NewCache()
+	c.SetStore(failingStore{}, nil)
+	v, err := GetStored(c, "k", bytesCodec, func() ([]byte, error) {
+		return []byte("built"), nil
+	})
+	if err != nil || string(v) != "built" {
+		t.Fatalf("GetStored with failing store = (%q, %v), want (built, nil)", v, err)
+	}
+}
+
+// failingStore errors on every operation.
+type failingStore struct{}
+
+func (failingStore) Load(string) (string, []byte, error) { return "", nil, ErrNotInStore }
+func (failingStore) Save(string, string, []byte) error   { return errors.New("disk full") }
+func (failingStore) List() ([]Artifact, error)           { return nil, errors.New("unlistable") }

@@ -45,5 +45,6 @@ fi
 stage "go test -race ./..." go test -race ./...
 stage "decode smoke" sh scripts/decode_smoke.sh
 stage "trace smoke" sh scripts/trace_smoke.sh
+stage "persist smoke" sh scripts/persist_smoke.sh
 
 echo "check: OK"

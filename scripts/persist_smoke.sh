@@ -1,0 +1,169 @@
+#!/bin/sh
+# Restart-survival gate for the disk-backed artifact store: boot ccrpd
+# with -store, train two coders (preselected + codepack) and compress a
+# workload, SIGTERM-drain the daemon, boot a second daemon on the same
+# store, and assert — via /metrics — that the second life retrained
+# nothing (ccrpd_coder_builds_total stays 0), warm-started every coder,
+# and serves byte-identical compressed output for the same coder id. A
+# compress:batch request against the warm daemon closes the loop: the
+# batch path must also run entirely from restored artifacts.
+#
+# Usage: scripts/persist_smoke.sh [port]
+#
+# With CCRP_SMOKE_DIR set, the working directory (daemon logs, span
+# files, the store itself) is created under it and kept, so CI can
+# upload it as a failure artifact; otherwise a mktemp dir is cleaned up.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+port=${1:-8644}
+base="http://127.0.0.1:${port}"
+wl=eightq
+
+if [ -n "${CCRP_SMOKE_DIR:-}" ]; then
+	work="$CCRP_SMOKE_DIR/persist_smoke"
+	mkdir -p "$work"
+	keep=1
+else
+	work=$(mktemp -d)
+	keep=
+fi
+store="$work/store"
+
+fail() {
+	echo "persist_smoke: FAILED: $1" >&2
+	for log in "$work"/ccrpd*.log; do
+		[ -f "$log" ] && sed "s|^|$(basename "$log"): |" "$log" >&2
+	done
+	exit 1
+}
+
+cleanup() {
+	[ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+	if [ -z "$keep" ]; then
+		rm -rf "$work"
+	fi
+}
+trap cleanup EXIT
+
+# jsonget FILE EXPR: print a field of a JSON document.
+jsonget() {
+	python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))'"$2"')' "$1"
+}
+
+# metric FILE NAME: print one unlabeled metric value from a scrape.
+metric() {
+	awk -v name="$2" '$1 == name { print $2 }' "$1"
+}
+
+wait_healthy() {
+	i=0
+	until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -ge 50 ] && fail "daemon did not become healthy"
+		kill -0 "$pid" 2>/dev/null || fail "daemon exited during startup"
+		sleep 0.2
+	done
+}
+
+drain() {
+	kill -TERM "$pid"
+	i=0
+	while kill -0 "$pid" 2>/dev/null; do
+		i=$((i + 1))
+		[ "$i" -ge 100 ] && fail "daemon did not exit after SIGTERM"
+		sleep 0.1
+	done
+	wait "$pid" || fail "daemon exited nonzero after SIGTERM"
+	pid=
+}
+
+echo "== building"
+go build -o "$work/ccrpd" ./cmd/ccrpd
+
+echo "== first life: ccrpd -store $store"
+"$work/ccrpd" -addr "127.0.0.1:${port}" -store "$store" \
+	>"$work/ccrpd1.log" 2>&1 &
+pid=$!
+wait_healthy
+
+echo "== training two coders and compressing $wl"
+curl -fsS -X POST "$base/v1/coders" -d '{"kind":"preselected"}' \
+	>"$work/coder.json" || fail "train preselected"
+coder=$(jsonget "$work/coder.json" '["id"]')
+curl -fsS -X POST "$base/v1/coders" \
+	-d "{\"kind\":\"codepack\",\"workloads\":[\"$wl\"]}" \
+	>"$work/codepack.json" || fail "train codepack"
+cpcoder=$(jsonget "$work/codepack.json" '["id"]')
+curl -fsS -X POST "$base/v1/compress" \
+	-d "{\"coder_id\":\"$coder\",\"workload\":\"$wl\"}" \
+	>"$work/compress1.json" || fail "compress (first life)"
+
+curl -fsS "$base/metrics" >"$work/metrics1.prom" || fail "metrics scrape (first life)"
+[ "$(metric "$work/metrics1.prom" ccrpd_coder_builds_total)" = "2" ] \
+	|| fail "first life did not build exactly 2 coders"
+writes=$(metric "$work/metrics1.prom" ccrpd_store_writes_total)
+[ "${writes:-0}" -ge 2 ] || fail "first life persisted $writes artifacts, want >= 2"
+
+echo "== SIGTERM drain (first life)"
+drain
+[ -n "$(ls "$store"/*.art 2>/dev/null)" ] || fail "store is empty after drain"
+
+echo "== second life: same store, fresh process"
+"$work/ccrpd" -addr "127.0.0.1:${port}" -store "$store" \
+	>"$work/ccrpd2.log" 2>&1 &
+pid=$!
+wait_healthy
+grep -q "warm start: 2 coders" "$work/ccrpd2.log" \
+	|| fail "second life did not warm-start 2 coders"
+
+echo "== warm serving: both coder ids, byte-identical output, zero builds"
+curl -fsS -X POST "$base/v1/compress" \
+	-d "{\"coder_id\":\"$coder\",\"workload\":\"$wl\"}" \
+	>"$work/compress2.json" || fail "compress (second life)"
+curl -fsS -X POST "$base/v1/compress" \
+	-d "{\"coder_id\":\"$cpcoder\",\"workload\":\"$wl\"}" \
+	>/dev/null || fail "compress with restored codepack coder"
+python3 -c '
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+assert a["rom_b64"] == b["rom_b64"], "ROM images differ across the restart"
+assert a["blocks_b64"] == b["blocks_b64"], "block images differ across the restart"
+' "$work/compress1.json" "$work/compress2.json" \
+	|| fail "compressed bytes differ across the restart"
+
+echo "== retraining is a store hit, not a build"
+curl -fsS -X POST "$base/v1/coders" -d '{"kind":"preselected"}' \
+	>"$work/retrain.json" || fail "retrain request"
+[ "$(jsonget "$work/retrain.json" '["id"]')" = "$coder" ] \
+	|| fail "retrained coder id changed across the restart"
+
+echo "== batch sanity on the warm daemon"
+curl -fsS -X POST "$base/v1/compress:batch" \
+	-d "{\"coder_id\":\"$coder\",\"items\":[{\"workload\":\"$wl\"},{\"workload\":\"$wl\"}]}" \
+	>"$work/batch.json" || fail "compress:batch request"
+python3 -c '
+import json, sys
+batch, single = (json.load(open(p)) for p in sys.argv[1:3])
+assert batch["errors"] == 0 and len(batch["items"]) == 2, batch
+for item in batch["items"]:
+    assert item["result"]["blocks_b64"] == single["blocks_b64"], \
+        "batch item differs from the single-request result"
+' "$work/batch.json" "$work/compress2.json" || fail "batch output mismatch"
+
+echo "== second-life metrics: zero retrains, warm gauge, no corruption"
+curl -fsS "$base/metrics" >"$work/metrics2.prom" || fail "metrics scrape (second life)"
+[ "$(metric "$work/metrics2.prom" ccrpd_coder_builds_total)" = "0" ] \
+	|| fail "second life retrained a coder"
+[ "$(metric "$work/metrics2.prom" ccrpd_store_warm_coders)" = "2" ] \
+	|| fail "warm-coder gauge is not 2"
+[ "$(metric "$work/metrics2.prom" ccrpd_store_corrupt_total)" = "0" ] \
+	|| fail "store reported corruption on a clean restart"
+hits=$(metric "$work/metrics2.prom" ccrpd_store_hits_total)
+[ "${hits:-0}" -ge 2 ] || fail "second life took $hits store hits, want >= 2"
+
+echo "== SIGTERM drain (second life)"
+drain
+
+echo "persist_smoke: OK"

@@ -9,13 +9,22 @@
 #
 # Needs only a POSIX shell, go, and python3 (JSON field extraction and
 # base64 decoding; both are present in CI images and dev containers).
+# With CCRP_SMOKE_DIR set, the working directory (daemon log, access
+# log) lives under it and is kept for CI failure-artifact upload.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 port=${1:-8642}
 base="http://127.0.0.1:${port}"
-work=$(mktemp -d)
+if [ -n "${CCRP_SMOKE_DIR:-}" ]; then
+	work="$CCRP_SMOKE_DIR/serve_smoke"
+	mkdir -p "$work"
+	keep=1
+else
+	work=$(mktemp -d)
+	keep=
+fi
 wl=eightq
 
 fail() {
@@ -26,7 +35,9 @@ fail() {
 
 cleanup() {
 	[ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
-	rm -rf "$work"
+	if [ -z "$keep" ]; then
+		rm -rf "$work"
+	fi
 }
 trap cleanup EXIT
 

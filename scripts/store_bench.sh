@@ -1,0 +1,148 @@
+#!/bin/sh
+# Persistence + batching benchmark -> BENCH_<label>.json.
+#
+# Measures the two things PR 7 claims to buy:
+#
+#   1. Warm vs cold boot: wall time from daemon exec to a served
+#      compress response, once against an empty store (train on demand)
+#      and once rebooted on the populated store (warm start, zero
+#      retrains — asserted via /metrics).
+#   2. Batch vs single round trips: ccrp-load -mix roundtrip=1 at equal
+#      block counts, single-request endpoints vs -batch N, both against
+#      the warm daemon after an identical warmup pass. ccrp-load reports
+#      batch latencies per block, so the two p95s are directly
+#      comparable — and the batch p95 must win, or this script fails.
+#
+# Usage: scripts/store_bench.sh [label] [blocks] [batch]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+label=${1:-PR7}
+blocks=${2:-48}
+batch=${3:-8}
+
+port=${CCRPD_PORT:-8645}
+base="http://127.0.0.1:${port}"
+out="BENCH_${label}.json"
+work=$(mktemp -d)
+store="$work/store"
+wl=eightq
+
+fail() {
+	echo "store_bench: FAILED: $1" >&2
+	[ -f "$work/ccrpd.log" ] && sed 's/^/ccrpd: /' "$work/ccrpd.log" >&2
+	exit 1
+}
+
+cleanup() {
+	[ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$work"
+}
+trap cleanup EXIT
+
+# now: monotonic-enough wall clock in milliseconds.
+now() {
+	python3 -c 'import time; print(int(time.time() * 1000))'
+}
+
+wait_healthy() {
+	i=0
+	until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -ge 100 ] && fail "daemon did not become healthy"
+		kill -0 "$pid" 2>/dev/null || fail "daemon exited during startup"
+		sleep 0.1
+	done
+}
+
+drain() {
+	kill -TERM "$pid"
+	i=0
+	while kill -0 "$pid" 2>/dev/null; do
+		i=$((i + 1))
+		[ "$i" -ge 100 ] && fail "daemon did not exit after SIGTERM"
+		sleep 0.1
+	done
+	wait "$pid" || true
+	pid=
+}
+
+echo "== building"
+go build -o "$work/ccrpd" ./cmd/ccrpd
+go build -o "$work/ccrp-load" ./cmd/ccrp-load
+
+echo "== cold boot: empty store, train + compress"
+t0=$(now)
+"$work/ccrpd" -addr "127.0.0.1:${port}" -store "$store" >"$work/ccrpd.log" 2>&1 &
+pid=$!
+wait_healthy
+curl -fsS -X POST "$base/v1/coders" -d '{"kind":"preselected"}' \
+	>"$work/coder.json" || fail "train (cold)"
+coder=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["id"])' "$work/coder.json")
+curl -fsS -X POST "$base/v1/compress" \
+	-d "{\"coder_id\":\"$coder\",\"workload\":\"$wl\"}" >/dev/null || fail "compress (cold)"
+cold_ms=$(($(now) - t0))
+drain
+
+echo "== warm boot: same store, compress without retraining"
+t0=$(now)
+"$work/ccrpd" -addr "127.0.0.1:${port}" -store "$store" >"$work/ccrpd.log" 2>&1 &
+pid=$!
+wait_healthy
+curl -fsS -X POST "$base/v1/compress" \
+	-d "{\"coder_id\":\"$coder\",\"workload\":\"$wl\"}" >/dev/null || fail "compress (warm)"
+warm_ms=$(($(now) - t0))
+curl -fsS "$base/metrics" >"$work/metrics.prom" || fail "metrics scrape"
+awk '$1 == "ccrpd_coder_builds_total" && $2 != "0" { exit 1 }' "$work/metrics.prom" \
+	|| fail "warm boot retrained a coder"
+
+echo "== warmup pass over every workload (fills the ROM cache for both runs)"
+"$work/ccrp-load" -url "$base" -clients 2 -requests "$blocks" \
+	-mix roundtrip=1 -o /dev/null 2>/dev/null || fail "warmup pass"
+
+echo "== single-request round trips ($blocks blocks)"
+"$work/ccrp-load" -url "$base" -clients 2 -requests "$blocks" \
+	-mix roundtrip=1 -o "$work/single.json" || fail "single-request load"
+
+echo "== batched round trips ($blocks blocks, -batch $batch)"
+"$work/ccrp-load" -url "$base" -clients 2 -requests "$blocks" -batch "$batch" \
+	-mix roundtrip=1 -o "$work/batch.json" || fail "batched load"
+
+drain
+
+echo "== composing $out"
+python3 - "$work/single.json" "$work/batch.json" "$out" \
+	"$cold_ms" "$warm_ms" "$blocks" "$batch" <<'EOF'
+import json, sys
+
+single = json.load(open(sys.argv[1]))
+batch = json.load(open(sys.argv[2]))
+rep = {
+    "schema": 1,
+    "tool": "store_bench",
+    "version": single["version"],
+    "boot": {
+        "cold_to_first_compress_ms": int(sys.argv[4]),
+        "warm_to_first_compress_ms": int(sys.argv[5]),
+    },
+    "roundtrip": {
+        "blocks": int(sys.argv[6]),
+        "batch_size": int(sys.argv[7]),
+        "single": single["overall"],
+        "batch": batch["overall"],
+        "single_throughput_rps": single["throughput_rps"],
+        "batch_throughput_rps": batch["throughput_rps"],
+    },
+    "host": single["host"],
+}
+sp95, bp95 = single["overall"]["p95_ms"], batch["overall"]["p95_ms"]
+rep["roundtrip"]["p95_speedup"] = round(sp95 / bp95, 2) if bp95 else None
+json.dump(rep, open(sys.argv[3], "w"), indent=2)
+open(sys.argv[3], "a").write("\n")
+print(f"boot: cold {sys.argv[4]} ms, warm {sys.argv[5]} ms")
+print(f"roundtrip p95: single {sp95:.1f} ms, batch {bp95:.1f} ms per block")
+assert bp95 < sp95, f"batch p95 {bp95} ms does not beat single p95 {sp95} ms"
+EOF
+
+echo "== $out written"

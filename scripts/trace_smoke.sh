@@ -9,13 +9,24 @@
 # file and the access log) and the runtime telemetry on /metrics.
 #
 # Usage: scripts/trace_smoke.sh [port]
+#
+# With CCRP_SMOKE_DIR set, the working directory (daemon log, span and
+# access JSONL) lives under it and is kept for CI failure-artifact
+# upload.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 port=${1:-8643}
 base="http://127.0.0.1:${port}"
-work=$(mktemp -d)
+if [ -n "${CCRP_SMOKE_DIR:-}" ]; then
+	work="$CCRP_SMOKE_DIR/trace_smoke"
+	mkdir -p "$work"
+	keep=1
+else
+	work=$(mktemp -d)
+	keep=
+fi
 
 fail() {
 	echo "trace_smoke: FAILED: $1" >&2
@@ -25,7 +36,9 @@ fail() {
 
 cleanup() {
 	[ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
-	rm -rf "$work"
+	if [ -z "$keep" ]; then
+		rm -rf "$work"
+	fi
 }
 trap cleanup EXIT
 
