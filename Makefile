@@ -2,7 +2,8 @@ GO ?= go
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
 .PHONY: all build test race vet fmt staticcheck check bench trajectory \
-	serve-smoke serve-bench decode-smoke trace-smoke persist-smoke fuzz
+	serve-smoke serve-bench decode-smoke trace-smoke persist-smoke \
+	fleet-smoke fuzz
 
 all: build
 
@@ -61,6 +62,12 @@ trace-smoke:
 # same store, assert zero retrains and byte-identical served output.
 persist-smoke:
 	sh scripts/persist_smoke.sh
+
+# Fleet serving gate: 3 shared-store backends behind ccrp-router,
+# SLO-gated load through the hop, kill -9 one backend mid-run with zero
+# client-visible 5xx, then ring re-stabilization and cross-hop traces.
+fleet-smoke:
+	sh scripts/fleet_smoke.sh
 
 # Short fuzz pass over the decode hardening targets.
 FUZZTIME ?= 10s

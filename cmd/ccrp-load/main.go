@@ -36,6 +36,11 @@
 // Every response's X-Ccrp-Trace-Id is captured, and the report records
 // the trace ids of the slowest request per class, so a -trace'd daemon's
 // span file can be cross-examined with ccrp-spans.
+//
+// When -url points at a ccrp-router gateway, the X-Ccrp-Backend header
+// of every response is tallied and the report gains a "backends" map:
+// the observed per-node distribution of the run's traffic across the
+// fleet (scripts/fleet_smoke.sh asserts on it).
 package main
 
 import (
@@ -55,8 +60,18 @@ import (
 	"time"
 
 	"ccrp/internal/cliutil"
+	"ccrp/internal/cluster"
 	"ccrp/internal/hostinfo"
 	"ccrp/internal/workload"
+)
+
+// backendCounts tallies X-Ccrp-Backend response headers across the run.
+// ccrp-router stamps the header with the node that answered, so a run
+// driven through the gateway reports how the ring spread the traffic;
+// driving a ccrpd directly leaves the tally empty.
+var (
+	backendMu     sync.Mutex
+	backendCounts = map[string]int{}
 )
 
 // opResult is one completed operation (possibly several HTTP requests)
@@ -110,8 +125,11 @@ type report struct {
 	RoundTrips int                   `json:"round_trips_verified"`
 	Overall    classStats            `json:"overall"`
 	Classes    map[string]classStats `json:"classes"`
-	SLO        []sloResult           `json:"slo,omitempty"`
-	Host       hostinfo.Info         `json:"host"`
+	// Backends counts responses per X-Ccrp-Backend node — the observed
+	// per-node distribution when the run goes through ccrp-router.
+	Backends map[string]int `json:"backends,omitempty"`
+	SLO      []sloResult    `json:"slo,omitempty"`
+	Host     hostinfo.Info  `json:"host"`
 }
 
 func main() {
@@ -264,6 +282,10 @@ func main() {
 		rep.Overall.MaxMS = ms(all[len(all)-1])
 	}
 
+	if len(backendCounts) > 0 {
+		rep.Backends = backendCounts
+	}
+
 	sloViolation := evalSLO(sloClauses, &rep, failures)
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -281,6 +303,18 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "ccrp-load: %d requests, %d clients, %.1f req/s, %d 5xx, %d failures\n",
 		rep.Requests, *clients, rep.Throughput, rep.Status5xx, failures)
+	if len(rep.Backends) > 0 {
+		nodes := make([]string, 0, len(rep.Backends))
+		for n := range rep.Backends {
+			nodes = append(nodes, n)
+		}
+		sort.Strings(nodes)
+		parts := make([]string, len(nodes))
+		for i, n := range nodes {
+			parts[i] = fmt.Sprintf("%s=%d", n, rep.Backends[n])
+		}
+		fmt.Fprintf(os.Stderr, "ccrp-load: backend distribution: %s\n", strings.Join(parts, " "))
+	}
 	if sloViolation != "" {
 		fmt.Fprintf(os.Stderr, "ccrp-load: SLO violated: %s\n", sloViolation)
 		os.Exit(1)
@@ -505,6 +539,11 @@ func post(client *http.Client, url string, in, out any) (int, string, error) {
 	}
 	defer resp.Body.Close()
 	tid := resp.Header.Get("X-Ccrp-Trace-Id")
+	if node := resp.Header.Get(cluster.BackendHeader); node != "" {
+		backendMu.Lock()
+		backendCounts[node]++
+		backendMu.Unlock()
+	}
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return resp.StatusCode, tid, err

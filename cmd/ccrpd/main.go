@@ -15,9 +15,10 @@
 // and served without retraining — the serving analogue of the paper's
 // ROMs surviving power cycles.
 //
-// The daemon drains gracefully on SIGINT/SIGTERM: the listener stops
-// accepting, in-flight requests get -drain to finish, then the process
-// exits 0. A second signal aborts immediately.
+// The daemon drains gracefully on SIGINT/SIGTERM: /readyz flips to 503
+// (so a fronting ccrp-router takes the node out of rotation), the
+// listener stops accepting, in-flight requests get -drain to finish,
+// then the process exits 0. A second signal aborts immediately.
 package main
 
 import (
@@ -134,6 +135,9 @@ func main() {
 		os.Exit(1)
 	case <-ctx.Done():
 		stop()
+		// Readiness goes first: a fronting router sees /readyz flip to
+		// 503 and routes around this node while the drain window runs.
+		svc.BeginDrain()
 		fmt.Fprintf(os.Stderr, "ccrpd: signal received, draining for up to %s\n", *drain)
 		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()

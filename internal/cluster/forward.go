@@ -1,0 +1,204 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// BackendHeader names the response header a router stamps with the
+// backend node that served the request, so clients (ccrp-load) can
+// observe per-node distribution without access to router internals.
+const BackendHeader = "X-Ccrp-Backend"
+
+// ForwarderConfig tunes a Forwarder. Zero fields select defaults.
+type ForwarderConfig struct {
+	// Ring supplies each key's failover order. Required.
+	Ring *Ring
+	// Health gates candidate selection and receives forwarding
+	// outcomes. Required.
+	Health *Checker
+	// Client issues the backend requests. nil selects a plain
+	// http.Client; per-attempt deadlines come from Timeout, not the
+	// client.
+	Client *http.Client
+	// Timeout bounds one forwarded attempt; 0 selects 30s.
+	Timeout time.Duration
+	// MaxAttempts bounds the total tries per request across all
+	// candidate nodes; 0 selects 3.
+	MaxAttempts int
+	// Backoff is the delay before the second attempt, doubling per
+	// retry; 0 selects 25ms. The paper's refill engine retries nothing
+	// — but its bus never loses a line; HTTP does.
+	Backoff time.Duration
+}
+
+// Forwarder routes one request to the healthy node owning its key,
+// failing over along the ring's successor order on connection errors
+// and 5xx responses. Retryability relies on the service being
+// idempotent by construction: training is content-addressed, compress
+// and decompress are pure functions of their bodies, so replaying a
+// request against a second node cannot double-apply anything.
+type Forwarder struct {
+	cfg ForwarderConfig
+}
+
+// NewForwarder builds a Forwarder.
+func NewForwarder(cfg ForwarderConfig) *Forwarder {
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 25 * time.Millisecond
+	}
+	return &Forwarder{cfg: cfg}
+}
+
+// Attempt records one forwarding try for logs and spans.
+type Attempt struct {
+	Node   string
+	Status int // 0 on transport error
+	Err    error
+}
+
+// Result is a completed forward: the backend response (body unread;
+// the caller owns closing it) plus attribution.
+type Result struct {
+	Resp     *http.Response
+	Node     string    // node that answered
+	Attempts []Attempt // every try, in order; the last one succeeded
+}
+
+// FailedOver reports whether the answering node was not the first
+// candidate tried.
+func (r *Result) FailedOver() bool { return len(r.Attempts) > 1 }
+
+// Candidates returns the nodes eligible for key in try order: healthy
+// members in ring order. When every node is down the full ring order is
+// returned instead — the checker may be stale, and trying a "down" node
+// beats returning 503 unprobed.
+func (f *Forwarder) Candidates(key string) []string {
+	order := f.cfg.Ring.Order(key)
+	healthy := order[:0:0]
+	for _, n := range order {
+		if f.cfg.Health.Healthy(n) {
+			healthy = append(healthy, n)
+		}
+	}
+	if len(healthy) == 0 {
+		return order
+	}
+	return healthy
+}
+
+// Do forwards one request addressed by key: method and path (plus raw
+// query) against the chosen node, with the given headers and body.
+// Responses below 500 — including the service's typed 4xx errors — are
+// successes from the routing layer's point of view and return
+// immediately; connection errors and 5xx count against the node and
+// fail over. The returned error is non-nil only when every attempt
+// failed at the transport layer; a 5xx from the last candidate is
+// returned as a Result so the client sees the backend's own words.
+func (f *Forwarder) Do(ctx context.Context, key, method, pathAndQuery string, header http.Header, body []byte) (*Result, error) {
+	candidates := f.Candidates(key)
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes for key %q", key)
+	}
+	res := &Result{}
+	var lastErr error
+	var last5xx *http.Response
+	for attempt := 0; attempt < f.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			// Exponential backoff between tries, abandoned the moment
+			// the client's own context expires.
+			delay := f.cfg.Backoff << (attempt - 1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(delay):
+			}
+		}
+		node := candidates[attempt%len(candidates)]
+		resp, err := f.try(ctx, node, method, pathAndQuery, header, body)
+		if err != nil {
+			res.Attempts = append(res.Attempts, Attempt{Node: node, Err: err})
+			f.cfg.Health.ReportFailure(node, err)
+			lastErr = err
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			continue
+		}
+		if resp.StatusCode >= 500 {
+			res.Attempts = append(res.Attempts, Attempt{Node: node, Status: resp.StatusCode})
+			f.cfg.Health.ReportFailure(node, fmt.Errorf("backend %s: %s", node, resp.Status))
+			if last5xx != nil {
+				// Only the most recent 5xx body can still be relayed.
+				last5xx.Body.Close()
+			}
+			last5xx = resp
+			continue
+		}
+		res.Attempts = append(res.Attempts, Attempt{Node: node, Status: resp.StatusCode})
+		res.Resp, res.Node = resp, node
+		f.cfg.Health.ReportSuccess(node)
+		if last5xx != nil {
+			last5xx.Body.Close()
+		}
+		return res, nil
+	}
+	if last5xx != nil {
+		// Every retry budget spent and the best outcome was a 5xx:
+		// hand the backend's response through rather than inventing
+		// our own, so error taxonomies survive the hop.
+		res.Resp = last5xx
+		res.Node = res.Attempts[len(res.Attempts)-1].Node
+		return res, nil
+	}
+	return nil, fmt.Errorf("cluster: all %d attempts failed for key %q: %w",
+		len(res.Attempts), key, lastErr)
+}
+
+// try issues one attempt against one node under the per-attempt
+// deadline.
+func (f *Forwarder) try(ctx context.Context, node, method, pathAndQuery string, header http.Header, body []byte) (*http.Response, error) {
+	actx, cancel := context.WithTimeout(ctx, f.cfg.Timeout)
+	req, err := http.NewRequestWithContext(actx, method, "http://"+node+pathAndQuery, bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	for k, vs := range header {
+		req.Header[k] = vs
+	}
+	resp, err := f.cfg.Client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// Hand the cancel to the body: the caller (or the retry loop's
+	// Close) releases the attempt context when done streaming.
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelBody ties an attempt's context cancellation to its body close.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}

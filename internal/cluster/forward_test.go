@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testBackend is one scripted fleet member.
+type testBackend struct {
+	node string
+	ts   *httptest.Server
+	hits int
+	fail bool // respond 500 when set
+}
+
+// newFleet boots n scripted backends and a forwarder over them. The
+// checker's probe always succeeds so health changes only via passive
+// reports (active probing is covered by the checker tests).
+func newFleet(t *testing.T, n int) ([]*testBackend, *Forwarder, *Checker) {
+	t.Helper()
+	backends := make([]*testBackend, n)
+	nodes := make([]string, n)
+	for i := range backends {
+		b := &testBackend{}
+		b.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			b.hits++
+			if b.fail {
+				http.Error(w, "scripted failure", http.StatusInternalServerError)
+				return
+			}
+			io.WriteString(w, b.node)
+		}))
+		t.Cleanup(b.ts.Close)
+		b.node = strings.TrimPrefix(b.ts.URL, "http://")
+		backends[i] = b
+		nodes[i] = b.node
+	}
+	checker := NewChecker(CheckerConfig{
+		Nodes: nodes,
+		Probe: func(context.Context, string) error { return nil },
+	})
+	fwd := NewForwarder(ForwarderConfig{
+		Ring:    New(0, nodes...),
+		Health:  checker,
+		Backoff: time.Millisecond,
+	})
+	return backends, fwd, checker
+}
+
+func byNode(backends []*testBackend) map[string]*testBackend {
+	m := make(map[string]*testBackend, len(backends))
+	for _, b := range backends {
+		m[b.node] = b
+	}
+	return m
+}
+
+// doKey forwards one GET for key and returns the answering node name
+// from the response body.
+func doKey(t *testing.T, fwd *Forwarder, key string) (*Result, string) {
+	t.Helper()
+	res, err := fwd.Do(context.Background(), key, http.MethodGet, "/v1/thing", nil, nil)
+	if err != nil {
+		t.Fatalf("forward %q: %v", key, err)
+	}
+	body, err := io.ReadAll(res.Resp.Body)
+	res.Resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return res, string(body)
+}
+
+// TestForwardStickiness: the same key lands on the same (owner) node on
+// every request while the fleet is healthy.
+func TestForwardStickiness(t *testing.T) {
+	backends, fwd, _ := newFleet(t, 3)
+	owner := fwd.cfg.Ring.Owner("coder-abc")
+	for i := 0; i < 5; i++ {
+		res, servedBy := doKey(t, fwd, "coder-abc")
+		if servedBy != owner || res.Node != owner {
+			t.Fatalf("request %d served by %s (result says %s), want owner %s", i, servedBy, res.Node, owner)
+		}
+		if res.FailedOver() {
+			t.Fatalf("request %d failed over on a healthy fleet: %+v", i, res.Attempts)
+		}
+	}
+	m := byNode(backends)
+	if m[owner].hits != 5 {
+		t.Errorf("owner took %d hits, want 5", m[owner].hits)
+	}
+}
+
+// TestFailoverOn5xx: a 500 from the owner moves the request to the
+// ring's next node for the same key, reports the failure to the health
+// checker, and the client still sees a 200.
+func TestFailoverOn5xx(t *testing.T) {
+	backends, fwd, checker := newFleet(t, 3)
+	key := "coder-failover"
+	order := fwd.cfg.Ring.Order(key)
+	m := byNode(backends)
+	m[order[0]].fail = true
+
+	res, servedBy := doKey(t, fwd, key)
+	if res.Resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200 after failover", res.Resp.StatusCode)
+	}
+	if servedBy != order[1] {
+		t.Fatalf("served by %s, want the ring successor %s (order %v)", servedBy, order[1], order)
+	}
+	if !res.FailedOver() || len(res.Attempts) != 2 {
+		t.Fatalf("attempts = %+v, want owner 5xx then successor 200", res.Attempts)
+	}
+	if res.Attempts[0].Status != http.StatusInternalServerError {
+		t.Errorf("first attempt status = %d, want 500", res.Attempts[0].Status)
+	}
+	// The failure fed the health state machine.
+	snap := checker.Snapshot()
+	for _, st := range snap {
+		if st.Node == order[0] && st.ConsecFail != 1 {
+			t.Errorf("owner consecutive failures = %d, want 1", st.ConsecFail)
+		}
+	}
+}
+
+// TestFailoverOnConnectionError: a dead listener (the kill -9 case)
+// fails over to the next healthy node, and after FailThreshold such
+// failures the node is ejected so later requests skip it entirely.
+func TestFailoverOnConnectionError(t *testing.T) {
+	backends, fwd, checker := newFleet(t, 3)
+	key := "coder-dead-node"
+	order := fwd.cfg.Ring.Order(key)
+	m := byNode(backends)
+	m[order[0]].ts.Close() // kill the owner
+
+	for i := 0; i < 3; i++ {
+		res, servedBy := doKey(t, fwd, key)
+		if servedBy != order[1] {
+			t.Fatalf("request %d served by %s, want %s", i, servedBy, order[1])
+		}
+		if !res.FailedOver() {
+			t.Fatalf("request %d did not record the failover", i)
+		}
+	}
+	if checker.Healthy(order[0]) {
+		t.Fatal("dead node still healthy after 3 connection failures")
+	}
+	// Ejected: the next request goes straight to the successor, no
+	// failed attempt first.
+	res, servedBy := doKey(t, fwd, key)
+	if servedBy != order[1] || res.FailedOver() {
+		t.Fatalf("post-ejection request: served by %s, attempts %+v; want direct hit on %s",
+			servedBy, res.Attempts, order[1])
+	}
+}
+
+// TestAllNodes5xx: when every candidate answers 5xx the client receives
+// the backend's own last 5xx response, not a synthesized gateway error.
+func TestAllNodes5xx(t *testing.T) {
+	backends, fwd, _ := newFleet(t, 2)
+	for _, b := range backends {
+		b.fail = true
+	}
+	res, err := fwd.Do(context.Background(), "k", http.MethodGet, "/v1/thing", nil, nil)
+	if err != nil {
+		t.Fatalf("Do: %v (a relayed 5xx is not a transport error)", err)
+	}
+	defer res.Resp.Body.Close()
+	if res.Resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want the backend's 500", res.Resp.StatusCode)
+	}
+	if len(res.Attempts) != 3 {
+		t.Errorf("attempts = %d, want MaxAttempts (3)", len(res.Attempts))
+	}
+}
+
+// TestCandidatesHealthFilter: unhealthy nodes drop out of the try
+// order; with the whole fleet down the full ring order returns as a
+// last resort.
+func TestCandidatesHealthFilter(t *testing.T) {
+	_, fwd, checker := newFleet(t, 3)
+	key := "coder-xyz"
+	order := fwd.cfg.Ring.Order(key)
+
+	for i := 0; i < 3; i++ {
+		checker.ReportFailure(order[0], context.DeadlineExceeded)
+	}
+	cands := fwd.Candidates(key)
+	if len(cands) != 2 || cands[0] != order[1] {
+		t.Fatalf("candidates = %v, want %v without the down owner", cands, order[1:])
+	}
+
+	for _, n := range order[1:] {
+		for i := 0; i < 3; i++ {
+			checker.ReportFailure(n, context.DeadlineExceeded)
+		}
+	}
+	cands = fwd.Candidates(key)
+	if len(cands) != 3 {
+		t.Fatalf("all-down candidates = %v, want the full ring order %v", cands, order)
+	}
+}
+
+// TestForwardPropagatesHeadersAndBody: the forwarded request carries
+// the caller's headers (the trace hop) and body bytes verbatim.
+func TestForwardPropagatesHeadersAndBody(t *testing.T) {
+	var gotTrace, gotBody string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotTrace = r.Header.Get("X-Ccrp-Trace-Id")
+		b, _ := io.ReadAll(r.Body)
+		gotBody = string(b)
+	}))
+	defer ts.Close()
+	node := strings.TrimPrefix(ts.URL, "http://")
+	checker := NewChecker(CheckerConfig{Nodes: []string{node},
+		Probe: func(context.Context, string) error { return nil }})
+	fwd := NewForwarder(ForwarderConfig{Ring: New(0, node), Health: checker})
+
+	hdr := http.Header{}
+	hdr.Set("X-Ccrp-Trace-Id", "0123456789abcdef0123456789abcdef")
+	res, err := fwd.Do(context.Background(), "k", http.MethodPost, "/v1/compress?x=1", hdr, []byte(`{"a":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Resp.Body.Close()
+	if gotTrace != "0123456789abcdef0123456789abcdef" {
+		t.Errorf("trace header = %q, want propagated id", gotTrace)
+	}
+	if gotBody != `{"a":1}` {
+		t.Errorf("body = %q, want forwarded verbatim", gotBody)
+	}
+}

@@ -1,0 +1,250 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// CheckerConfig tunes a Checker. The zero value of every field selects
+// a production default.
+type CheckerConfig struct {
+	// Nodes is the fleet membership (host:port per node). Required.
+	Nodes []string
+	// Interval between active probe rounds; 0 selects 500ms.
+	Interval time.Duration
+	// Timeout bounds one probe; 0 selects 2s.
+	Timeout time.Duration
+	// FailThreshold is the consecutive-failure count that marks an up
+	// node down; 0 selects 3.
+	FailThreshold int
+	// RecoverThreshold is the consecutive active-probe success count
+	// that marks a down node up again; 0 selects 2.
+	RecoverThreshold int
+	// Probe checks one node, returning nil when it is ready to serve.
+	// nil selects the HTTP default: GET http://node/readyz must answer
+	// 200 within Timeout, so a draining ccrpd (readyz 503) leaves the
+	// rotation before its listener closes.
+	Probe func(ctx context.Context, node string) error
+	// OnTransition, when set, is called on every up/down flip (not for
+	// the initial states). Called from Run's goroutine and from
+	// ReportFailure callers; must not block.
+	OnTransition func(node string, up bool)
+}
+
+// nodeHealth is one node's state machine. Nodes start up — the fleet is
+// presumed serving at boot, and the first probe round corrects any
+// optimism within one Interval.
+type nodeHealth struct {
+	up         bool
+	consecFail int // probe or forward failures since the last success
+	consecOK   int // active-probe successes since the last failure
+	lastErr    string
+	lastProbe  time.Time
+	flips      int // up/down transitions since boot
+}
+
+// NodeStatus is the exported snapshot of one node's health.
+type NodeStatus struct {
+	Node       string    `json:"node"`
+	Up         bool      `json:"up"`
+	ConsecFail int       `json:"consecutive_failures,omitempty"`
+	LastErr    string    `json:"last_error,omitempty"`
+	LastProbe  time.Time `json:"last_probe,omitempty"`
+	Flips      int       `json:"transitions,omitempty"`
+}
+
+// Checker tracks per-node up/down state from two signals: active
+// readiness probes on a fixed interval, and passive failure reports
+// from the forwarding path. Passive reports share the consecutive-
+// failure counter, so a kill -9'd backend is ejected after
+// FailThreshold failed forwards without waiting out a probe round;
+// recovery, by contrast, requires RecoverThreshold consecutive *active*
+// probe successes, so a flapping node must prove itself before taking
+// traffic again.
+type Checker struct {
+	cfg CheckerConfig
+
+	mu    sync.Mutex
+	state map[string]*nodeHealth
+}
+
+// NewChecker builds a checker with every node initially up. Call Run to
+// start active probing.
+func NewChecker(cfg CheckerConfig) *Checker {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.RecoverThreshold <= 0 {
+		cfg.RecoverThreshold = 2
+	}
+	if cfg.Probe == nil {
+		client := &http.Client{Timeout: cfg.Timeout}
+		cfg.Probe = func(ctx context.Context, node string) error {
+			return httpProbe(ctx, client, node)
+		}
+	}
+	c := &Checker{cfg: cfg, state: make(map[string]*nodeHealth, len(cfg.Nodes))}
+	for _, n := range cfg.Nodes {
+		c.state[n] = &nodeHealth{up: true}
+	}
+	return c
+}
+
+// httpProbe is the default readiness probe.
+func httpProbe(ctx context.Context, client *http.Client, node string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+node+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("readyz: %s", resp.Status)
+	}
+	return nil
+}
+
+// Run probes every node each Interval until ctx is done. One round
+// probes nodes sequentially — fleets are small and probes cheap; a
+// hung node costs at most Timeout per round.
+func (c *Checker) Run(ctx context.Context) {
+	ticker := time.NewTicker(c.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		c.ProbeRound(ctx)
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
+}
+
+// ProbeRound actively probes every node once (exported so tests and the
+// router's startup can force a round without waiting an interval).
+func (c *Checker) ProbeRound(ctx context.Context) {
+	for _, node := range c.cfg.Nodes {
+		if ctx.Err() != nil {
+			return
+		}
+		pctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+		err := c.cfg.Probe(pctx, node)
+		cancel()
+		if err != nil {
+			c.reportFailure(node, err, true)
+		} else {
+			c.reportSuccess(node, true)
+		}
+	}
+}
+
+// ReportFailure feeds a forwarding failure (connect error or 5xx) into
+// the node's state machine.
+func (c *Checker) ReportFailure(node string, err error) { c.reportFailure(node, err, false) }
+
+// ReportSuccess feeds a successful forward into the node's state
+// machine: it clears the failure streak but does not count toward
+// recovery (only active probes do).
+func (c *Checker) ReportSuccess(node string) { c.reportSuccess(node, false) }
+
+func (c *Checker) reportFailure(node string, err error, probed bool) {
+	c.mu.Lock()
+	st, ok := c.state[node]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	st.consecFail++
+	st.consecOK = 0
+	if err != nil {
+		st.lastErr = err.Error()
+	}
+	if probed {
+		st.lastProbe = time.Now()
+	}
+	flipped := st.up && st.consecFail >= c.cfg.FailThreshold
+	if flipped {
+		st.up = false
+		st.flips++
+	}
+	c.mu.Unlock()
+	if flipped && c.cfg.OnTransition != nil {
+		c.cfg.OnTransition(node, false)
+	}
+}
+
+func (c *Checker) reportSuccess(node string, probed bool) {
+	c.mu.Lock()
+	st, ok := c.state[node]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	st.consecFail = 0
+	if probed {
+		st.consecOK++
+		st.lastProbe = time.Now()
+		st.lastErr = ""
+	}
+	flipped := !st.up && probed && st.consecOK >= c.cfg.RecoverThreshold
+	if flipped {
+		st.up = true
+		st.flips++
+	}
+	c.mu.Unlock()
+	if flipped && c.cfg.OnTransition != nil {
+		c.cfg.OnTransition(node, true)
+	}
+}
+
+// Healthy reports whether the node is currently up. Unknown nodes are
+// unhealthy.
+func (c *Checker) Healthy(node string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.state[node]
+	return ok && st.up
+}
+
+// UpCount returns how many nodes are currently up.
+func (c *Checker) UpCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, st := range c.state {
+		if st.up {
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns every node's status in membership order.
+func (c *Checker) Snapshot() []NodeStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeStatus, 0, len(c.cfg.Nodes))
+	for _, node := range c.cfg.Nodes {
+		st := c.state[node]
+		out = append(out, NodeStatus{
+			Node: node, Up: st.up,
+			ConsecFail: st.consecFail,
+			LastErr:    st.lastErr,
+			LastProbe:  st.lastProbe,
+			Flips:      st.flips,
+		})
+	}
+	return out
+}

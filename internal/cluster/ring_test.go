@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys generates n synthetic coder-id-shaped keys.
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("coder-%064d", i)
+	}
+	return out
+}
+
+// TestRingDeterminism pins the routing contract: the same membership
+// yields the same assignment regardless of construction order, across
+// fresh rings, and Order always starts at Owner.
+func TestRingDeterminism(t *testing.T) {
+	a := New(0, "n1:8642", "n2:8642", "n3:8642")
+	b := New(0, "n3:8642", "n1:8642", "n2:8642") // different insertion order
+	c := New(0)
+	c.Add("n2:8642")
+	c.Add("n3:8642")
+	c.Add("n1:8642")
+
+	for _, k := range keys(500) {
+		owner := a.Owner(k)
+		if got := b.Owner(k); got != owner {
+			t.Fatalf("key %s: owner differs across insertion orders: %s vs %s", k, owner, got)
+		}
+		if got := c.Owner(k); got != owner {
+			t.Fatalf("key %s: owner differs across incremental build: %s vs %s", k, owner, got)
+		}
+		order := a.Order(k)
+		if len(order) != 3 {
+			t.Fatalf("key %s: Order returned %d nodes, want 3", k, len(order))
+		}
+		if order[0] != owner {
+			t.Fatalf("key %s: Order[0] = %s, Owner = %s", k, order[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, n := range order {
+			if seen[n] {
+				t.Fatalf("key %s: Order repeats node %s", k, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+// TestRingDistribution asserts the virtual nodes spread keys within a
+// reasonable band of uniform: no node of a 4-node ring owns less than
+// half or more than double its fair share over 4000 keys.
+func TestRingDistribution(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := New(0, nodes...)
+	counts := map[string]int{}
+	ks := keys(4000)
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	fair := len(ks) / len(nodes)
+	for _, n := range nodes {
+		got := counts[n]
+		if got < fair/2 || got > fair*2 {
+			t.Errorf("node %s owns %d of %d keys (fair share %d): distribution too skewed (%v)",
+				n, got, len(ks), fair, counts)
+		}
+	}
+}
+
+// TestRingBoundedMovement is the consistent-hashing property itself:
+// adding a node to an N-node ring moves roughly 1/(N+1) of the keys —
+// all of them onto the new node — and leaves every other assignment
+// untouched; removing it restores the original assignment exactly.
+func TestRingBoundedMovement(t *testing.T) {
+	base := []string{"a:1", "b:1", "c:1"}
+	r := New(0, base...)
+	ks := keys(4000)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k] = r.Owner(k)
+	}
+
+	r.Add("d:1")
+	moved := 0
+	for _, k := range ks {
+		after := r.Owner(k)
+		if after != before[k] {
+			moved++
+			if after != "d:1" {
+				t.Fatalf("key %s moved %s -> %s: keys may only move onto the joining node",
+					k, before[k], after)
+			}
+		}
+	}
+	// Expected movement is 1/4 of keys; allow a 2x band around it.
+	want := len(ks) / 4
+	if moved < want/2 || moved > want*2 {
+		t.Errorf("adding a 4th node moved %d of %d keys, want ~%d (1/N bound violated)",
+			moved, len(ks), want)
+	}
+
+	r.Remove("d:1")
+	for _, k := range ks {
+		if got := r.Owner(k); got != before[k] {
+			t.Fatalf("key %s: owner %s after leave, want original %s", k, got, before[k])
+		}
+	}
+}
+
+// TestRingEdgeCases covers the degenerate memberships the router can
+// still be configured with.
+func TestRingEdgeCases(t *testing.T) {
+	empty := New(0)
+	if got := empty.Owner("k"); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+	if got := empty.Order("k"); got != nil {
+		t.Errorf("empty ring order = %v, want nil", got)
+	}
+
+	one := New(0, "solo:1")
+	for _, k := range keys(10) {
+		if got := one.Owner(k); got != "solo:1" {
+			t.Errorf("single-node ring owner = %q", got)
+		}
+	}
+
+	// Duplicate adds and absent removes are no-ops.
+	r := New(0, "a:1", "a:1", "b:1")
+	if r.Len() != 2 {
+		t.Errorf("ring len = %d after duplicate add, want 2", r.Len())
+	}
+	r.Remove("nope:1")
+	if r.Len() != 2 {
+		t.Errorf("ring len = %d after absent remove, want 2", r.Len())
+	}
+}

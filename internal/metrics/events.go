@@ -48,6 +48,7 @@ type Event struct {
 	DurUS  uint64 `json:"dur_us,omitempty"` // handler wall time in microseconds
 	Err    string `json:"err,omitempty"`    // API error code for non-2xx responses
 	Trace  string `json:"trace,omitempty"`  // request trace id (matches X-Ccrp-Trace-Id and span records)
+	Node   string `json:"node,omitempty"`   // backend that served the request (ccrp-router access logs)
 }
 
 // EventSink consumes simulator events. Implementations need not be

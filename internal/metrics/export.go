@@ -60,6 +60,11 @@ func (r *Registry) WriteTable(w io.Writer) error {
 				t.AddRow(fmt.Sprintf("%s{%s=%s}", in.name, in.vec.label, lv),
 					"counter", fmt.Sprintf("%d", in.vec.index[lv].Value()), in.help)
 			}
+		case kindGaugeVec:
+			for _, lv := range in.gvec.labels() {
+				t.AddRow(fmt.Sprintf("%s{%s=%s}", in.name, in.gvec.label, lv),
+					"gauge", fmt.Sprintf("%g", in.gvec.index[lv].Value()), in.help)
+			}
 		}
 	}
 	t.Render(w)
@@ -76,6 +81,8 @@ type jsonMetric struct {
 	Sum     *float64          `json:"sum,omitempty"`
 	Buckets []jsonBucket      `json:"buckets,omitempty"`
 	Labels  map[string]uint64 `json:"labels,omitempty"`
+	// GaugeLabels carries GaugeVec children, whose values are floats.
+	GaugeLabels map[string]float64 `json:"gauge_labels,omitempty"`
 }
 
 type jsonBucket struct {
@@ -114,6 +121,12 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			for lv, c := range in.vec.index {
 				m.Labels[in.vec.label+"="+lv] = c.Value()
 			}
+		case kindGaugeVec:
+			m.Type = "gauge"
+			m.GaugeLabels = make(map[string]float64, len(in.gvec.index))
+			for lv, g := range in.gvec.index {
+				m.GaugeLabels[in.gvec.label+"="+lv] = g.Value()
+			}
 		}
 		out = append(out, m)
 	}
@@ -145,6 +158,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		typ := map[kind]string{
 			kindCounter: "counter", kindGauge: "gauge",
 			kindHistogram: "histogram", kindCounterVec: "counter",
+			kindGaugeVec: "gauge",
 		}[in.kind]
 		if in.help != "" {
 			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", in.name, helpEscaper.Replace(in.help)); err != nil {
@@ -172,6 +186,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			for _, lv := range in.vec.labels() {
 				fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", in.name, in.vec.label,
 					labelEscaper.Replace(lv), in.vec.index[lv].Value())
+			}
+		case kindGaugeVec:
+			for _, lv := range in.gvec.labels() {
+				fmt.Fprintf(w, "%s{%s=\"%s\"} %g\n", in.name, in.gvec.label,
+					labelEscaper.Replace(lv), in.gvec.index[lv].Value())
 			}
 		}
 	}

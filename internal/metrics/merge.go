@@ -45,6 +45,11 @@ func (r *Registry) Merge(src *Registry) {
 			for _, lv := range in.vec.order {
 				vec.With(lv).Add(in.vec.index[lv].Value())
 			}
+		case kindGaugeVec:
+			vec := r.GaugeVec(in.name, in.help, in.gvec.label)
+			for _, lv := range in.gvec.order {
+				vec.With(lv).Set(in.gvec.index[lv].Value())
+			}
 		}
 	}
 }

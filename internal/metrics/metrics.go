@@ -203,6 +203,51 @@ func (v *CounterVec) labels() []string {
 	return out
 }
 
+// GaugeVec is a family of gauges distinguished by one label (e.g.
+// per-backend up/down state labelled by node address). Children are
+// created on first use and exported in label-sorted order.
+type GaugeVec struct {
+	label    string
+	index    map[string]*Gauge
+	order    []string
+	numLabel bool // every label value so far parsed as an integer
+}
+
+// With returns the child gauge for the label value, creating it if
+// needed. It returns nil (a no-op gauge) on a nil receiver, so callers
+// may cache children unconditionally.
+func (v *GaugeVec) With(value string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	if g, ok := v.index[value]; ok {
+		return g
+	}
+	g := &Gauge{}
+	v.index[value] = g
+	v.order = append(v.order, value)
+	if _, err := strconv.Atoi(value); err != nil {
+		v.numLabel = false
+	}
+	return g
+}
+
+// labels returns the label values, numerically sorted when every value is
+// an integer, lexically otherwise.
+func (v *GaugeVec) labels() []string {
+	out := append([]string(nil), v.order...)
+	if v.numLabel {
+		sort.Slice(out, func(i, j int) bool {
+			a, _ := strconv.Atoi(out[i])
+			b, _ := strconv.Atoi(out[j])
+			return a < b
+		})
+	} else {
+		sort.Strings(out)
+	}
+	return out
+}
+
 // kind discriminates registered instruments for export.
 type kind uint8
 
@@ -211,6 +256,7 @@ const (
 	kindGauge
 	kindHistogram
 	kindCounterVec
+	kindGaugeVec
 )
 
 type instrument struct {
@@ -221,6 +267,7 @@ type instrument struct {
 	g    *Gauge
 	h    *Histogram
 	vec  *CounterVec
+	gvec *GaugeVec
 }
 
 // Registry holds a named set of instruments. The zero Registry is not
@@ -301,6 +348,16 @@ func (r *Registry) CounterVec(name, help, label string) *CounterVec {
 	return r.lookup(name, help, kindCounterVec, func() *instrument {
 		return &instrument{vec: &CounterVec{label: label, index: make(map[string]*Counter), numLabel: true}}
 	}).vec
+}
+
+// GaugeVec returns the named gauge family keyed by label.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, kindGaugeVec, func() *instrument {
+		return &instrument{gvec: &GaugeVec{label: label, index: make(map[string]*Gauge), numLabel: true}}
+	}).gvec
 }
 
 // snapshot returns the registered instruments in registration order.

@@ -5,6 +5,8 @@ import (
 	"encoding/base64"
 	"net/http"
 	"testing"
+
+	"ccrp/internal/tracing"
 )
 
 // TestCompressBatchIsolatesItemFailures is the batch contract: one bad
@@ -148,4 +150,102 @@ func TestBatchRequestLevelErrors(t *testing.T) {
 		resp, body := postJSON(t, ts.URL+"/v1/decompress:batch", req)
 		wantError(t, resp, body, http.StatusBadRequest, CodeBadRequest)
 	})
+}
+
+// TestBatchItemSpans pins the per-item tracing contract: a mixed batch
+// emits one batch_item span per item under the request root, each
+// carrying its item index, with the failed item's span errored and the
+// survivors' spans clean — so ccrp-spans can attribute cost and blame
+// inside a batch, not just per request.
+func TestBatchItemSpans(t *testing.T) {
+	sink := &memSink{}
+	tracer := tracing.New(tracing.Config{Sink: sink})
+	_, ts := newTestServer(t, Config{Tracer: tracer})
+	id := trainPreselected(t, ts.URL)
+
+	req := compressBatchRequest{
+		CoderID: id,
+		Items: []compressBatchItem{
+			{Workload: "eightq"},
+			{Workload: "no-such-workload"}, // item 1 fails
+			{Workload: "eightq"},
+		},
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/compress:batch", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d %s", resp.StatusCode, body)
+	}
+	out := decodeAs[compressBatchResponse](t, body)
+	if out.Errors != 1 {
+		t.Fatalf("batch errors = %d, want 1", out.Errors)
+	}
+	tid := resp.Header.Get(TraceHeader)
+	if tid == "" {
+		t.Fatal("batch response carries no trace id")
+	}
+
+	var root tracing.Record
+	items := map[int64]tracing.Record{}
+	children := map[string]int{} // stage children hung off batch_item spans
+	recs := sink.records()
+	spans := map[string]tracing.Record{}
+	for _, rec := range recs {
+		spans[rec.Span] = rec
+	}
+	for _, rec := range recs {
+		if rec.Trace != tid {
+			continue
+		}
+		switch rec.Stage {
+		case StageRequest:
+			root = rec
+		case StageBatchItem:
+			idx, ok := rec.Attrs["item"]
+			if !ok {
+				t.Fatalf("batch_item span %s has no item attr: %+v", rec.Span, rec.Attrs)
+			}
+			// JSON-decoded attrs arrive as float64; in-memory as int64.
+			switch v := idx.(type) {
+			case int64:
+				items[v] = rec
+			case float64:
+				items[int64(v)] = rec
+			default:
+				t.Fatalf("item attr has type %T", idx)
+			}
+		default:
+			if p, ok := spans[rec.Parent]; ok && p.Stage == StageBatchItem {
+				children[rec.Stage]++
+			}
+		}
+	}
+	if root.Span == "" {
+		t.Fatalf("no request root span in trace %s", tid)
+	}
+	if len(items) != 3 {
+		t.Fatalf("got %d batch_item spans, want one per item (3)", len(items))
+	}
+	for i := int64(0); i < 3; i++ {
+		rec, ok := items[i]
+		if !ok {
+			t.Fatalf("no batch_item span for item %d", i)
+		}
+		if rec.Parent != root.Span {
+			t.Errorf("item %d span hangs off %q, want the request root %q", i, rec.Parent, root.Span)
+		}
+		if i == 1 {
+			if rec.Err == "" {
+				t.Error("failed item's span carries no error")
+			}
+		} else if rec.Err != "" {
+			t.Errorf("item %d span unexpectedly errored: %s", i, rec.Err)
+		}
+	}
+	// The successful items decompose into the same stage vocabulary as
+	// single requests — text resolution and compression under the item.
+	for _, stage := range []string{StageText, StageCompress} {
+		if children[stage] == 0 {
+			t.Errorf("no %s child spans under batch_item spans (children: %v)", stage, children)
+		}
+	}
 }

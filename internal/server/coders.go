@@ -182,33 +182,44 @@ func buildCoder(id, kind string, bound int, corpus [][]byte) (*coderEntry, error
 	return e, nil
 }
 
-func (s *Server) handleTrainCoder(w http.ResponseWriter, r *http.Request) error {
-	var req trainRequest
-	if err := decodeRequest(r, &req); err != nil {
-		return err
-	}
+// normalizeTrain validates a train request, resolves its corpus, and
+// derives the content-addressed cache key and public coder id. Shared
+// by the train handler and the router's route-key derivation, so the
+// gateway and the backend agree byte-for-byte on which node owns the
+// coder a train request will produce.
+func normalizeTrain(req *trainRequest) (key, id string, corpus [][]byte, err error) {
 	if req.Kind == "" {
-		return errBadRequest("missing coder kind")
+		return "", "", nil, errBadRequest("missing coder kind")
 	}
 	if req.Bound == 0 {
 		req.Bound = experiments.HuffmanBound
 	}
 	if req.Bound < 1 || req.Bound > 64 {
-		return errBadRequest("bound %d outside [1, 64]", req.Bound)
+		return "", "", nil, errBadRequest("bound %d outside [1, 64]", req.Bound)
 	}
 	if req.Kind != KindBounded {
 		req.Bound = 0 // bound is a bounded-only knob; normalize the key
 	}
-	corpus, err := gatherCorpus(&req)
+	corpus, err = gatherCorpus(req)
+	if err != nil {
+		return "", "", nil, err
+	}
+	if len(corpus) == 0 && req.Kind != KindPreselected {
+		return "", "", nil, errBadRequest("training a %q coder requires corpus_b64 or workloads", req.Kind)
+	}
+	key = coderKey(req.Kind, req.Bound, corpus)
+	return key, sweep.HashBytes([]byte(key)), corpus, nil
+}
+
+func (s *Server) handleTrainCoder(w http.ResponseWriter, r *http.Request) error {
+	var req trainRequest
+	if err := decodeRequest(r, &req); err != nil {
+		return err
+	}
+	key, id, corpus, err := normalizeTrain(&req)
 	if err != nil {
 		return err
 	}
-	if len(corpus) == 0 && req.Kind != KindPreselected {
-		return errBadRequest("training a %q coder requires corpus_b64 or workloads", req.Kind)
-	}
-
-	key := coderKey(req.Kind, req.Bound, corpus)
-	id := sweep.HashBytes([]byte(key))
 
 	s.codersMu.Lock()
 	_, cached := s.coders[id]
@@ -273,12 +284,20 @@ func (s *Server) coderByID(id string) (*coderEntry, error) {
 }
 
 // resolveCoder is coderByID under a coder_resolve span, the instrumented
-// path the request handlers share.
+// path the request handlers share. A registry miss falls back to the
+// disk store before 404ing: when fleet members share a store, a coder
+// trained through one node resolves on any peer — which is what lets a
+// router fail a coder's traffic over to the ring successor without the
+// client ever seeing "unknown coder".
 func (s *Server) resolveCoder(ctx context.Context, id string) (*coderEntry, error) {
 	sp := tracing.FromContext(ctx).Child(StageCoderGet)
 	defer sp.End()
 	entry, err := s.coderByID(id)
 	if err != nil {
+		if restored, ok := s.coderFromStore(id); ok {
+			sp.SetAttrInt("store_restored", 1)
+			return restored, nil
+		}
 		sp.SetError(err)
 	}
 	return entry, err

@@ -1,0 +1,75 @@
+// Route-key derivation for the cluster layer: given a request the
+// gateway is about to forward, which consistent-hash key should pick
+// the backend? The answer is the coder id whenever the request names or
+// produces one — that is the whole point of the fleet, requests follow
+// the trained artifacts — and a stable content hash otherwise. The
+// logic lives in this package, next to the API shapes it parses, so the
+// router cannot drift from the backend's own id derivation.
+package server
+
+import (
+	"encoding/json"
+	"strings"
+
+	"ccrp/internal/sweep"
+)
+
+// Route-key kinds reported by RouteKey, for router metrics and logs.
+const (
+	RouteKeyCoder = "coder" // key is a coder id (explicit or derived)
+	RouteKeyHash  = "hash"  // no coder affinity; key is a body hash
+)
+
+// routeKeyBody is the loose superset of request shapes RouteKey peeks
+// at: a top-level coder_id (compress, decompress, compress:batch) or a
+// per-item one (decompress:batch).
+type routeKeyBody struct {
+	CoderID string `json:"coder_id"`
+	Items   []struct {
+		CoderID string `json:"coder_id"`
+	} `json:"items"`
+}
+
+// RouteKey derives the cluster routing key for one API request. body
+// may be nil for bodyless requests.
+//
+//   - POST /v1/coders: the key is the coder id the request will train —
+//     computed with the exact normalization the train handler applies —
+//     so a coder is built on the node that will later serve it.
+//   - GET /v1/coders/{id}: the id from the path.
+//   - compress / decompress and their :batch variants: the coder_id
+//     named in the body (first item's for decompress:batch, whose items
+//     in practice share one coder).
+//   - Everything else (simulate, self-describing rom_b64 decompression,
+//     malformed bodies): a hash of path+body, spreading keyless traffic
+//     across the fleet while keeping identical requests on one node so
+//     per-node caches still help.
+//
+// RouteKey never fails: a request the backend will reject still routes
+// somewhere, and the backend's own validation produces the client's
+// error.
+func RouteKey(method, path string, body []byte) (key, kind string) {
+	if id, ok := strings.CutPrefix(path, "/v1/coders/"); ok && id != "" && !strings.Contains(id, "/") {
+		return id, RouteKeyCoder
+	}
+	switch path {
+	case "/v1/coders":
+		var req trainRequest
+		if err := json.Unmarshal(body, &req); err == nil {
+			if _, id, _, err := normalizeTrain(&req); err == nil {
+				return id, RouteKeyCoder
+			}
+		}
+	case "/v1/compress", "/v1/decompress", "/v1/compress:batch", "/v1/decompress:batch":
+		var req routeKeyBody
+		if err := json.Unmarshal(body, &req); err == nil {
+			if req.CoderID != "" {
+				return req.CoderID, RouteKeyCoder
+			}
+			if len(req.Items) > 0 && req.Items[0].CoderID != "" {
+				return req.Items[0].CoderID, RouteKeyCoder
+			}
+		}
+	}
+	return sweep.HashBytes(append([]byte(path+"\x00"), body...)), RouteKeyHash
+}

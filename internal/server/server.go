@@ -155,6 +155,7 @@ type Server struct {
 	accessMu sync.Mutex // serializes AccessLog.Emit
 	reqSeq   atomic.Uint64
 	inflight atomic.Int64
+	draining atomic.Bool // set by BeginDrain; flips /readyz to 503
 }
 
 // serverMetrics caches the instrument handles so the hot path does one
@@ -181,6 +182,7 @@ type serverMetrics struct {
 	storeWrites     *metrics.Counter // freshly built artifacts persisted
 	storeCorrupt    *metrics.Counter // stored artifacts rejected by verification
 	storeWarmCoders *metrics.Gauge   // coders registered by the boot warm start
+	storeBytes      *metrics.Gauge   // payload bytes resident in the disk store
 
 	batchItems      *metrics.Counter // items processed across :batch requests
 	batchItemErrors *metrics.Counter // items that failed inside a :batch request
@@ -225,6 +227,7 @@ func New(cfg Config) *Server {
 		storeWrites:     s.registry.Counter("ccrpd_store_writes_total", "freshly built artifacts persisted to the store"),
 		storeCorrupt:    s.registry.Counter("ccrpd_store_corrupt_total", "stored artifacts rejected by verification"),
 		storeWarmCoders: s.registry.Gauge("ccrpd_store_warm_coders", "coders registered by the boot warm start"),
+		storeBytes:      s.registry.Gauge("ccrpd_store_bytes", "artifact payload bytes resident in the disk store"),
 
 		batchItems:      s.registry.Counter("ccrpd_batch_items_total", "items processed across batch requests"),
 		batchItemErrors: s.registry.Counter("ccrpd_batch_item_errors_total", "batch items that failed"),
@@ -240,7 +243,9 @@ func New(cfg Config) *Server {
 	s.route("POST /v1/compress:batch", cfg.CompressTimeout, s.handleCompressBatch)
 	s.route("POST /v1/decompress:batch", cfg.CompressTimeout, s.handleDecompressBatch)
 	s.route("POST /v1/simulate", cfg.SimulateTimeout, s.handleSimulate)
+	s.route("GET /v1/artifacts", 5*time.Second, s.handleArtifacts)
 	s.route("GET /healthz", 5*time.Second, s.handleHealthz)
+	s.route("GET /readyz", 5*time.Second, s.handleReadyz)
 	s.route("GET /metrics", 5*time.Second, s.handleMetrics)
 	s.route("GET /debug/traces", 5*time.Second, s.handleTraces)
 
@@ -335,7 +340,15 @@ func (s *Server) middleware(routeName string, timeout time.Duration, h handlerFu
 		sw := &statusWriter{ResponseWriter: w}
 		s.inflight.Add(1)
 
-		tid := tracing.NewTraceID()
+		// Adopt a well-formed inbound trace id (the ccrp-router hop) so
+		// gateway and backend stages stitch into one trace; anything
+		// malformed — wrong length, non-hex, the invalid zero id — is
+		// ignored and a fresh id generated, so a hostile or buggy client
+		// cannot poison trace correlation.
+		tid := inboundTraceID(r)
+		if tid.IsZero() {
+			tid = tracing.NewTraceID()
+		}
 		// Set before the handler runs: headers freeze at WriteHeader.
 		sw.Header().Set(TraceHeader, tid.String())
 		span := s.tracer.StartTrace(tid, StageRequest)
@@ -400,6 +413,21 @@ func (s *Server) middleware(routeName string, timeout time.Duration, h handlerFu
 	})
 }
 
+// inboundTraceID extracts a valid trace id from the request header, or
+// the zero id when the header is absent or malformed. Only the
+// 32-hex-digit 128-bit form the stack itself emits is accepted.
+func inboundTraceID(r *http.Request) tracing.TraceID {
+	raw := r.Header.Get(TraceHeader)
+	if raw == "" {
+		return tracing.TraceID{}
+	}
+	tid, err := tracing.ParseTraceID(raw)
+	if err != nil {
+		return tracing.TraceID{}
+	}
+	return tid
+}
+
 // healthzBody is the /healthz response shape.
 type healthzBody struct {
 	Status        string        `json:"status"`
@@ -409,6 +437,7 @@ type healthzBody struct {
 	Coders        int           `json:"coders"`
 	SimWorkers    int           `json:"sim_workers"`
 	Inflight      int64         `json:"inflight"`
+	Draining      bool          `json:"draining,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
@@ -423,12 +452,42 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 		Coders:        n,
 		SimWorkers:    s.cfg.SimWorkers,
 		Inflight:      s.inflight.Load(),
+		Draining:      s.draining.Load(),
 	})
+	return nil
+}
+
+// BeginDrain flips /readyz to 503. cmd/ccrpd calls it on the first
+// SIGTERM/SIGINT, before http.Server.Shutdown: a router's health
+// checker sees the node leave the rotation while in-flight requests
+// (and /healthz, which stays 200 for the whole drain window) keep
+// being served.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// readyzBody is the /readyz response shape.
+type readyzBody struct {
+	Status string `json:"status"` // "ready" | "draining"
+}
+
+// handleReadyz is the routing-eligibility probe: 200 while the node
+// should take new traffic, 503 from the moment drain begins. Liveness
+// (/healthz) and readiness split exactly as in any fleet-scheduled
+// service — a draining process is alive but must not receive new work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) error {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, readyzBody{Status: "draining"})
+		return nil
+	}
+	writeJSON(w, http.StatusOK, readyzBody{Status: "ready"})
 	return nil
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.refreshStoreBytes()
 	s.metricsMu.Lock()
 	defer s.metricsMu.Unlock()
 	s.inst.uptime.Set(time.Since(s.start).Seconds())

@@ -147,6 +147,48 @@ func (o storeObserver) inc(c interface{ Inc() }) {
 	o.s.metricsMu.Unlock()
 }
 
+// coderFromStore restores a coder by its public id from the disk
+// store, registering it on success. This is the fleet-sharing path: in
+// a multi-node deployment whose members share a store (or inherit one
+// from a dead peer), a node can be asked for a coder id some *other*
+// node trained after this node's warm start. The id is the SHA-256 of
+// the cache key, which is also the artifact's file name, so the lookup
+// enumerates headers and matches on hash — one directory scan on the
+// miss path only, never on the hot path.
+func (s *Server) coderFromStore(id string) (*coderEntry, bool) {
+	st := s.cache.Store()
+	if st == nil {
+		return nil, false
+	}
+	arts, err := st.List()
+	if err != nil {
+		return nil, false
+	}
+	obs := storeObserver{s}
+	for _, a := range arts {
+		if a.Class != artifactClassCoder || sweep.HashBytes([]byte(a.Key)) != id {
+			continue
+		}
+		class, blob, err := st.Load(a.Key)
+		if err != nil || class != artifactClassCoder {
+			obs.StoreCorrupt(a.Key, err)
+			return nil, false
+		}
+		entry, err := decodeCoderEntry(blob)
+		if err != nil || entry.ID != id {
+			obs.StoreCorrupt(a.Key, err)
+			return nil, false
+		}
+		obs.StoreHit(a.Key)
+		s.cache.Seed(a.Key, entry)
+		s.codersMu.Lock()
+		s.coders[id] = entry
+		s.codersMu.Unlock()
+		return entry, true
+	}
+	return nil, false
+}
+
 // WarmStart loads every stored coder into the registry and the in-memory
 // cache, the boot-time analogue of the paper's "the ROM is already
 // written": after it returns, a request for any previously trained coder

@@ -95,6 +95,71 @@ func TestResponsesCarryTraceIDs(t *testing.T) {
 	}
 }
 
+// TestInboundTraceAdoption pins the gateway-hop contract: a well-formed
+// inbound X-Ccrp-Trace-Id is adopted — the response carries the same id
+// and the recorded spans join that trace, so router and backend stages
+// stitch into one tree — while malformed ids are rejected and replaced
+// with a fresh one, so broken clients cannot poison correlation.
+func TestInboundTraceAdoption(t *testing.T) {
+	sink := &memSink{}
+	tracer := tracing.New(tracing.Config{Sink: sink})
+	_, ts := newTestServer(t, Config{Tracer: tracer})
+
+	send := func(tid string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tid != "" {
+			req.Header.Set(TraceHeader, tid)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	t.Run("adopts a valid inbound id", func(t *testing.T) {
+		want := "00112233445566778899aabbccddeeff"
+		resp := send(want)
+		if got := resp.Header.Get(TraceHeader); got != want {
+			t.Fatalf("response trace id = %q, want the inbound %q adopted", got, want)
+		}
+		found := false
+		for _, rec := range sink.records() {
+			if rec.Trace == want && rec.Stage == StageRequest {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no request span recorded under the adopted trace id %s", want)
+		}
+	})
+
+	t.Run("rejects malformed ids", func(t *testing.T) {
+		for _, bad := range []string{
+			"xyz",                                 // not hex
+			"0011223344",                          // too short
+			"00112233445566778899aabbccddeeff00",  // too long
+			"zz112233445566778899aabbccddeeff",    // hex-length, non-hex
+			"00000000000000000000000000000000",    // the invalid zero id
+			"00112233-4455-6677-8899-aabbccddeef", // uuid punctuation
+		} {
+			resp := send(bad)
+			got := resp.Header.Get(TraceHeader)
+			if got == bad {
+				t.Errorf("malformed inbound id %q was adopted", bad)
+			}
+			if _, err := tracing.ParseTraceID(got); err != nil {
+				t.Errorf("response to malformed id %q carries unparseable id %q", bad, got)
+			}
+		}
+	})
+}
+
 // TestRequestSpansCoverStages boots a traced server, drives one of each
 // request kind, and asserts the span stream decomposes them into the
 // documented stage names with the request root first in each tree.

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 )
 
 // Store is a durable artifact store keyed by the same content-addressed
@@ -33,6 +34,12 @@ type Store interface {
 type Artifact struct {
 	Key   string // the cache key the artifact was stored under
 	Class string // the codec name that produced the payload
+	// Size is the payload length in bytes and ModTime the artifact
+	// file's last write, when the store can report them cheaply (the
+	// disk store reads both from the header and the directory entry);
+	// zero values otherwise.
+	Size    int
+	ModTime time.Time
 }
 
 // ErrNotInStore reports a key with no stored artifact.
@@ -224,7 +231,11 @@ func (d *DiskStore) List() ([]Artifact, error) {
 		if HashBytes([]byte(hdr.Key))+artifactExt != name {
 			continue
 		}
-		arts = append(arts, Artifact{Key: hdr.Key, Class: hdr.Class})
+		art := Artifact{Key: hdr.Key, Class: hdr.Class, Size: hdr.Len}
+		if info, err := ent.Info(); err == nil {
+			art.ModTime = info.ModTime()
+		}
+		arts = append(arts, art)
 	}
 	return arts, nil
 }

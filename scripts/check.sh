@@ -46,5 +46,6 @@ stage "go test -race ./..." go test -race ./...
 stage "decode smoke" sh scripts/decode_smoke.sh
 stage "trace smoke" sh scripts/trace_smoke.sh
 stage "persist smoke" sh scripts/persist_smoke.sh
+stage "fleet smoke" sh scripts/fleet_smoke.sh
 
 echo "check: OK"

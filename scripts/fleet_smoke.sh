@@ -1,0 +1,299 @@
+#!/bin/sh
+# Fleet-serving gate: boot a 3-node ccrpd fleet sharing one artifact
+# store behind a ccrp-router gateway, then prove the cluster layer's
+# three contracts end to end:
+#
+#   1. Placement — requests naming one coder id always land on the same
+#      healthy node (consistent-hash stickiness, observed via the
+#      X-Ccrp-Backend header and router metrics), while keyless traffic
+#      spreads across the fleet (the load report's backends map).
+#   2. Survival — kill -9 one backend mid-load and the client sees zero
+#      5xx and zero failures: the health checker ejects the node after a
+#      few failed forwards, traffic fails over along the ring, and the
+#      successor serves the dead node's coder from the shared store.
+#   3. Correlation — a trace id minted by the router appears in the
+#      backend's access log: one trace spans both hops.
+#
+# The run also measures the router hop: the same SLO-gated mixed load is
+# driven once directly against a backend and once through the gateway,
+# and the paired percentiles (plus the observed per-node distribution
+# and the kill-run outcome) are merged into a benchmark document —
+# written to $FLEET_BENCH_OUT when set (make bench-fleet), else kept in
+# the working directory.
+#
+# Usage: scripts/fleet_smoke.sh [base_port]
+#
+# Ports base..base+3 are used (router, then three backends). With
+# CCRP_SMOKE_DIR set, the working directory (daemon logs, access and
+# span JSONL, the shared store) is kept for CI failure-artifact upload.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseport=${1:-8654}
+rport=$baseport
+p1=$((baseport + 1))
+p2=$((baseport + 2))
+p3=$((baseport + 3))
+router="http://127.0.0.1:${rport}"
+wl=eightq
+
+if [ -n "${CCRP_SMOKE_DIR:-}" ]; then
+	work="$CCRP_SMOKE_DIR/fleet_smoke"
+	mkdir -p "$work"
+	keep=1
+else
+	work=$(mktemp -d)
+	keep=
+fi
+store="$work/store"
+
+fail() {
+	echo "fleet_smoke: FAILED: $1" >&2
+	for log in "$work"/*.log; do
+		[ -f "$log" ] && sed "s|^|$(basename "$log"): |" "$log" >&2
+	done
+	exit 1
+}
+
+cleanup() {
+	for p in "${pid1:-}" "${pid2:-}" "${pid3:-}" "${rpid:-}"; do
+		[ -n "$p" ] && kill "$p" 2>/dev/null || true
+	done
+	if [ -z "$keep" ]; then
+		rm -rf "$work"
+	fi
+}
+trap cleanup EXIT
+
+# jsonget FILE EXPR: print a field of a JSON document.
+jsonget() {
+	python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))'"$2"')' "$1"
+}
+
+# metric FILE NAME: print one metric value from a Prometheus scrape.
+# NAME may include a label selector, e.g. 'name{node="host:port"}'.
+metric() {
+	awk -v name="$2" '$1 == name { print $2 }' "$1"
+}
+
+# wait_url URL WHAT: poll until URL answers 2xx.
+wait_url() {
+	i=0
+	until curl -fsS "$1" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -ge 50 ] && fail "$2 did not become healthy"
+		sleep 0.2
+	done
+}
+
+# backend_of HEADERS: print the X-Ccrp-Backend value of a response dump.
+backend_of() {
+	awk 'tolower($1) == "x-ccrp-backend:" { gsub("\r", "", $2); print $2 }' "$1"
+}
+
+echo "== building"
+go build -o "$work/ccrpd" ./cmd/ccrpd
+go build -o "$work/ccrp-router" ./cmd/ccrp-router
+go build -o "$work/ccrp-load" ./cmd/ccrp-load
+
+echo "== booting 3 backends sharing $store"
+for n in 1 2 3; do
+	port=$(eval echo "\$p$n")
+	"$work/ccrpd" -addr "127.0.0.1:${port}" -store "$store" \
+		-access-log "$work/backend${n}.access.jsonl" \
+		>"$work/backend${n}.log" 2>&1 &
+	eval "pid$n=$!"
+done
+for n in 1 2 3; do
+	port=$(eval echo "\$p$n")
+	wait_url "http://127.0.0.1:${port}/healthz" "backend $n"
+done
+
+echo "== booting ccrp-router in front of the fleet"
+fleet="127.0.0.1:${p1},127.0.0.1:${p2},127.0.0.1:${p3}"
+"$work/ccrp-router" -addr "127.0.0.1:${rport}" -fleet "$fleet" \
+	-probe-interval 200ms -max-attempts 4 \
+	-access-log "$work/router.access.jsonl" -trace "$work/router.spans.jsonl" \
+	>"$work/router.log" 2>&1 &
+rpid=$!
+wait_url "$router/healthz" "router"
+[ "$(curl -fsS "$router/healthz" | python3 -c 'import json,sys; print(json.load(sys.stdin)["nodes_up"])')" = "3" ] \
+	|| fail "router does not see 3 nodes up"
+
+echo "== baseline: SLO-gated load directly against backend 1"
+"$work/ccrp-load" -url "http://127.0.0.1:${p1}" -clients 4 -requests 60 \
+	-mix compress=3,roundtrip=2,simulate=1 -timeout 30s \
+	-slo max=60s,error-rate=0,min-rps=0.5 \
+	-o "$work/direct.json" 2>"$work/direct.stderr" \
+	|| fail "direct baseline load (or its SLO)"
+
+echo "== gateway: the same load through ccrp-router"
+"$work/ccrp-load" -url "$router" -clients 4 -requests 60 \
+	-mix compress=3,roundtrip=2,simulate=1 -timeout 30s \
+	-slo max=60s,error-rate=0,min-rps=0.5 \
+	-o "$work/viarouter.json" 2>"$work/viarouter.stderr" \
+	|| fail "gateway load (or its SLO)"
+[ "$(jsonget "$work/viarouter.json" '["status_5xx"]')" = "0" ] \
+	|| fail "gateway load saw 5xx responses"
+nodes_used=$(python3 -c '
+import json, sys
+print(len(json.load(open(sys.argv[1])).get("backends", {})))' "$work/viarouter.json")
+[ "$nodes_used" -ge 2 ] || fail "gateway load used $nodes_used nodes, want >= 2 (keyless traffic should spread)"
+
+echo "== stickiness: one coder id, one healthy node"
+curl -fsS -X POST "$router/v1/coders" -d '{"kind":"preselected"}' \
+	>"$work/coder.json" || fail "train via router"
+coder=$(jsonget "$work/coder.json" '["id"]')
+curl -fsS -D "$work/h1.txt" -X POST "$router/v1/compress" \
+	-d "{\"coder_id\":\"$coder\",\"workload\":\"$wl\"}" \
+	>"$work/compress1.json" || fail "compress via router"
+curl -fsS -D "$work/h2.txt" -X POST "$router/v1/compress" \
+	-d "{\"coder_id\":\"$coder\",\"workload\":\"$wl\"}" >/dev/null \
+	|| fail "second compress via router"
+owner=$(backend_of "$work/h1.txt")
+[ -n "$owner" ] || fail "router response carries no X-Ccrp-Backend header"
+[ "$(backend_of "$work/h2.txt")" = "$owner" ] \
+	|| fail "same coder id landed on different nodes"
+
+echo "== kill -9 the coder's owner ($owner) under load"
+case $owner in
+*:$p1) victim=$pid1 ;;
+*:$p2) victim=$pid2 ;;
+*:$p3) victim=$pid3 ;;
+*) fail "owner $owner is not a fleet member" ;;
+esac
+reqkey="ccrp_router_requests_total{node=\"$owner\"}"
+curl -fsS "$router/metrics" >"$work/metrics.pre.prom" || fail "pre-kill metrics scrape"
+pre=$(metric "$work/metrics.pre.prom" "$reqkey")
+"$work/ccrp-load" -url "$router" -clients 4 -requests 90 \
+	-mix compress=3,roundtrip=2,simulate=1 -timeout 30s \
+	-slo error-rate=0 \
+	-o "$work/killrun.json" 2>"$work/killrun.stderr" &
+loadpid=$!
+# Wait until the load is demonstrably flowing to the victim, then kill it
+# mid-run — the whole point is failing over traffic that is in flight.
+i=0
+while :; do
+	curl -fsS "$router/metrics" >"$work/metrics.mid.prom" 2>/dev/null || true
+	now=$(metric "$work/metrics.mid.prom" "$reqkey" 2>/dev/null || true)
+	[ "${now:-$pre}" -gt "$((pre + 2))" ] && break
+	kill -0 "$loadpid" 2>/dev/null || break
+	i=$((i + 1))
+	[ "$i" -ge 100 ] && fail "load never reached the victim node"
+	sleep 0.1
+done
+kill -9 "$victim"
+if [ "$victim" = "$pid1" ]; then
+	pid1=
+elif [ "$victim" = "$pid2" ]; then
+	pid2=
+else
+	pid3=
+fi
+wait "$loadpid" || fail "client-visible failures during the kill (see killrun.stderr)"
+[ "$(jsonget "$work/killrun.json" '["status_5xx"]')" = "0" ] \
+	|| fail "kill run saw 5xx responses"
+[ "$(jsonget "$work/killrun.json" '["overall"]["errors"]')" = "0" ] \
+	|| fail "kill run recorded client errors"
+
+echo "== ring re-stabilizes: victim ejected, coder fails over, placement stable"
+i=0
+until [ "$(curl -fsS "$router/healthz" | python3 -c 'import json,sys; print(json.load(sys.stdin)["nodes_up"])')" = "2" ]; do
+	i=$((i + 1))
+	[ "$i" -ge 50 ] && fail "router never marked the victim down"
+	sleep 0.2
+done
+curl -fsS -D "$work/h3.txt" -X POST "$router/v1/compress" \
+	-d "{\"coder_id\":\"$coder\",\"workload\":\"$wl\"}" \
+	>"$work/compress3.json" || fail "compress after the kill"
+successor=$(backend_of "$work/h3.txt")
+[ -n "$successor" ] && [ "$successor" != "$owner" ] \
+	|| fail "post-kill compress answered by $successor, want a surviving node"
+# The cross-hop trace probe rides this request: the victim's buffered
+# access log died with it, but the successor drains cleanly below.
+tid=$(awk 'tolower($1) == "x-ccrp-trace-id:" { gsub("\r", "", $2); print $2 }' "$work/h3.txt")
+[ -n "$tid" ] || fail "router response carries no trace id"
+curl -fsS -D "$work/h4.txt" -X POST "$router/v1/compress" \
+	-d "{\"coder_id\":\"$coder\",\"workload\":\"$wl\"}" >/dev/null \
+	|| fail "second post-kill compress"
+[ "$(backend_of "$work/h4.txt")" = "$successor" ] \
+	|| fail "post-kill placement is not stable"
+python3 -c '
+import json, sys
+a, b = (json.load(open(p)) for p in sys.argv[1:3])
+assert a["blocks_b64"] == b["blocks_b64"], "successor blocks differ from the owner output"
+assert a["rom_b64"] == b["rom_b64"], "successor ROM differs from the owner output"
+' "$work/compress1.json" "$work/compress3.json" \
+	|| fail "failover output is not byte-identical"
+
+echo "== router metrics recorded the failure"
+curl -fsS "$router/metrics" >"$work/metrics.post.prom" || fail "post-kill metrics scrape"
+errs=$(metric "$work/metrics.post.prom" "ccrp_router_node_errors_total{node=\"$owner\"}")
+[ "${errs:-0}" -ge 1 ] || fail "no forward errors recorded against the victim"
+[ "$(metric "$work/metrics.post.prom" "ccrp_router_node_up{node=\"$owner\"}")" = "0" ] \
+	|| fail "victim still reported up"
+
+echo "== drain: backends flush, then the router"
+for n in 1 2 3; do
+	p=$(eval echo "\${pid$n:-}")
+	[ -z "$p" ] && continue
+	kill -TERM "$p"
+	i=0
+	while kill -0 "$p" 2>/dev/null; do
+		i=$((i + 1))
+		[ "$i" -ge 100 ] && fail "backend $n did not exit after SIGTERM"
+		sleep 0.1
+	done
+	wait "$p" || fail "backend $n exited nonzero after SIGTERM"
+	eval "pid$n="
+done
+kill -TERM "$rpid"
+i=0
+while kill -0 "$rpid" 2>/dev/null; do
+	i=$((i + 1))
+	[ "$i" -ge 100 ] && fail "router did not exit after SIGTERM"
+	sleep 0.1
+done
+wait "$rpid" || fail "router exited nonzero after SIGTERM"
+rpid=
+
+echo "== one trace spans both hops"
+grep -q "\"trace\":\"$tid\"" "$work/router.access.jsonl" \
+	|| fail "router access log is missing the probe trace id"
+cat "$work"/backend?.access.jsonl >"$work/backends.access.jsonl"
+grep -q "\"trace\":\"$tid\"" "$work/backends.access.jsonl" \
+	|| fail "no backend adopted the router's trace id (trace does not span the hop)"
+
+echo "== merging the benchmark document"
+python3 - "$work/direct.json" "$work/viarouter.json" "$work/killrun.json" \
+	>"$work/BENCH_fleet.json" <<'PY'
+import json, sys
+direct, via, kill = (json.load(open(p)) for p in sys.argv[1:4])
+pick = lambda r: {k: r["overall"][k] for k in ("p50_ms", "p95_ms", "p99_ms", "requests")}
+doc = {
+    "schema": 1,
+    "tool": "fleet_smoke",
+    "version": via.get("version", ""),
+    "direct": pick(direct),
+    "via_router": pick(via),
+    "router_overhead_p50_ms": round(via["overall"]["p50_ms"] - direct["overall"]["p50_ms"], 3),
+    "router_overhead_p99_ms": round(via["overall"]["p99_ms"] - direct["overall"]["p99_ms"], 3),
+    "backends": via.get("backends", {}),
+    "kill_run": {
+        "requests": kill["overall"]["requests"],
+        "errors": kill["overall"]["errors"],
+        "status_5xx": kill["status_5xx"],
+        "backends": kill.get("backends", {}),
+    },
+    "host": via.get("host", {}),
+}
+json.dump(doc, sys.stdout, indent=2)
+print()
+PY
+if [ -n "${FLEET_BENCH_OUT:-}" ]; then
+	cp "$work/BENCH_fleet.json" "$FLEET_BENCH_OUT"
+	echo "fleet_smoke: benchmark written to $FLEET_BENCH_OUT"
+fi
+
+echo "fleet_smoke: OK"
