@@ -2,8 +2,8 @@ GO ?= go
 STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
 .PHONY: all build test race vet fmt staticcheck check bench trajectory \
-	serve-smoke serve-bench decode-smoke trace-smoke persist-smoke \
-	fleet-smoke fuzz
+	serve-smoke serve-bench decode-smoke decode-bench trace-smoke \
+	persist-smoke fleet-smoke fuzz
 
 all: build
 
@@ -48,10 +48,16 @@ serve-smoke:
 serve-bench:
 	sh scripts/serve_bench.sh $(LABEL)
 
-# Decode-equivalence smoke: fast vs canonical decode cmp on a corpus
-# program, plus a short decode benchmark.
+# Decode-equivalence smoke: multi vs fast vs canonical decode cmp on a
+# corpus program, a short decode benchmark, and the multi-beats-fast
+# throughput gate.
 decode-smoke:
 	sh scripts/decode_smoke.sh
+
+# Decode-kernel benchmark: canonical vs fast vs multi MB/s plus the
+# per-chunk-width table-size sweep, as Go benchmarks.
+decode-bench:
+	$(GO) test -run=^$$ -bench='BenchmarkDecode(Canonical|Fast|Multi)$$' -benchmem ./internal/huffman
 
 # Tracing end-to-end smoke: ccrpd -trace under a ccrp-load burst, then
 # ccrp-spans must decompose every instrumented request stage.
@@ -75,6 +81,7 @@ fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeLine -fuzztime=$(FUZZTIME) ./internal/codepack
 	$(GO) test -run=^$$ -fuzz=FuzzDecode$$ -fuzztime=$(FUZZTIME) ./internal/huffman
 	$(GO) test -run=^$$ -fuzz=FuzzFastDecoderDifferential -fuzztime=$(FUZZTIME) ./internal/huffman
+	$(GO) test -run=^$$ -fuzz=FuzzMultiDecoderDifferential -fuzztime=$(FUZZTIME) ./internal/huffman
 	$(GO) test -run=^$$ -fuzz=FuzzFSMDecode -fuzztime=$(FUZZTIME) ./internal/decoder
 	$(GO) test -run=^$$ -fuzz=FuzzCAMDecode -fuzztime=$(FUZZTIME) ./internal/decoder
 	$(GO) test -run=^$$ -fuzz=FuzzROMDecode -fuzztime=$(FUZZTIME) ./internal/decoder

@@ -4,13 +4,13 @@
 // Usage:
 //
 //	ccdis [-version] prog.img
-//	ccdis -rom [-decoder fast|canonical] [-raw out.bin] prog.rom
+//	ccdis -rom [-decoder multi|fast|canonical] [-raw out.bin] prog.rom
 //
 // With -rom the input is a CROM file: every block is decompressed (with
 // the selected software decode path) and the recovered text is
 // disassembled. -raw additionally writes the decompressed text bytes to
 // a file, which is what the CI decode-equivalence smoke cmp's between
-// the fast and canonical decoders.
+// the multi, fast, and canonical decoders.
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ccrp/internal/asm"
 	"ccrp/internal/cliutil"
@@ -27,13 +28,13 @@ import (
 
 func main() {
 	romMode := flag.Bool("rom", false, "input is a compressed CROM image (ccpack output)")
-	decoder := flag.String("decoder", "fast", "decode path for -rom: fast or canonical")
+	decoder := flag.String("decoder", "multi", "decode path for -rom: "+strings.Join(core.DecoderChoices(), "|"))
 	rawOut := flag.String("raw", "", "with -rom, also write the decompressed text bytes to this file")
 	version := cliutil.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
 	cliutil.HandleVersionFlag("ccdis", version)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ccdis [-rom [-decoder fast|canonical] [-raw out.bin]] prog.img")
+		fmt.Fprintln(os.Stderr, "usage: ccdis [-rom [-decoder multi|fast|canonical] [-raw out.bin]] prog.img")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))

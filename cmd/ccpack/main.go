@@ -5,20 +5,21 @@
 //
 // Usage:
 //
-//	ccpack [-o prog.rom] [-word] [-own] [-decoder fast|canonical]
+//	ccpack [-o prog.rom] [-word] [-own] [-decoder multi|fast|canonical]
 //	       (-workload name | prog.img)
 //
 // By default the Preselected Bounded Huffman code (trained on the
 // ten-program corpus, hardwired in the decoder) is used; -own adds the
 // program's own bounded code as a second candidate with per-block tags.
 // -decoder selects the software decode path used to verify the image
-// (fast table-driven by default; both paths are byte-identical).
+// (multi-symbol kernel by default; every path is byte-identical).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ccrp/internal/cliutil"
 	"ccrp/internal/core"
@@ -29,7 +30,7 @@ func main() {
 	word := flag.Bool("word", false, "word-align compressed blocks")
 	own := flag.Bool("own", false, "add the program's own bounded code as a second candidate")
 	wl := flag.String("workload", "", "compress a corpus workload instead of an image file")
-	decoder := flag.String("decoder", "fast", "verification decode path: fast or canonical")
+	decoder := flag.String("decoder", "multi", "verification decode path: "+strings.Join(core.DecoderChoices(), "|"))
 	version := cliutil.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
 	cliutil.HandleVersionFlag("ccpack", version)

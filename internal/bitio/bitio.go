@@ -155,6 +155,15 @@ func (r *Reader) Skip(n uint) error {
 // Pos returns the current bit offset from the start of the stream.
 func (r *Reader) Pos() int { return r.pos }
 
+// Reset points the Reader at p with the position rewound to bit 0,
+// reusing the Reader value. Hot paths that decode many small streams
+// (e.g. per-line codec decodes) keep one stack Reader and Reset it
+// instead of allocating with NewReader.
+func (r *Reader) Reset(p []byte) {
+	r.buf = p
+	r.pos = 0
+}
+
 // Data returns the underlying buffer (not a copy). Together with Pos and
 // Skip it lets table-driven decoders run their hot loop directly over
 // the bytes while keeping the Reader's position authoritative.

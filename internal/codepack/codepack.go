@@ -149,11 +149,12 @@ func (h *halfCoder) halfBits(hw uint16) int {
 }
 
 // decodeHalf reads one halfword. The codeword lookup goes through the
-// table-driven fast decoder; interleaving with the raw 16-bit escape
-// literals is safe because FastDecoder leaves the reader at exactly the
-// canonical bit position.
+// multi-symbol table-driven decoder; interleaving with the raw 16-bit
+// escape literals is safe because MultiDecoder.DecodeSymbol consumes
+// exactly one codeword and leaves the reader at the canonical bit
+// position.
 func (h *halfCoder) decodeHalf(r *bitio.Reader) (uint16, error) {
-	sym, err := h.code.Fast().DecodeSymbol(r)
+	sym, err := h.code.Multi().DecodeSymbol(r)
 	if err != nil {
 		return 0, err
 	}
@@ -194,19 +195,33 @@ func (c *Coder) DecodeLine(comp []byte, n int) ([]byte, error) {
 		return nil, fmt.Errorf("%w: output length %d not a non-negative word multiple", ErrBadLine, n)
 	}
 	out := make([]byte, n)
-	r := bitio.NewReader(comp)
-	for off := 0; off < n; off += 4 {
-		hi, err := c.upper.decodeHalf(r)
-		if err != nil {
-			return nil, fmt.Errorf("%w: word %d: %v", ErrBadLine, off/4, err)
-		}
-		lo, err := c.lower.decodeHalf(r)
-		if err != nil {
-			return nil, fmt.Errorf("%w: word %d: %v", ErrBadLine, off/4, err)
-		}
-		binary.LittleEndian.PutUint32(out[off:], uint32(hi)<<16|uint32(lo))
+	if err := c.DecodeLineInto(out, comp); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// DecodeLineInto expands a compressed line into dst (core.LineIntoDecoder),
+// the zero-allocation form of DecodeLine: the bit reader lives on the
+// stack and the caller owns the output buffer.
+func (c *Coder) DecodeLineInto(dst, comp []byte) error {
+	if len(dst)%4 != 0 {
+		return fmt.Errorf("%w: output length %d not a word multiple", ErrBadLine, len(dst))
+	}
+	var r bitio.Reader
+	r.Reset(comp)
+	for off := 0; off < len(dst); off += 4 {
+		hi, err := c.upper.decodeHalf(&r)
+		if err != nil {
+			return fmt.Errorf("%w: word %d: %v", ErrBadLine, off/4, err)
+		}
+		lo, err := c.lower.decodeHalf(&r)
+		if err != nil {
+			return fmt.Errorf("%w: word %d: %v", ErrBadLine, off/4, err)
+		}
+		binary.LittleEndian.PutUint32(dst[off:], uint32(hi)<<16|uint32(lo))
+	}
+	return nil
 }
 
 // EncodedBits returns the exact compressed size of line in bits.

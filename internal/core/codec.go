@@ -1,7 +1,6 @@
 package core
 
 import (
-	"ccrp/internal/bitio"
 	"ccrp/internal/huffman"
 )
 
@@ -23,6 +22,18 @@ type LineCodec interface {
 	BitLengths(line []byte) ([]int, error)
 }
 
+// LineIntoDecoder is the optional zero-allocation extension of
+// LineCodec: codecs that can expand a compressed line into a
+// caller-supplied buffer implement it, and hot paths
+// (ROM.DecompressLineInto, the serving decompress loop) type-assert for
+// it, falling back to DecodeLine plus a copy. It is a separate interface
+// so third-party LineCodec implementations keep compiling unchanged.
+type LineIntoDecoder interface {
+	// DecodeLineInto expands a compressed line into dst (len(dst) bytes)
+	// without allocating.
+	DecodeLineInto(dst, comp []byte) error
+}
+
 // huffmanLineCodec adapts a byte-Huffman code to the LineCodec interface.
 type huffmanLineCodec struct {
 	code *huffman.Code
@@ -41,10 +52,14 @@ func (h *huffmanLineCodec) EncodeLine(line []byte) ([]byte, error) {
 
 func (h *huffmanLineCodec) DecodeLine(comp []byte, n int) ([]byte, error) {
 	out := make([]byte, n)
-	if err := h.code.Fast().Decode(bitio.NewReader(comp), out); err != nil {
+	if err := h.code.Multi().DecodeInto(out, comp); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+func (h *huffmanLineCodec) DecodeLineInto(dst, comp []byte) error {
+	return h.code.Multi().DecodeInto(dst, comp)
 }
 
 func (h *huffmanLineCodec) EncodedBits(line []byte) (int, error) {

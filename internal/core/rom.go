@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 
 	"ccrp/internal/bitio"
 	"ccrp/internal/huffman"
@@ -37,49 +38,77 @@ type Options struct {
 	WordAligned bool
 	// Decoder selects the software decode implementation used when
 	// expanding stored blocks (DecompressLine, Verify). The zero value
-	// is DecoderFast — the table-driven mapping-ROM path.
+	// is DecoderMulti — the multi-symbol table-driven path.
 	Decoder DecoderKind
 }
 
-// DecoderKind selects between the software decode implementations, both
+// DecoderKind selects between the software decode implementations, all
 // proven byte-identical by differential tests.
 type DecoderKind int
 
 const (
-	// DecoderFast decodes through huffman.FastDecoder's chunked lookup
-	// tables — the software twin of the paper's §3.4 mapping ROM.
-	DecoderFast DecoderKind = iota
+	// DecoderMulti decodes through huffman.MultiDecoder's multi-symbol
+	// tables with word-at-a-time bit refill — the fastest path and the
+	// default.
+	DecoderMulti DecoderKind = iota
+	// DecoderFast decodes through huffman.FastDecoder's one-symbol
+	// chunked lookup tables — the software twin of the paper's §3.4
+	// mapping ROM.
+	DecoderFast
 	// DecoderCanonical decodes bit-serially through the canonical
 	// tables — the software twin of the paper's FSM/shift-register option.
 	DecoderCanonical
 )
 
-// String returns the flag spelling of k.
-func (k DecoderKind) String() string {
-	if k == DecoderCanonical {
-		return "canonical"
-	}
-	return "fast"
+// decoderNames maps each DecoderKind to its flag spelling; ParseDecoder
+// and flag help enumerate it so the valid set lives in one place.
+var decoderNames = [...]string{
+	DecoderMulti:     "multi",
+	DecoderFast:      "fast",
+	DecoderCanonical: "canonical",
 }
 
-// ParseDecoder maps a flag value ("fast" or "canonical") to a DecoderKind.
-func ParseDecoder(s string) (DecoderKind, error) {
-	switch s {
-	case "fast", "":
-		return DecoderFast, nil
-	case "canonical":
-		return DecoderCanonical, nil
+// DecoderChoices returns the valid -decoder flag values, default first.
+func DecoderChoices() []string {
+	out := make([]string, len(decoderNames))
+	copy(out, decoderNames[:])
+	return out
+}
+
+// String returns the flag spelling of k.
+func (k DecoderKind) String() string {
+	if k >= 0 && int(k) < len(decoderNames) {
+		return decoderNames[k]
 	}
-	return 0, fmt.Errorf("core: unknown decoder %q (want fast or canonical)", s)
+	return "multi"
+}
+
+// ParseDecoder maps a flag value to a DecoderKind; the empty string
+// selects the default. Unknown names are rejected with the valid set in
+// the error.
+func ParseDecoder(s string) (DecoderKind, error) {
+	if s == "" {
+		return DecoderMulti, nil
+	}
+	for k, name := range decoderNames {
+		if s == name {
+			return DecoderKind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown decoder %q (want %s)", s, strings.Join(decoderNames[:], ", "))
 }
 
 // decodeLine expands stored into out using the code and configured
-// decoder kind; the single switch point between the two software paths.
+// decoder kind; the single switch point between the software paths.
 func decodeLine(code *huffman.Code, kind DecoderKind, stored []byte, out []byte) error {
-	if kind == DecoderCanonical {
+	switch kind {
+	case DecoderCanonical:
 		return code.Decode(bitio.NewReader(stored), out)
+	case DecoderFast:
+		return code.Fast().DecodeInto(out, stored)
+	default:
+		return code.Multi().DecodeInto(out, stored)
 	}
-	return code.Fast().Decode(bitio.NewReader(stored), out)
 }
 
 // Line is one compressed (or raw) instruction block.
@@ -225,39 +254,64 @@ func (r *ROM) LineIndex(addr uint32) (int, error) {
 // DecompressLine expands block i back to its 32 instruction bytes, the
 // software twin of the refill engine's data path.
 func (r *ROM) DecompressLine(i int) ([]byte, error) {
-	if i < 0 || i >= len(r.Lines) {
-		return nil, fmt.Errorf("core: line %d out of range", i)
-	}
-	l := r.Lines[i]
-	if l.Raw {
-		out := make([]byte, LineSize)
-		copy(out, l.Stored)
-		return out, nil
-	}
-	if r.opts.Codec != nil {
-		out, err := r.opts.Codec.DecodeLine(l.Stored, LineSize)
-		if err != nil {
-			return nil, fmt.Errorf("core: line %d: %w", i, err)
-		}
-		return out, nil
-	}
-	code := r.opts.Codes[l.CodeIdx]
 	out := make([]byte, LineSize)
-	if err := decodeLine(code, r.opts.Decoder, l.Stored, out); err != nil {
-		return nil, fmt.Errorf("core: line %d: %w", i, err)
+	if err := r.DecompressLineInto(i, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// Verify decompresses every block and checks it against the original
-// text, proving the image executes identically.
-func (r *ROM) Verify() error {
-	for i := range r.Lines {
-		got, err := r.DecompressLine(i)
+// DecompressLineInto expands block i into dst, which must be exactly
+// LineSize bytes. This is the zero-allocation form of DecompressLine:
+// hot callers (the serving decompress path, Verify, page expansion) own
+// the buffer, so nothing on the decode path touches the heap.
+func (r *ROM) DecompressLineInto(i int, dst []byte) error {
+	if i < 0 || i >= len(r.Lines) {
+		return fmt.Errorf("core: line %d out of range", i)
+	}
+	if len(dst) != LineSize {
+		return fmt.Errorf("core: line buffer is %d bytes, want %d", len(dst), LineSize)
+	}
+	l := r.Lines[i]
+	if l.Raw {
+		n := copy(dst, l.Stored)
+		for j := n; j < LineSize; j++ {
+			dst[j] = 0
+		}
+		return nil
+	}
+	if r.opts.Codec != nil {
+		if d, ok := r.opts.Codec.(LineIntoDecoder); ok {
+			if err := d.DecodeLineInto(dst, l.Stored); err != nil {
+				return fmt.Errorf("core: line %d: %w", i, err)
+			}
+			return nil
+		}
+		out, err := r.opts.Codec.DecodeLine(l.Stored, LineSize)
 		if err != nil {
+			return fmt.Errorf("core: line %d: %w", i, err)
+		}
+		copy(dst, out)
+		return nil
+	}
+	code := r.opts.Codes[l.CodeIdx]
+	if err := decodeLine(code, r.opts.Decoder, l.Stored, dst); err != nil {
+		return fmt.Errorf("core: line %d: %w", i, err)
+	}
+	return nil
+}
+
+// Verify decompresses every block and checks it against the original
+// text, proving the image executes identically. It reuses one line
+// buffer, so verification itself stays off the allocator's hot path
+// (sweeps verify inside already-parallel workers).
+func (r *ROM) Verify() error {
+	buf := make([]byte, LineSize)
+	for i := range r.Lines {
+		if err := r.DecompressLineInto(i, buf); err != nil {
 			return err
 		}
-		if !bytes.Equal(got, r.Lines[i].Orig) {
+		if !bytes.Equal(buf, r.Lines[i].Orig) {
 			return fmt.Errorf("core: line %d decompresses incorrectly", i)
 		}
 	}

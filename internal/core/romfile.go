@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"ccrp/internal/bitio"
 	"ccrp/internal/huffman"
 	"ccrp/internal/lat"
+	"ccrp/internal/parallel"
 )
 
 // ROM image file format, the artifact the host-side compression tool
@@ -90,10 +92,10 @@ func (r *ROM) WriteFile(w io.Writer) error {
 
 // ReadROMFile reconstructs a ROM image, decompressing every block to
 // recover the original line contents (and thereby verifying the file).
-// Blocks expand through the fast table-driven decoder; use
-// ReadROMFileDecoder to select the canonical path.
+// Blocks expand through the multi-symbol table-driven decoder; use
+// ReadROMFileDecoder to select another path.
 func ReadROMFile(rd io.Reader) (*ROM, error) {
-	return ReadROMFileDecoder(rd, DecoderFast)
+	return ReadROMFileDecoder(rd, DecoderMulti)
 }
 
 // ReadROMFileDecoder is ReadROMFile with an explicit decode path — the
@@ -184,11 +186,20 @@ func ReadROMFileDecoder(rd io.Reader, kind DecoderKind) (*ROM, error) {
 			return nil, fmt.Errorf("%w: block %d selects code %d of %d", ErrBadROMFile, i, line.CodeIdx, nCodes)
 		}
 		rom.Lines = append(rom.Lines, line)
-		orig, err := rom.DecompressLine(i)
-		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrBadROMFile, err)
-		}
-		rom.Lines[i].Orig = orig
+	}
+	// Expand every block into one contiguous text image, fanning the
+	// independent lines across CPUs; each Orig aliases its slice of the
+	// image, so loading a large ROM costs one allocation for the text
+	// plus the line headers.
+	text := make([]byte, table.Blocks*LineSize)
+	err = parallel.ForEach(context.Background(), table.Blocks, 0, func(i int) error {
+		return rom.DecompressLineInto(i, text[i*LineSize:(i+1)*LineSize])
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadROMFile, err)
+	}
+	for i := range rom.Lines {
+		rom.Lines[i].Orig = text[i*LineSize : (i+1)*LineSize]
 	}
 	return rom, nil
 }

@@ -5,37 +5,70 @@ import (
 	"fmt"
 	"time"
 
+	"ccrp/internal/huffman"
 	"ccrp/internal/workload"
 )
 
 // DecodeBench is the decode-throughput comparison embedded in benchmark
 // trajectories: the canonical bit-serial decoder vs the table-driven
-// FastDecoder on one corpus program encoded under the preselected code.
-// Speedup is the before/after figure the fast-decode tentpole claims;
-// the table fields record the mapping-ROM cost actually paid (compare
-// decoder.ROM's 64K-entry hardware figure).
+// FastDecoder vs the multi-symbol MultiDecoder on one corpus program
+// encoded under the preselected code. Speedup figures are relative to
+// the canonical path; the table fields record the mapping-ROM cost
+// actually paid (compare decoder.ROM's 64K-entry hardware figure), and
+// Kernels sweeps that cost/throughput trade across chunk widths.
 type DecodeBench struct {
-	Program        string  `json:"program"`
-	TextBytes      int     `json:"text_bytes"`
-	EncodedBytes   int     `json:"encoded_bytes"`
-	Repeats        int     `json:"repeats"`
-	CanonicalMBps  float64 `json:"canonical_mb_per_s"`
-	FastMBps       float64 `json:"fast_mb_per_s"`
-	Speedup        float64 `json:"speedup"`
-	FastRootBits   int     `json:"fast_root_bits"`
-	FastTableEnt   int     `json:"fast_table_entries"`
-	FastTableBytes int     `json:"fast_table_bytes"`
+	Program         string        `json:"program"`
+	TextBytes       int           `json:"text_bytes"`
+	EncodedBytes    int           `json:"encoded_bytes"`
+	Repeats         int           `json:"repeats"`
+	CanonicalMBps   float64       `json:"canonical_mb_per_s"`
+	FastMBps        float64       `json:"fast_mb_per_s"`
+	MultiMBps       float64       `json:"multi_mb_per_s"`
+	Speedup         float64       `json:"speedup"`       // fast vs canonical (historical field)
+	MultiSpeedup    float64       `json:"multi_speedup"` // multi vs canonical
+	FastRootBits    int           `json:"fast_root_bits"`
+	FastTableEnt    int           `json:"fast_table_entries"`
+	FastTableBytes  int           `json:"fast_table_bytes"`
+	MultiRootBits   int           `json:"multi_root_bits"`
+	MultiTableEnt   int           `json:"multi_table_entries"`
+	MultiTableBytes int           `json:"multi_table_bytes"`
+	Kernels         []KernelBench `json:"kernels,omitempty"`
+}
+
+// KernelBench is one (kernel, chunk width) point in the table-size vs
+// throughput sweep: the software analogue of sizing the paper's decode
+// mapping ROM.
+type KernelBench struct {
+	Kernel             string  `json:"kernel"`
+	ChunkBits          int     `json:"chunk_bits"`
+	MBps               float64 `json:"mb_per_s"`
+	SpeedupVsCanonical float64 `json:"speedup_vs_canonical"`
+	TableEntries       int     `json:"table_entries"`
+	SizeBits           int     `json:"size_bits"`
 }
 
 // decodeBenchRepeats is sized so each timed side runs long enough (tens
 // of milliseconds) to shed scheduler noise without slowing bench runs.
 const decodeBenchRepeats = 8
 
-// MeasureDecodeBench times both software decode paths over one corpus
-// program. The decoded outputs are verified against the original text,
-// so a diverging fast path fails the measurement rather than reporting
-// a meaningless throughput.
+// kernelSweepChunks are the root-table widths the Kernels sweep prices.
+var kernelSweepChunks = []int{8, 10, 12, 14, 16}
+
+// MeasureDecodeBench times all three software decode paths over one
+// corpus program. The decoded outputs are verified against the original
+// text, so a diverging decoder fails the measurement rather than
+// reporting a meaningless throughput.
 func MeasureDecodeBench(prog string) (*DecodeBench, error) {
+	return measureDecodeBench(prog, true)
+}
+
+// MeasureDecodeBenchQuick skips the per-chunk-width kernel sweep,
+// timing only the three default-configuration decoders.
+func MeasureDecodeBenchQuick(prog string) (*DecodeBench, error) {
+	return measureDecodeBench(prog, false)
+}
+
+func measureDecodeBench(prog string, sweepKernels bool) (*DecodeBench, error) {
 	w, ok := workload.ByName(prog)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown workload %q", prog)
@@ -56,19 +89,20 @@ func MeasureDecodeBench(prog string) (*DecodeBench, error) {
 		return nil, err
 	}
 	fast := code.Fast()
+	multi := code.Multi()
 
-	measure := func(decode func() ([]byte, error)) (float64, error) {
+	dst := make([]byte, len(text))
+	measure := func(decode func() error) (float64, error) {
 		// Warm once (builds tables, faults pages), then time the repeats.
-		got, err := decode()
-		if err != nil {
+		if err := decode(); err != nil {
 			return 0, err
 		}
-		if !bytes.Equal(got, text) {
+		if !bytes.Equal(dst, text) {
 			return 0, fmt.Errorf("experiments: decode of %q is not byte-identical", prog)
 		}
 		start := time.Now()
 		for i := 0; i < decodeBenchRepeats; i++ {
-			if _, err := decode(); err != nil {
+			if err := decode(); err != nil {
 				return 0, err
 			}
 		}
@@ -77,26 +111,70 @@ func MeasureDecodeBench(prog string) (*DecodeBench, error) {
 	}
 
 	b := &DecodeBench{
-		Program:        prog,
-		TextBytes:      len(text),
-		EncodedBytes:   len(enc),
-		Repeats:        decodeBenchRepeats,
-		FastRootBits:   fast.RootBits(),
-		FastTableEnt:   fast.TableEntries(),
-		FastTableBytes: fast.SizeBits() / 8,
+		Program:         prog,
+		TextBytes:       len(text),
+		EncodedBytes:    len(enc),
+		Repeats:         decodeBenchRepeats,
+		FastRootBits:    fast.RootBits(),
+		FastTableEnt:    fast.TableEntries(),
+		FastTableBytes:  fast.SizeBits() / 8,
+		MultiRootBits:   multi.RootBits(),
+		MultiTableEnt:   multi.TableEntries(),
+		MultiTableBytes: multi.SizeBits() / 8,
 	}
-	if b.CanonicalMBps, err = measure(func() ([]byte, error) {
-		return code.DecodeBytes(enc, len(text))
+	if b.CanonicalMBps, err = measure(func() error {
+		got, err := code.DecodeBytes(enc, len(text))
+		copy(dst, got)
+		return err
 	}); err != nil {
 		return nil, err
 	}
-	if b.FastMBps, err = measure(func() ([]byte, error) {
-		return fast.DecodeBytes(enc, len(text))
+	if b.FastMBps, err = measure(func() error {
+		return fast.DecodeInto(dst, enc)
+	}); err != nil {
+		return nil, err
+	}
+	if b.MultiMBps, err = measure(func() error {
+		return multi.DecodeInto(dst, enc)
 	}); err != nil {
 		return nil, err
 	}
 	if b.CanonicalMBps > 0 {
 		b.Speedup = b.FastMBps / b.CanonicalMBps
+		b.MultiSpeedup = b.MultiMBps / b.CanonicalMBps
+	}
+	if !sweepKernels {
+		return b, nil
+	}
+	for _, chunk := range kernelSweepChunks {
+		f := huffman.NewFastDecoderChunk(code, chunk)
+		mbps, err := measure(func() error { return f.DecodeInto(dst, enc) })
+		if err != nil {
+			return nil, err
+		}
+		b.Kernels = append(b.Kernels, kernelPoint("fast", chunk, mbps, b.CanonicalMBps,
+			f.TableEntries(), f.SizeBits()))
+		m := huffman.NewMultiDecoderChunk(code, chunk)
+		mbps, err = measure(func() error { return m.DecodeInto(dst, enc) })
+		if err != nil {
+			return nil, err
+		}
+		b.Kernels = append(b.Kernels, kernelPoint("multi", chunk, mbps, b.CanonicalMBps,
+			m.TableEntries(), m.SizeBits()))
 	}
 	return b, nil
+}
+
+func kernelPoint(kernel string, chunk int, mbps, canonical float64, entries, sizeBits int) KernelBench {
+	k := KernelBench{
+		Kernel:       kernel,
+		ChunkBits:    chunk,
+		MBps:         mbps,
+		TableEntries: entries,
+		SizeBits:     sizeBits,
+	}
+	if canonical > 0 {
+		k.SpeedupVsCanonical = mbps / canonical
+	}
+	return k
 }

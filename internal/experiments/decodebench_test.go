@@ -13,17 +13,58 @@ func TestMeasureDecodeBench(t *testing.T) {
 	if b.TextBytes == 0 || b.EncodedBytes == 0 || b.EncodedBytes >= b.TextBytes {
 		t.Errorf("implausible sizes: %+v", b)
 	}
-	if b.CanonicalMBps <= 0 || b.FastMBps <= 0 {
+	if b.CanonicalMBps <= 0 || b.FastMBps <= 0 || b.MultiMBps <= 0 {
 		t.Errorf("nonpositive throughput: %+v", b)
 	}
 	if b.FastRootBits < 1 || b.FastTableEnt < 1<<b.FastRootBits {
-		t.Errorf("implausible table shape: %+v", b)
+		t.Errorf("implausible fast table shape: %+v", b)
+	}
+	if b.MultiRootBits < 1 || b.MultiTableEnt < 1<<b.MultiRootBits {
+		t.Errorf("implausible multi table shape: %+v", b)
 	}
 	// No hard speedup floor here (timing under the race detector or a
 	// loaded CI box is noisy); the huffman package's speedup test and the
-	// committed BENCH_PR5.json carry the >=2x claim.
-	if b.Speedup <= 0 {
+	// committed BENCH_PR9.json carry the throughput claims.
+	if b.Speedup <= 0 || b.MultiSpeedup <= 0 {
 		t.Errorf("speedup not computed: %+v", b)
+	}
+	// Two kernels per sweep width, each with a sane table shape.
+	if len(b.Kernels) != 2*len(kernelSweepChunks) {
+		t.Fatalf("kernel sweep has %d points, want %d", len(b.Kernels), 2*len(kernelSweepChunks))
+	}
+	for _, k := range b.Kernels {
+		if k.Kernel != "fast" && k.Kernel != "multi" {
+			t.Errorf("unknown kernel %q", k.Kernel)
+		}
+		// The root is clamped to the code's longest codeword, so wide
+		// chunk requests may build fewer than 1<<ChunkBits entries.
+		if k.MBps <= 0 || k.TableEntries <= 0 || k.SizeBits <= 0 {
+			t.Errorf("implausible kernel point: %+v", k)
+		}
+	}
+}
+
+// TestDecodeBenchMultiBeatsFast is the PR9 acceptance gate run by
+// scripts/decode_smoke.sh: on the paper's largest corpus program the
+// multi-symbol kernel must out-run the single-symbol FastDecoder.
+// Timing under the race detector is meaningless, so the assertion is
+// skipped there and with -short.
+func TestDecodeBenchMultiBeatsFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("timing assertion skipped under the race detector")
+	}
+	b, err := MeasureDecodeBenchQuick("espresso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MultiMBps <= b.FastMBps {
+		t.Errorf("multi kernel (%.1f MB/s) does not beat fast (%.1f MB/s)", b.MultiMBps, b.FastMBps)
+	}
+	if b.MultiSpeedup < 2 {
+		t.Errorf("multi speedup vs canonical = %.2fx, want >= 2x", b.MultiSpeedup)
 	}
 }
 

@@ -8,16 +8,17 @@ import (
 )
 
 // TestDecoderChoiceCycleIdentical is the ccrp-bench -decoder contract:
-// the fast and canonical software decode paths must produce identical
-// PerfPoint cycle counts. The refill cycle model charges the paper's
-// fixed decoder rate regardless of how the host expands bytes, so any
-// divergence here means the fast path corrupted a decompressed line (a
-// corrupt line would fail Compare's execution check or shift traffic).
+// the multi, fast, and canonical software decode paths must produce
+// identical PerfPoint cycle counts. The refill cycle model charges the
+// paper's fixed decoder rate regardless of how the host expands bytes,
+// so any divergence here means a decode path corrupted a decompressed
+// line (a corrupt line would fail Compare's execution check or shift
+// traffic).
 func TestDecoderChoiceCycleIdentical(t *testing.T) {
 	run := func(kind core.DecoderKind) PerfPoint {
 		t.Helper()
 		SetDecoder(kind)
-		defer SetDecoder(core.DecoderFast)
+		defer SetDecoder(core.DecoderMulti)
 		// Separate artifact-cache keys per decoder kind mean each run
 		// builds (or reuses) its own ROM instance.
 		p, err := Point("eightq", 1024, 16, memory.EPROM{}, 1.0)
@@ -26,22 +27,25 @@ func TestDecoderChoiceCycleIdentical(t *testing.T) {
 		}
 		return p
 	}
+	multi := run(core.DecoderMulti)
 	fast := run(core.DecoderFast)
 	canonical := run(core.DecoderCanonical)
 
-	if fast.CyclesCCRP != canonical.CyclesCCRP || fast.CyclesStd != canonical.CyclesStd {
-		t.Errorf("cycle counts diverge: fast = %d/%d, canonical = %d/%d",
-			fast.CyclesCCRP, fast.CyclesStd, canonical.CyclesCCRP, canonical.CyclesStd)
+	if multi.CyclesCCRP != canonical.CyclesCCRP || multi.CyclesStd != canonical.CyclesStd {
+		t.Errorf("cycle counts diverge: multi = %d/%d, canonical = %d/%d",
+			multi.CyclesCCRP, multi.CyclesStd, canonical.CyclesCCRP, canonical.CyclesStd)
 	}
-	if fast != canonical {
-		t.Errorf("perf points diverge:\nfast      = %+v\ncanonical = %+v", fast, canonical)
+	if multi != canonical || fast != canonical {
+		t.Errorf("perf points diverge:\nmulti     = %+v\nfast      = %+v\ncanonical = %+v",
+			multi, fast, canonical)
 	}
 }
 
 func TestParseDecoder(t *testing.T) {
 	for s, want := range map[string]core.DecoderKind{
+		"multi":     core.DecoderMulti,
+		"":          core.DecoderMulti,
 		"fast":      core.DecoderFast,
-		"":          core.DecoderFast,
 		"canonical": core.DecoderCanonical,
 	} {
 		got, err := core.ParseDecoder(s)

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active; timing
+// assertions are skipped under it.
+const raceEnabled = false

@@ -30,10 +30,12 @@ type Code struct {
 	count      [65]int    // number of symbols of each length
 	symOrder   []byte     // symbols sorted by (length, value)
 
-	// Memoized table-driven decoder (see Fast); codes are immutable
-	// after NewCode, so one decoder serves every consumer.
-	fastOnce sync.Once
-	fast     *FastDecoder
+	// Memoized table-driven decoders (see Fast and Multi); codes are
+	// immutable after NewCode, so one decoder serves every consumer.
+	fastOnce  sync.Once
+	fast      *FastDecoder
+	multiOnce sync.Once
+	multi     *MultiDecoder
 }
 
 // NewCode canonicalizes a set of code lengths into a usable Code. The

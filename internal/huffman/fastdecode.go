@@ -149,12 +149,7 @@ func (f *FastDecoder) decodeOne(buf []byte, pos, total int) (byte, int, error) {
 	consumed := 0
 	for {
 		rem := uint(total - (pos + consumed))
-		take := bits
-		if rem < take {
-			take = rem
-		}
-		window := extractPad(buf, pos+consumed, take, bits)
-		e := f.table[off+uint32(window)]
+		e := f.table[off+uint32(peek64(buf, pos+consumed)>>(64-bits))]
 		switch e >> 30 {
 		case entLeaf:
 			l := uint(e>>8) & 0xFF
@@ -182,27 +177,6 @@ func (f *FastDecoder) decodeOne(buf []byte, pos, total int) (byte, int, error) {
 			return 0, 0, ErrBadCode
 		}
 	}
-}
-
-// extractPad reads up to `take` in-bounds bits at pos and left-aligns
-// them in a want-bit window, zero-padding past the end of the stream
-// (mirroring bitio.Reader.PeekBits).
-func extractPad(buf []byte, pos int, take, want uint) uint64 {
-	var v uint64
-	n := take
-	for n > 0 {
-		b := buf[pos>>3]
-		off := uint(pos & 7)
-		avail := 8 - off
-		t := avail
-		if t > n {
-			t = n
-		}
-		v = v<<t | uint64(b>>(avail-t))&(1<<t-1)
-		pos += int(t)
-		n -= t
-	}
-	return v << (want - take)
 }
 
 // decode fills out with symbols decoded from buf starting at bit
@@ -241,6 +215,13 @@ func (f *FastDecoder) Decode(r *bitio.Reader, out []byte) error {
 	if skipErr := r.Skip(uint(end - r.Pos())); skipErr != nil {
 		return skipErr
 	}
+	return err
+}
+
+// DecodeInto decodes exactly len(dst) symbols from the (zero-padded)
+// buffer p into dst without allocating.
+func (f *FastDecoder) DecodeInto(dst, p []byte) error {
+	_, err := f.decode(p, 0, dst)
 	return err
 }
 

@@ -316,10 +316,12 @@ func FuzzFastDecoderDifferential(f *testing.F) {
 	})
 }
 
-// corpus-shaped benchmark stream shared by the Decode benchmarks.
-func benchStream(b *testing.B) (*Code, []byte, int) {
-	b.Helper()
-	code := fuzzBoundedCode(b)
+// corpus-shaped benchmark stream shared by the Decode benchmarks: a
+// zero-heavy stream (like real machine code) encoded under a bounded
+// code trained on its own histogram — the production shape, where the
+// coder is always trained on the corpus it later decodes.
+func benchStream(tb testing.TB) (*Code, []byte, int) {
+	tb.Helper()
 	rng := rand.New(rand.NewSource(1))
 	data := make([]byte, 32*1024)
 	for i := range data {
@@ -330,9 +332,17 @@ func benchStream(b *testing.B) (*Code, []byte, int) {
 			data[i] = byte(rng.Intn(256))
 		}
 	}
+	var h Histogram
+	for _, s := range data {
+		h[s]++
+	}
+	code, err := BuildBounded(&h, 16)
+	if err != nil {
+		tb.Fatal(err)
+	}
 	enc, err := code.EncodeToBytes(data)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return code, enc, len(data)
 }

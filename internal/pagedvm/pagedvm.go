@@ -16,11 +16,12 @@ package pagedvm
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 
-	"ccrp/internal/bitio"
 	"ccrp/internal/huffman"
+	"ccrp/internal/parallel"
 	"ccrp/internal/trace"
 )
 
@@ -128,26 +129,57 @@ func (s *Store) Ratio() float64 {
 
 // ReadPage decompresses page i.
 func (s *Store) ReadPage(i int) ([]byte, error) {
-	if i < 0 || i >= len(s.pages) {
-		return nil, ErrBadPage
-	}
-	if s.raw[i] {
-		out := make([]byte, s.PageBytes)
-		copy(out, s.pages[i])
-		return out, nil
-	}
 	out := make([]byte, s.PageBytes)
-	if err := s.code.Fast().Decode(bitio.NewReader(s.pages[i]), out); err != nil {
-		return nil, fmt.Errorf("pagedvm: page %d: %w", i, err)
+	if err := s.ReadPageInto(i, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// Verify round-trips every page against the original image.
+// ReadPageInto decompresses page i into dst, which must be exactly
+// PageBytes long — the zero-allocation form of ReadPage, decoding
+// through the multi-symbol kernel into a caller-owned frame.
+func (s *Store) ReadPageInto(i int, dst []byte) error {
+	if i < 0 || i >= len(s.pages) {
+		return ErrBadPage
+	}
+	if len(dst) != s.PageBytes {
+		return fmt.Errorf("pagedvm: page buffer is %d bytes, want %d", len(dst), s.PageBytes)
+	}
+	if s.raw[i] {
+		n := copy(dst, s.pages[i])
+		for j := n; j < len(dst); j++ {
+			dst[j] = 0
+		}
+		return nil
+	}
+	if err := s.code.Multi().DecodeInto(dst, s.pages[i]); err != nil {
+		return fmt.Errorf("pagedvm: page %d: %w", i, err)
+	}
+	return nil
+}
+
+// Expand decompresses the whole store back to its page-padded image,
+// fanning the independent pages across a bounded worker pool (workers
+// <= 0 selects GOMAXPROCS) — the paged twin of ccrpd's parallel
+// per-line decompress path.
+func (s *Store) Expand(workers int) ([]byte, error) {
+	out := make([]byte, len(s.pages)*s.PageBytes)
+	err := parallel.ForEach(context.Background(), len(s.pages), workers, func(i int) error {
+		return s.ReadPageInto(i, out[i*s.PageBytes:(i+1)*s.PageBytes])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Verify round-trips every page against the original image, expanding
+// pages in parallel.
 func (s *Store) Verify(image []byte) error {
-	for i := range s.pages {
-		got, err := s.ReadPage(i)
-		if err != nil {
+	return parallel.ForEach(context.Background(), len(s.pages), 0, func(i int) error {
+		got := make([]byte, s.PageBytes)
+		if err := s.ReadPageInto(i, got); err != nil {
 			return err
 		}
 		off := i * s.PageBytes
@@ -160,8 +192,8 @@ func (s *Store) Verify(image []byte) error {
 		if !bytes.Equal(got, want) {
 			return fmt.Errorf("pagedvm: page %d corrupt", i)
 		}
-	}
-	return nil
+		return nil
+	})
 }
 
 // Stats summarizes one pager run.

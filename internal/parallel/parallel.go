@@ -1,0 +1,133 @@
+// Package parallel provides a minimal bounded worker pool for fanning
+// independent fixed-size work items — decompressing the lines of a
+// block, expanding the pages of a paged store — across CPUs.
+//
+// It shares its shape with internal/sweep's engine (bounded workers
+// pulling indices off an atomic counter, per-item panic confinement,
+// deterministic error selection) but strips the observability and
+// caching machinery: sweep orchestrates minutes-long experiment points,
+// parallel fans out microsecond-scale decode work where any per-item
+// overhead beyond the atomic increment would eat the win. Block-bounded
+// compression makes every 32-byte line independent by construction —
+// the same property the paper's refill engine exploits for hardware
+// parallelism — so line decode parallelizes with no coordination
+// beyond the index counter.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError reports a work item whose function panicked. The panic is
+// confined to its worker: remaining items still run, and ForEach returns
+// this error instead of crashing the process.
+type PanicError struct {
+	Item  int    // index of the failed item
+	Value any    // the recovered panic value
+	Stack []byte // stack of the panicking goroutine
+}
+
+// Error summarizes the panic without the stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: item %d panicked: %v", e.Item, e.Value)
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanning the calls across a
+// bounded pool. workers <= 0 selects GOMAXPROCS; the pool is capped at n
+// and a single-worker (or single-item) call runs inline on the caller's
+// goroutine with no goroutines spawned.
+//
+// The returned error is the one from the lowest-numbered failing item,
+// so it is deterministic regardless of scheduling: parallel workers keep
+// draining remaining items after a failure (item work is bounded and
+// errors are rare), while the inline path stops at the first failure —
+// which is already the lowest-numbered one. Context cancellation stops
+// workers from picking up further items (items already running finish),
+// and ctx.Err() is returned only if no item error was recorded.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := runItem(i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstI  = n
+		firstE  error
+		stopped atomic.Bool
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < firstI {
+			firstI, firstE = i, err
+		}
+		mu.Unlock()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stopped.Load() {
+					return
+				}
+				if ctx != nil && ctx.Err() != nil {
+					stopped.Store(true)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := runItem(i, fn); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstE != nil {
+		return firstE
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runItem executes one item with panic confinement.
+func runItem(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Item: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}

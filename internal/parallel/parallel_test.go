@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsEveryItem(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 300
+		var hits [n]atomic.Int32
+		err := ForEach(context.Background(), n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ForEach(nil, 5, 1, func(int) error { return nil }); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+}
+
+// TestForEachLowestError: the reported error must come from the
+// lowest-numbered failing item no matter how the scheduler interleaves
+// workers.
+func TestForEachLowestError(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		err := ForEach(context.Background(), 100, workers, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return fmt.Errorf("item %d failed", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 3 failed" {
+			t.Fatalf("workers=%d: err = %v, want item 3's", workers, err)
+		}
+	}
+}
+
+// TestForEachPanicConfined: a panicking item becomes a PanicError
+// instead of crashing the process, and other items still run.
+func TestForEachPanicConfined(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int32
+		err := ForEach(context.Background(), 50, workers, func(i int) error {
+			if i == 5 {
+				panic("boom")
+			}
+			ran.Add(1)
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Item != 5 {
+			t.Fatalf("workers=%d: err = %v, want PanicError{Item: 5}", workers, err)
+		}
+		if pe.Value != "boom" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: panic value %v, stack %d bytes", workers, pe.Value, len(pe.Stack))
+		}
+		if workers > 1 && ran.Load() < 40 {
+			t.Fatalf("workers=%d: only %d items ran after the panic", workers, ran.Load())
+		}
+	}
+}
+
+// TestForEachCancellation: a cancelled context stops dispatch and is
+// reported when no item failed on its own.
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := ForEach(ctx, 10000, 4, func(i int) error {
+		if ran.Add(1) == 16 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 10000 {
+		t.Fatalf("cancellation did not stop dispatch (%d items ran)", n)
+	}
+}
+
+// TestForEachItemErrorBeatsCancel: an item error outranks ctx.Err() in
+// the return value.
+func TestForEachItemErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	want := errors.New("real failure")
+	err := ForEach(ctx, 100, 4, func(i int) error {
+		if i == 0 {
+			cancel()
+			return want
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want the item error", err)
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/base64"
+	"errors"
 	"net/http"
 
 	"ccrp/internal/core"
+	"ccrp/internal/parallel"
 	"ccrp/internal/sweep"
 	"ccrp/internal/tracing"
 	"ccrp/internal/workload"
@@ -263,12 +265,21 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) error 
 	return nil
 }
 
+// parallelLineMin is the line count below which /v1/decompress stays
+// sequential: below it the worker handoff costs more than the decode.
+const parallelLineMin = 32
+
 // decompressLines expands a blocks+lines payload under a registered
-// coder, the path for codec-based (non-serializable) images. The context
-// bounds the walk so a hostile line list cannot outlive the route
-// deadline. The walk runs under a decompress span annotated with the
-// request's line-cache hit/miss split, so a cold cache is visible as
-// latency attribution, not just aggregate counters.
+// coder, the path for codec-based (non-serializable) images. Offsets are
+// validated up front, then the independent lines decode into a single
+// preallocated text image — fanned across the DecodeWorkers pool for
+// large payloads (every 32-byte block is self-contained, so the only
+// shared state is the atomic index counter and the line cache), walked
+// sequentially for small ones. The context bounds either walk so a
+// hostile line list cannot outlive the route deadline. The work runs
+// under a decompress span annotated with the line-cache hit/miss split
+// and the parallel fan-out, so a cold cache or a sequential fallback is
+// visible as latency attribution, not just aggregate counters.
 func (s *Server) decompressLines(ctx context.Context, req *decompressRequest) ([]byte, error) {
 	entry, err := s.resolveCoder(ctx, req.CoderID)
 	if err != nil {
@@ -283,67 +294,99 @@ func (s *Server) decompressLines(ctx context.Context, req *decompressRequest) ([
 	if len(req.Lines) == 0 {
 		return nil, errBadRequest("lines is required with coder_id")
 	}
-	out := make([]byte, 0, len(req.Lines)*core.LineSize)
+	offs := make([]int, len(req.Lines))
 	off := 0
-	var st lineCacheStats
 	for i, l := range req.Lines {
-		if err := ctx.Err(); err != nil {
-			return nil, Errf(http.StatusRequestTimeout, CodeDeadlineExceeded,
-				"decompress deadline exceeded at line %d", i)
-		}
 		if l.Len < 0 || off+l.Len > len(blocks) {
 			return nil, errUnprocessable("line %d: stored length %d overruns the block region", i, l.Len)
 		}
-		stored := blocks[off : off+l.Len]
+		offs[i] = off
 		off += l.Len
+	}
+
+	out := make([]byte, len(req.Lines)*core.LineSize)
+	var st lineCacheStats
+	expand := func(i int) error {
+		l := req.Lines[i]
+		stored := blocks[offs[i] : offs[i]+l.Len]
+		dst := out[i*core.LineSize : (i+1)*core.LineSize]
 		if l.Raw {
 			// Raw bypass: copying is cheaper than a cache probe.
-			line := make([]byte, core.LineSize)
-			copy(line, stored)
-			out = append(out, line...)
-			continue
+			copy(dst, stored)
+			return nil
 		}
 		key := lineKey(entry.ID, i, stored)
-		line, ok := s.lines.get(key, &st)
-		if !ok {
-			var err error
-			line, err = entry.decodeLine(stored)
-			if err != nil {
-				s.applyLineCacheStats(st)
-				err = errUnprocessable("line %d: %v", i, err)
-				sp.SetError(err)
-				return nil, err
-			}
-			s.lines.put(key, line, &st)
+		if s.lines.get(key, dst, &st) {
+			return nil
 		}
-		out = append(out, line...)
+		if err := entry.decodeLineInto(dst, stored); err != nil {
+			return errUnprocessable("line %d: %v", i, err)
+		}
+		s.lines.put(key, dst, &st)
+		return nil
 	}
-	s.applyLineCacheStats(st)
+
+	useParallel := len(req.Lines) >= parallelLineMin && s.cfg.DecodeWorkers > 1
+	if useParallel {
+		err = parallel.ForEach(ctx, len(req.Lines), s.cfg.DecodeWorkers, expand)
+	} else {
+		for i := 0; err == nil && i < len(req.Lines); i++ {
+			if ctx.Err() != nil {
+				err = ctx.Err()
+				break
+			}
+			err = expand(i)
+		}
+	}
+	s.applyLineCacheStats(&st, useParallel)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			err = Errf(http.StatusRequestTimeout, CodeDeadlineExceeded,
+				"decompress deadline exceeded after %d lines", len(req.Lines))
+		}
+		sp.SetError(err)
+		return nil, err
+	}
 	sp.SetAttrInt("lines", int64(len(req.Lines)))
-	sp.SetAttrInt("linecache_hits", int64(st.hits))
-	sp.SetAttrInt("linecache_misses", int64(st.misses))
+	sp.SetAttrInt("linecache_hits", int64(st.hits.Load()))
+	sp.SetAttrInt("linecache_misses", int64(st.misses.Load()))
+	if useParallel {
+		sp.SetAttrInt("decode_workers", int64(s.cfg.DecodeWorkers))
+	}
 	return out, nil
 }
 
 // applyLineCacheStats folds one request's cache deltas into the
 // registry; instruments are single-threaded so updates go under
 // metricsMu like every other handler-side metric.
-func (s *Server) applyLineCacheStats(st lineCacheStats) {
+func (s *Server) applyLineCacheStats(st *lineCacheStats, parallel bool) {
 	s.metricsMu.Lock()
-	s.inst.lineHits.Add(st.hits)
-	s.inst.lineMisses.Add(st.misses)
-	s.inst.lineEvictions.Add(st.evictions)
+	s.inst.lineHits.Add(st.hits.Load())
+	s.inst.lineMisses.Add(st.misses.Load())
+	s.inst.lineEvictions.Add(st.evictions.Load())
 	s.inst.lineResident.Set(float64(s.lines.len()))
+	if parallel {
+		s.inst.decodeParallel.Add(1)
+	}
 	s.metricsMu.Unlock()
 }
 
-// decodeLine expands one stored block back to a full cache line.
-func (e *coderEntry) decodeLine(stored []byte) ([]byte, error) {
+// decodeLineInto expands one stored block into a full cache line held by
+// the caller — the zero-allocation unit of the decompress path.
+func (e *coderEntry) decodeLineInto(dst, stored []byte) error {
 	if e.codec != nil {
-		return e.codec.DecodeLine(stored, core.LineSize)
+		if d, ok := e.codec.(core.LineIntoDecoder); ok {
+			return d.DecodeLineInto(dst, stored)
+		}
+		line, err := e.codec.DecodeLine(stored, core.LineSize)
+		if err != nil {
+			return err
+		}
+		copy(dst, line)
+		return nil
 	}
 	// Single-code byte-Huffman; multi-code images need per-line tags and
-	// travel as CROM files instead. Decode runs through the table-driven
-	// fast path (byte-identical to the canonical decoder).
-	return e.codes[0].Fast().DecodeBytes(stored, core.LineSize)
+	// travel as CROM files instead. Decode runs through the multi-symbol
+	// table-driven kernel (byte-identical to the canonical decoder).
+	return e.codes[0].Multi().DecodeInto(dst, stored)
 }

@@ -4,12 +4,23 @@ import (
 	"container/list"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
+
+	"ccrp/internal/core"
 )
 
 // defaultLineCacheLines bounds the decoded-line cache when the Config
 // leaves it unset: 4096 lines × 32 decoded bytes = 128 KiB of payload,
 // a few multiples of that with keys and list overhead.
 const defaultLineCacheLines = 4096
+
+// lineBufPool recycles the fixed-size line payloads the cache stores.
+// Pooling pointers to arrays (not slices) keeps Put itself
+// allocation-free, and eviction feeds buffers straight back to the next
+// insert, so a full cache under steady load stops allocating entirely.
+var lineBufPool = sync.Pool{
+	New: func() any { return new([core.LineSize]byte) },
+}
 
 // lineCacheKey identifies one decoded line. The coder id pins the code
 // tables, the block address distinguishes identical stored bytes at
@@ -24,11 +35,12 @@ type lineCacheKey struct {
 	n       int
 }
 
-// lineCacheStats is a per-request delta, applied to the metrics registry
-// under metricsMu by the caller (registry instruments are
-// single-threaded by design).
+// lineCacheStats is a per-request delta, folded into the metrics
+// registry by the caller once the request's decode completes. The fields
+// are atomics because parallel decode workers share one stats value; the
+// final read happens after the worker pool joins.
 type lineCacheStats struct {
-	hits, misses, evictions uint64
+	hits, misses, evictions atomic.Uint64
 }
 
 // lineCache is a bounded LRU of decoded cache lines — the daemon-side
@@ -44,7 +56,7 @@ type lineCache struct {
 
 type lineCacheEnt struct {
 	key  lineCacheKey
-	line []byte
+	line *[core.LineSize]byte // pooled; recycled on eviction
 }
 
 // newLineCache returns a cache bounded to capLines entries, or nil when
@@ -70,46 +82,55 @@ func lineKey(coderID string, addr int, stored []byte) lineCacheKey {
 	return lineCacheKey{coderID: coderID, addr: addr, hash: h.Sum64(), n: len(stored)}
 }
 
-// get returns the cached decoded line, promoting it to most recent. The
-// returned slice is shared — callers must not mutate it.
-func (c *lineCache) get(key lineCacheKey, st *lineCacheStats) ([]byte, bool) {
+// get copies the cached decoded line into dst (LineSize bytes),
+// promoting it to most recent. Copying under the lock — rather than
+// returning the shared payload — is what lets put recycle evicted
+// buffers through the pool without use-after-recycle races.
+func (c *lineCache) get(key lineCacheKey, dst []byte, st *lineCacheStats) bool {
 	if c == nil {
-		st.misses++
-		return nil, false
+		st.misses.Add(1)
+		return false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.entries[key]
 	if !ok {
-		st.misses++
-		return nil, false
+		st.misses.Add(1)
+		return false
 	}
 	c.order.MoveToFront(el)
-	st.hits++
-	return el.Value.(*lineCacheEnt).line, true
+	copy(dst, el.Value.(*lineCacheEnt).line[:])
+	st.hits.Add(1)
+	return true
 }
 
-// put inserts a decoded line, evicting from the LRU tail when full. The
-// cache takes ownership of line.
+// put inserts a decoded line, copying it into a pooled buffer and
+// evicting from the LRU tail when full (evicted buffers return to the
+// pool). The caller keeps ownership of line.
 func (c *lineCache) put(key lineCacheKey, line []byte, st *lineCacheStats) {
 	if c == nil || c.cap == 0 {
 		return
 	}
+	buf := lineBufPool.Get().(*[core.LineSize]byte)
+	copy(buf[:], line)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		// Same key decodes to the same bytes (the key covers the coder and
 		// the stored content); just refresh recency.
 		c.order.MoveToFront(el)
+		lineBufPool.Put(buf)
 		return
 	}
 	for c.order.Len() >= c.cap {
 		tail := c.order.Back()
 		c.order.Remove(tail)
-		delete(c.entries, tail.Value.(*lineCacheEnt).key)
-		st.evictions++
+		ent := tail.Value.(*lineCacheEnt)
+		delete(c.entries, ent.key)
+		lineBufPool.Put(ent.line)
+		st.evictions.Add(1)
 	}
-	c.entries[key] = c.order.PushFront(&lineCacheEnt{key: key, line: line})
+	c.entries[key] = c.order.PushFront(&lineCacheEnt{key: key, line: buf})
 }
 
 // len reports the resident entry count (tests and healthz).

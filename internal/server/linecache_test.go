@@ -17,27 +17,28 @@ func TestLineCacheLRU(t *testing.T) {
 	k2 := lineKey("c", 1, []byte{2})
 	k3 := lineKey("c", 2, []byte{3})
 
-	if _, ok := c.get(k1, &st); ok {
+	dst := make([]byte, 1)
+	if ok := c.get(k1, dst, &st); ok {
 		t.Fatal("empty cache reported a hit")
 	}
 	c.put(k1, []byte("a"), &st)
 	c.put(k2, []byte("b"), &st)
-	if got, ok := c.get(k1, &st); !ok || string(got) != "a" {
-		t.Fatalf("get k1 = %q, %v", got, ok)
+	if ok := c.get(k1, dst, &st); !ok || string(dst) != "a" {
+		t.Fatalf("get k1 = %q, %v", dst, ok)
 	}
 	// k1 is now most recent; inserting k3 must evict k2.
 	c.put(k3, []byte("c"), &st)
-	if _, ok := c.get(k2, &st); ok {
+	if ok := c.get(k2, dst, &st); ok {
 		t.Fatal("k2 survived eviction from a size-2 LRU")
 	}
-	if _, ok := c.get(k1, &st); !ok {
+	if ok := c.get(k1, dst, &st); !ok {
 		t.Fatal("most-recent k1 was evicted")
 	}
-	if st.evictions != 1 {
-		t.Fatalf("evictions = %d, want 1", st.evictions)
+	if got := st.evictions.Load(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
 	}
-	if st.hits != 2 || st.misses != 2 {
-		t.Fatalf("hits/misses = %d/%d, want 2/2", st.hits, st.misses)
+	if st.hits.Load() != 2 || st.misses.Load() != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 2/2", st.hits.Load(), st.misses.Load())
 	}
 	if c.len() != 2 {
 		t.Fatalf("len = %d, want 2", c.len())
@@ -65,7 +66,7 @@ func TestLineCacheDisabledAndNil(t *testing.T) {
 		t.Fatal("negative capacity should disable the cache")
 	}
 	c.put(lineKey("c", 0, nil), []byte("x"), &st)
-	if _, ok := c.get(lineKey("c", 0, nil), &st); ok {
+	if ok := c.get(lineKey("c", 0, nil), make([]byte, 1), &st); ok {
 		t.Fatal("nil cache reported a hit")
 	}
 	if c.len() != 0 {

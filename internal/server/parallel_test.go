@@ -1,0 +1,96 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"io"
+	"net/http"
+	"testing"
+
+	"ccrp/internal/core"
+)
+
+// TestDecompressParallelPath drives a decompress request large enough
+// to cross parallelLineMin with a multi-worker pool and checks that the
+// output is byte-identical to the sequential path and that the
+// ccrpd_decode_parallel_total counter records the parallel run.
+func TestDecompressParallelPath(t *testing.T) {
+	_, ts := newTestServer(t, Config{DecodeWorkers: 4})
+	id := trainPreselected(t, ts.URL)
+
+	// Well over parallelLineMin lines of compressible text.
+	text := bytes.Repeat([]byte("parallel decode across the worker pool! "), 8*parallelLineMin)
+	text = text[:core.LineSize*2*parallelLineMin]
+	resp, body := postJSON(t, ts.URL+"/v1/compress", compressRequest{
+		CoderID: id, TextB64: base64.StdEncoding.EncodeToString(text)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d %s", resp.StatusCode, body)
+	}
+	comp := decodeAs[compressResponse](t, body)
+	if len(comp.Lines) < parallelLineMin {
+		t.Fatalf("test payload has %d lines, need >= %d", len(comp.Lines), parallelLineMin)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/decompress", decompressRequest{
+		CoderID: id, BlocksB64: comp.BlocksB64, Lines: comp.Lines})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress: %d %s", resp.StatusCode, body)
+	}
+	got := decodeAs[decompressResponse](t, body)
+	dec, err := base64.StdEncoding.DecodeString(got.TextB64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, text) {
+		t.Fatal("parallel decompress is not byte-identical to the original text")
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	prom, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := promValue(t, string(prom), "ccrpd_decode_parallel_total"); v < 1 {
+		t.Errorf("ccrpd_decode_parallel_total = %v, want >= 1", v)
+	}
+}
+
+// TestDecompressSequentialWhenSingleWorker pins the opt-out: with
+// DecodeWorkers=1 even a large request must stay on the sequential
+// path, leaving the parallel counter untouched.
+func TestDecompressSequentialWhenSingleWorker(t *testing.T) {
+	_, ts := newTestServer(t, Config{DecodeWorkers: 1})
+	id := trainPreselected(t, ts.URL)
+
+	text := bytes.Repeat([]byte("sequential decode on one worker. "), 4*parallelLineMin)
+	text = text[:core.LineSize*2*parallelLineMin]
+	resp, body := postJSON(t, ts.URL+"/v1/compress", compressRequest{
+		CoderID: id, TextB64: base64.StdEncoding.EncodeToString(text)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compress: %d %s", resp.StatusCode, body)
+	}
+	comp := decodeAs[compressResponse](t, body)
+
+	resp, body = postJSON(t, ts.URL+"/v1/decompress", decompressRequest{
+		CoderID: id, BlocksB64: comp.BlocksB64, Lines: comp.Lines})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decompress: %d %s", resp.StatusCode, body)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	prom, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := promValue(t, string(prom), "ccrpd_decode_parallel_total"); v != 0 {
+		t.Errorf("ccrpd_decode_parallel_total = %v, want 0 with a single worker", v)
+	}
+}

@@ -72,6 +72,11 @@ type Config struct {
 	MaxBodyBytes int64
 	// SimWorkers bounds concurrent simulation runs; 0 selects NumCPU.
 	SimWorkers int
+	// DecodeWorkers bounds the per-request parallel line-decode pool used
+	// by /v1/decompress and the :batch variant (block-bounded compression
+	// makes every 32-byte line independent, so they fan out freely). 0
+	// selects GOMAXPROCS; 1 forces sequential decode.
+	DecodeWorkers int
 	// TrainTimeout, CompressTimeout, and SimulateTimeout are the
 	// per-route deadlines; 0 selects 60s / 30s / 120s.
 	TrainTimeout    time.Duration
@@ -110,6 +115,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SimWorkers <= 0 {
 		c.SimWorkers = runtime.NumCPU()
+	}
+	if c.DecodeWorkers <= 0 {
+		c.DecodeWorkers = runtime.GOMAXPROCS(0)
 	}
 	if c.TrainTimeout == 0 {
 		c.TrainTimeout = 60 * time.Second
@@ -177,6 +185,8 @@ type serverMetrics struct {
 	lineEvictions *metrics.Counter // decoded-line cache evictions
 	lineResident  *metrics.Gauge   // decoded lines currently cached
 
+	decodeParallel *metrics.Counter // decompress requests decoded by the parallel pool
+
 	storeHits       *metrics.Counter // artifacts served from the disk store
 	storeMisses     *metrics.Counter // store probes that fell through to a build
 	storeWrites     *metrics.Counter // freshly built artifacts persisted
@@ -221,6 +231,9 @@ func New(cfg Config) *Server {
 		lineMisses:    s.registry.Counter("ccrpd_linecache_misses_total", "decoded-line cache misses"),
 		lineEvictions: s.registry.Counter("ccrpd_linecache_evictions_total", "decoded-line cache evictions"),
 		lineResident:  s.registry.Gauge("ccrpd_linecache_resident_lines", "decoded lines currently cached"),
+
+		decodeParallel: s.registry.Counter("ccrpd_decode_parallel_total",
+			"decompress requests whose lines were decoded by the parallel worker pool"),
 
 		storeHits:       s.registry.Counter("ccrpd_store_hits_total", "artifacts served from the disk store"),
 		storeMisses:     s.registry.Counter("ccrpd_store_misses_total", "store probes that fell through to a build"),
@@ -436,6 +449,7 @@ type healthzBody struct {
 	Host          hostinfo.Info `json:"host"`
 	Coders        int           `json:"coders"`
 	SimWorkers    int           `json:"sim_workers"`
+	DecodeWorkers int           `json:"decode_workers"`
 	Inflight      int64         `json:"inflight"`
 	Draining      bool          `json:"draining,omitempty"`
 }
@@ -451,6 +465,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) error {
 		Host:          hostinfo.Collect(),
 		Coders:        n,
 		SimWorkers:    s.cfg.SimWorkers,
+		DecodeWorkers: s.cfg.DecodeWorkers,
 		Inflight:      s.inflight.Load(),
 		Draining:      s.draining.Load(),
 	})

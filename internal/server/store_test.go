@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"ccrp/internal/codepack"
+	"ccrp/internal/core"
 	"ccrp/internal/sweep"
 )
 
@@ -74,8 +75,8 @@ func TestCoderEntryCodecRoundTrip(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				dec, err := back.decodeLine(enc)
-				if err != nil || !bytes.Equal(dec, line) {
+				dec := make([]byte, core.LineSize)
+				if err := back.decodeLineInto(dec, enc); err != nil || !bytes.Equal(dec, line) {
 					t.Fatalf("restored codepack decode = (%x, %v), want original line", dec, err)
 				}
 				return

@@ -1,11 +1,12 @@
 #!/bin/sh
 # Decode-equivalence smoke: packs a corpus program into a CROM image,
-# decompresses it with both software decode paths (canonical bit-serial
-# and table-driven fast), and byte-compares the recovered text. A fast
-# path that diverges from the canonical decoder fails the build here,
-# before any benchmark can report a meaningless speedup. Finishes with
-# a short decode benchmark so a severe fast-path regression is visible
-# in CI logs.
+# decompresses it with every software decode path (canonical bit-serial,
+# table-driven fast, and the multi-symbol kernel), and byte-compares the
+# recovered text. A fast path that diverges from the canonical decoder
+# fails the build here, before any benchmark can report a meaningless
+# speedup. Finishes with a short decode benchmark plus the
+# multi-beats-fast throughput gate, so a severe decode-kernel
+# regression is visible (and fatal) in CI.
 #
 # Usage: sh scripts/decode_smoke.sh [workload]   (default: espresso)
 set -eu
@@ -19,14 +20,20 @@ trap 'rm -rf "$TMP"' EXIT
 echo "== ccpack -workload $WL"
 go run ./cmd/ccpack -workload "$WL" -o "$TMP/prog.rom"
 
-echo "== ccdis -rom -decoder fast vs canonical"
+echo "== ccdis -rom -decoder multi vs fast vs canonical"
+go run ./cmd/ccdis -rom -decoder multi -raw "$TMP/multi.bin" "$TMP/prog.rom" > "$TMP/multi.dis"
 go run ./cmd/ccdis -rom -decoder fast -raw "$TMP/fast.bin" "$TMP/prog.rom" > "$TMP/fast.dis"
 go run ./cmd/ccdis -rom -decoder canonical -raw "$TMP/canon.bin" "$TMP/prog.rom" > "$TMP/canon.dis"
+cmp "$TMP/multi.bin" "$TMP/canon.bin"
 cmp "$TMP/fast.bin" "$TMP/canon.bin"
+cmp "$TMP/multi.dis" "$TMP/canon.dis"
 cmp "$TMP/fast.dis" "$TMP/canon.dis"
-echo "decoded text byte-identical ($(wc -c < "$TMP/fast.bin") bytes)"
+echo "decoded text byte-identical ($(wc -c < "$TMP/multi.bin") bytes)"
 
 echo "== go test -bench=Decode (internal/huffman)"
-go test -run='^$' -bench='BenchmarkDecode(Canonical|Fast)$' -benchtime=200ms ./internal/huffman
+go test -run='^$' -bench='BenchmarkDecode(Canonical|Fast|Multi)$' -benchtime=200ms ./internal/huffman
+
+echo "== multi-beats-fast throughput gate (espresso)"
+go test -run='^TestDecodeBenchMultiBeatsFast$' -count=1 ./internal/experiments
 
 echo "decode_smoke: OK"
