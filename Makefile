@@ -3,7 +3,7 @@ STATICCHECK ?= honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
 .PHONY: all build test race vet fmt staticcheck check bench trajectory \
 	serve-smoke serve-bench decode-smoke decode-bench trace-smoke \
-	persist-smoke fleet-smoke fuzz
+	persist-smoke fleet-smoke isa-smoke fuzz
 
 all: build
 
@@ -74,6 +74,12 @@ persist-smoke:
 # client-visible 5xx, then ring re-stabilization and cross-hop traces.
 fleet-smoke:
 	sh scripts/fleet_smoke.sh
+
+# ISA-backend smoke: assemble + simulate the same program on every
+# registered backend (mips, rv32), RVC expansion vector and
+# differential gates, and the cross-backend disassembly round trip.
+isa-smoke:
+	sh scripts/isa_smoke.sh
 
 # Short fuzz pass over the decode hardening targets.
 FUZZTIME ?= 10s

@@ -1,9 +1,11 @@
-// Command ccasm assembles MIPS R2000 source into a loadable image — the
-// "traditional RISC compiler and linker" stage of the CCRP tool flow.
+// Command ccasm assembles RISC assembly source into a loadable image —
+// the "traditional RISC compiler and linker" stage of the CCRP tool
+// flow. The default backend is the paper's MIPS R2000; -isa selects any
+// registered backend (e.g. rv32).
 //
 // Usage:
 //
-//	ccasm [-o prog.img] [-l] prog.s
+//	ccasm [-isa mips|rv32] [-o prog.img] [-l] prog.s
 //
 // With -l a listing (addresses, words, disassembly) is printed instead of
 // writing an image.
@@ -14,27 +16,31 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ccrp/internal/asm"
 	"ccrp/internal/cliutil"
-	"ccrp/internal/mips"
+	"ccrp/internal/isa"
+	_ "ccrp/internal/mips"  // register backend
+	_ "ccrp/internal/riscv" // register backend
 )
 
 func main() {
 	out := flag.String("o", "a.img", "output image path")
 	listing := flag.Bool("l", false, "print a listing instead of writing the image")
+	isaName := flag.String("isa", "", "ISA backend ("+strings.Join(isa.Names(), "|")+"; default "+isa.DefaultName+")")
 	version := cliutil.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
 	cliutil.HandleVersionFlag("ccasm", version)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ccasm [-o out.img] [-l] prog.s")
+		fmt.Fprintln(os.Stderr, "usage: ccasm [-isa name] [-o out.img] [-l] prog.s")
 		os.Exit(2)
 	}
 	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
-	prog, err := asm.Assemble(flag.Arg(0), string(src))
+	prog, err := asm.AssembleFor(*isaName, flag.Arg(0), string(src))
 	if err != nil {
 		fatal(err)
 	}
@@ -50,11 +56,12 @@ func main() {
 	if err := prog.WriteImage(f); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%s: text %d bytes, data %d bytes, entry %#08x\n",
-		*out, len(prog.Text), len(prog.Data), prog.Entry)
+	fmt.Printf("%s: %s text %d bytes, data %d bytes, entry %#08x\n",
+		*out, isa.MustLookup(prog.ISA).Name(), len(prog.Text), len(prog.Data), prog.Entry)
 }
 
 func printListing(p *asm.Program) {
+	arch := isa.MustLookup(p.ISA)
 	syms := map[uint32][]string{}
 	for _, name := range p.SymbolsSorted() {
 		addr := p.Symbols[name]
@@ -65,8 +72,8 @@ func printListing(p *asm.Program) {
 		for _, s := range syms[addr] {
 			fmt.Printf("%s:\n", s)
 		}
-		w := mips.Word(binary.LittleEndian.Uint32(p.Text[off:]))
-		fmt.Printf("  %08x  %08x  %s\n", addr, uint32(w), mips.Disassemble(w, addr))
+		w := isa.Word(binary.LittleEndian.Uint32(p.Text[off:]))
+		fmt.Printf("  %08x  %08x  %s\n", addr, uint32(w), arch.Disassemble(w, addr))
 	}
 }
 

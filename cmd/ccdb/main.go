@@ -1,10 +1,11 @@
-// Command ccdb is a small interactive debugger for R2000 programs on the
-// functional simulator: single-stepping, breakpoints, register and memory
-// inspection, and inline disassembly.
+// Command ccdb is a small interactive debugger on the functional
+// simulator: single-stepping, breakpoints, register and memory
+// inspection, and inline disassembly. Images carry their ISA name;
+// assembling a source file uses -isa (default: the MIPS backend).
 //
 // Usage:
 //
-//	ccdb [-version] (prog.s | prog.img)
+//	ccdb [-isa mips|rv32] [-version] (prog.s | prog.img)
 //
 // Commands:
 //
@@ -30,31 +31,34 @@ import (
 
 	"ccrp/internal/asm"
 	"ccrp/internal/cliutil"
-	"ccrp/internal/mips"
+	"ccrp/internal/isa"
+	_ "ccrp/internal/mips"  // register backend
+	_ "ccrp/internal/riscv" // register backend
 	"ccrp/internal/sim"
 )
 
 func main() {
+	isaName := flag.String("isa", "", "ISA backend for .s input ("+strings.Join(isa.Names(), "|")+"; default "+isa.DefaultName+")")
 	version := cliutil.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
 	cliutil.HandleVersionFlag("ccdb", version)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ccdb (prog.s | prog.img)")
+		fmt.Fprintln(os.Stderr, "usage: ccdb [-isa name] (prog.s | prog.img)")
 		os.Exit(2)
 	}
-	prog := load(flag.Arg(0))
+	prog := load(flag.Arg(0), *isaName)
 	m := sim.New(prog, sim.Config{Stdout: os.Stdout, CollectTrace: false})
-	dbg := &debugger{m: m, prog: prog, breaks: map[uint32]bool{}}
+	dbg := &debugger{m: m, prog: prog, arch: isa.MustLookup(prog.ISA), breaks: map[uint32]bool{}}
 	dbg.repl(os.Stdin)
 }
 
-func load(path string) *asm.Program {
+func load(path, isaName string) *asm.Program {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatal(err)
 	}
 	if strings.HasSuffix(path, ".s") || strings.HasSuffix(path, ".asm") {
-		p, err := asm.Assemble(path, string(raw))
+		p, err := asm.AssembleFor(isaName, path, string(raw))
 		if err != nil {
 			fatal(err)
 		}
@@ -75,6 +79,7 @@ func load(path string) *asm.Program {
 type debugger struct {
 	m      *sim.Machine
 	prog   *asm.Program
+	arch   isa.ISA
 	breaks map[uint32]bool
 }
 
@@ -181,13 +186,13 @@ func (d *debugger) showPC() {
 		fmt.Printf("pc=%#08x <unreadable>\n", pc)
 		return
 	}
-	fmt.Printf("%08x  %08x  %s\n", pc, w, mips.Disassemble(mips.Word(w), pc))
+	fmt.Printf("%08x  %08x  %s\n", pc, w, d.arch.Disassemble(isa.Word(w), pc))
 }
 
 func (d *debugger) regs() {
 	for i := 0; i < 32; i += 4 {
 		for j := i; j < i+4; j++ {
-			fmt.Printf("%-5s %08x  ", mips.RegName(uint8(j)), d.m.Reg(uint8(j)))
+			fmt.Printf("%-5s %08x  ", d.arch.RegName(uint8(j)), d.m.Reg(uint8(j)))
 		}
 		fmt.Println()
 	}
@@ -202,7 +207,7 @@ func (d *debugger) fregs() {
 			continue
 		}
 		any = true
-		fmt.Printf("$f%-2d  %016x  %g\n", i, bits, math.Float64frombits(bits))
+		fmt.Printf("%-5s %016x  %g\n", d.arch.FPRegName(uint8(i)), bits, math.Float64frombits(bits))
 	}
 	if !any {
 		fmt.Println("all FP registers zero")
@@ -229,7 +234,7 @@ func (d *debugger) disasm(args []string) {
 		if a == d.m.PC() {
 			marker = "=>"
 		}
-		fmt.Printf("%s %08x  %08x  %s\n", marker, a, w, mips.Disassemble(mips.Word(w), a))
+		fmt.Printf("%s %08x  %08x  %s\n", marker, a, w, d.arch.Disassemble(isa.Word(w), a))
 	}
 }
 

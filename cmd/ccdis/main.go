@@ -1,10 +1,13 @@
 // Command ccdis disassembles the text section of an image produced by
-// ccasm, or of a compressed CROM image produced by ccpack.
+// ccasm, or of a compressed CROM image produced by ccpack. Images carry
+// their ISA name, so the right backend is picked automatically; CROM
+// files hold raw text bytes, so -rom mode accepts -isa (default: the
+// MIPS backend).
 //
 // Usage:
 //
 //	ccdis [-version] prog.img
-//	ccdis -rom [-decoder multi|fast|canonical] [-raw out.bin] prog.rom
+//	ccdis -rom [-isa mips|rv32] [-decoder multi|fast|canonical] [-raw out.bin] prog.rom
 //
 // With -rom the input is a CROM file: every block is decompressed (with
 // the selected software decode path) and the recovered text is
@@ -23,18 +26,21 @@ import (
 	"ccrp/internal/asm"
 	"ccrp/internal/cliutil"
 	"ccrp/internal/core"
-	"ccrp/internal/mips"
+	"ccrp/internal/isa"
+	_ "ccrp/internal/mips"  // register backend
+	_ "ccrp/internal/riscv" // register backend
 )
 
 func main() {
 	romMode := flag.Bool("rom", false, "input is a compressed CROM image (ccpack output)")
 	decoder := flag.String("decoder", "multi", "decode path for -rom: "+strings.Join(core.DecoderChoices(), "|"))
 	rawOut := flag.String("raw", "", "with -rom, also write the decompressed text bytes to this file")
+	isaName := flag.String("isa", "", "ISA backend for -rom text ("+strings.Join(isa.Names(), "|")+"; default "+isa.DefaultName+")")
 	version := cliutil.RegisterVersionFlag(flag.CommandLine)
 	flag.Parse()
 	cliutil.HandleVersionFlag("ccdis", version)
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ccdis [-rom [-decoder multi|fast|canonical] [-raw out.bin]] prog.img")
+		fmt.Fprintln(os.Stderr, "usage: ccdis [-rom [-isa name] [-decoder multi|fast|canonical] [-raw out.bin]] prog.img")
 		os.Exit(2)
 	}
 	f, err := os.Open(flag.Arg(0))
@@ -44,14 +50,18 @@ func main() {
 	defer f.Close()
 
 	var text []byte
+	arch, err := isa.Lookup(*isaName)
+	if err != nil {
+		fatal(err)
+	}
 	if *romMode {
-		kind, err := core.ParseDecoder(*decoder)
-		if err != nil {
-			fatal(err)
+		kind, derr := core.ParseDecoder(*decoder)
+		if derr != nil {
+			fatal(derr)
 		}
-		rom, err := core.ReadROMFileDecoder(f, kind)
-		if err != nil {
-			fatal(err)
+		rom, rerr := core.ReadROMFileDecoder(f, kind)
+		if rerr != nil {
+			fatal(rerr)
 		}
 		text = rom.Text()
 		if *rawOut != "" {
@@ -60,16 +70,19 @@ func main() {
 			}
 		}
 	} else {
-		prog, err := asm.ReadImage(f)
-		if err != nil {
-			fatal(err)
+		prog, rerr := asm.ReadImage(f)
+		if rerr != nil {
+			fatal(rerr)
 		}
 		text = prog.Text
+		if *isaName == "" {
+			arch = isa.MustLookup(prog.ISA)
+		}
 	}
 	for off := 0; off+4 <= len(text); off += 4 {
 		addr := asm.TextBase + uint32(off)
-		w := mips.Word(binary.LittleEndian.Uint32(text[off:]))
-		fmt.Printf("%08x  %08x  %s\n", addr, uint32(w), mips.Disassemble(w, addr))
+		w := isa.Word(binary.LittleEndian.Uint32(text[off:]))
+		fmt.Printf("%08x  %08x  %s\n", addr, uint32(w), arch.Disassemble(w, addr))
 	}
 }
 

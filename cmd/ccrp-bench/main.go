@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ccrp-bench [-exp all|fig1|fig2|fig5|fig9|tables1-8|tables9-10|tables11-13|ablations|extensions|paging|codepack[,...]]
+//	ccrp-bench [-exp all|fig1|fig2|fig5|fig9|tables1-8|tables9-10|tables11-13|ablations|extensions|paging|codepack|rvc[,...]]
 //	           [-j N] [-decoder multi|fast|canonical] [-json out.json]
 //	           [-trajectory out.json] [-label NAME]
 //	           [-metrics table|json|prom] [-events ev.jsonl] [-sample N]
@@ -127,6 +127,7 @@ func main() {
 		"extensions":  experiments.RenderExtensions,
 		"paging":      experiments.RenderPaging,
 		"codepack":    experiments.RenderCodePack,
+		"rvc":         experiments.RenderRVC,
 	}
 
 	if names == nil {

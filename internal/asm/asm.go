@@ -6,6 +6,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"ccrp/internal/isa"
 )
 
 const (
@@ -23,16 +25,34 @@ type stmt struct {
 	size    int
 }
 
-// Assemble assembles MIPS source into a loadable Program. name is used
-// only for diagnostics and Program.Name.
+// Assemble assembles source for the default ISA backend into a loadable
+// Program. name is used only for diagnostics and Program.Name.
 func Assemble(name, source string) (*Program, error) {
+	return AssembleFor("", name, source)
+}
+
+// AssembleFor assembles source for the named ISA backend (empty selects
+// the default). The backend must implement isa.AsmBackend; the front end
+// owns sections, labels, directives, and expressions, and delegates
+// instruction sizing and encoding to the backend.
+func AssembleFor(isaName, name, source string) (*Program, error) {
+	arch, err := isa.Lookup(isaName)
+	if err != nil {
+		return nil, err
+	}
+	be, ok := arch.(isa.AsmBackend)
+	if !ok {
+		return nil, fmt.Errorf("asm: ISA %q has no assembler backend", arch.Name())
+	}
 	stmts, err := parseSource(source)
 	if err != nil {
 		return nil, err
 	}
 	a := &assembler{
 		syms: make(symtab),
-		prog: &Program{Name: name, Symbols: make(map[string]uint32)},
+		prog: &Program{Name: name, ISA: arch.Name(), Symbols: make(map[string]uint32)},
+		be:   be,
+		wb:   arch.WordBytes(),
 	}
 	if err := a.pass1(stmts); err != nil {
 		return nil, err
@@ -52,6 +72,16 @@ func Assemble(name, source string) (*Program, error) {
 type assembler struct {
 	syms symtab
 	prog *Program
+	be   isa.AsmBackend
+	wb   int
+}
+
+// symEval evaluates an operand expression against the symbol table. In
+// pass 1 the table is only partially built, so forward references fail —
+// which is what forces li operands to be constants or already-defined
+// .equ values.
+func (a *assembler) symEval(s string) (uint32, error) {
+	return evalExpr(s, a.syms)
 }
 
 // parseSource splits source into statements: comments stripped, labels
@@ -196,9 +226,9 @@ func (a *assembler) pass1(stmts []*stmt) error {
 		if section != secText {
 			return errf(st.line, "instruction %q outside .text", st.op)
 		}
-		size, err := instrSize(st, a.syms)
+		size, err := a.be.InstSize(st.op, st.args, a.symEval)
 		if err != nil {
-			return err
+			return errf(st.line, "%v", err)
 		}
 		st.addr = *cur
 		st.size = size
@@ -224,18 +254,18 @@ func (a *assembler) pass2(stmts []*stmt) error {
 			}
 			continue
 		}
-		words, err := encodeInstr(st, a.syms)
+		words, err := a.be.EncodeInst(st.op, st.args, st.addr, a.symEval)
 		if err != nil {
-			return err
+			return errf(st.line, "%v", err)
 		}
-		if len(words)*4 != st.size {
+		if len(words)*a.wb != st.size {
 			return errf(st.line, "internal: %q sized %d bytes in pass 1 but emitted %d",
-				st.op, st.size, len(words)*4)
+				st.op, st.size, len(words)*a.wb)
 		}
 		for _, w := range words {
 			var b [4]byte
 			binary.LittleEndian.PutUint32(b[:], uint32(w))
-			a.prog.Text = append(a.prog.Text, b[:]...)
+			a.prog.Text = append(a.prog.Text, b[:a.wb]...)
 		}
 	}
 	return nil

@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
-
-	"ccrp/internal/mips"
 )
 
 // symtab resolves symbols during pass 2; during pass 1 it is nil and any
@@ -218,67 +216,3 @@ func isIdentChar(c byte) bool {
 func isHexDigit(c byte) bool {
 	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
 }
-
-// parseReg parses a general-purpose register operand ("$t0", "$29").
-func parseReg(s string) (uint8, error) {
-	s = strings.TrimSpace(s)
-	if !strings.HasPrefix(s, "$") {
-		return 0, fmt.Errorf("expected register, got %q", s)
-	}
-	r, ok := mips.RegNumber(s[1:])
-	if !ok {
-		return 0, fmt.Errorf("unknown register %q", s)
-	}
-	return r, nil
-}
-
-// parseFReg parses a floating-point register operand ("$f12").
-func parseFReg(s string) (uint8, error) {
-	s = strings.TrimSpace(s)
-	if !strings.HasPrefix(s, "$f") {
-		return 0, fmt.Errorf("expected FP register, got %q", s)
-	}
-	n, err := strconv.Atoi(s[2:])
-	if err != nil || n < 0 || n > 31 {
-		return 0, fmt.Errorf("unknown FP register %q", s)
-	}
-	return uint8(n), nil
-}
-
-// parseMem parses an "offset(base)" memory operand. It reports ok=false
-// (with no error) when the operand has no parenthesized base register, in
-// which case the caller treats it as a symbol-form pseudo access.
-func parseMem(s string, syms symtab) (off uint32, base uint8, ok bool, err error) {
-	s = strings.TrimSpace(s)
-	open := strings.LastIndexByte(s, '(')
-	if open < 0 || !strings.HasSuffix(s, ")") {
-		return 0, 0, false, nil
-	}
-	inner := s[open+1 : len(s)-1]
-	if !strings.HasPrefix(strings.TrimSpace(inner), "$") {
-		// "(expr)" without a register is just a parenthesized expression.
-		return 0, 0, false, nil
-	}
-	base, err = parseReg(inner)
-	if err != nil {
-		return 0, 0, false, err
-	}
-	offStr := strings.TrimSpace(s[:open])
-	if offStr == "" {
-		return 0, base, true, nil
-	}
-	off, err = evalExpr(offStr, syms)
-	if err != nil {
-		return 0, 0, false, err
-	}
-	return off, base, true, nil
-}
-
-// fitsInt16 reports whether v, viewed as signed, fits in 16 bits.
-func fitsInt16(v uint32) bool {
-	s := int32(v)
-	return s >= -32768 && s <= 32767
-}
-
-// fitsUint16 reports whether v fits in 16 unsigned bits.
-func fitsUint16(v uint32) bool { return v <= 0xFFFF }

@@ -12,21 +12,34 @@ import (
 
 const (
 	imageMagic   = 0x43435250 // "CCRP"
-	imageVersion = 1
+	imageVersion = 2
+
+	maxISANameLen = 64
 )
 
 // ErrBadImage is returned when parsing a malformed image file.
 var ErrBadImage = errors.New("asm: malformed image")
 
-// WriteImage serializes a Program.
+// WriteImage serializes a Program. Version 2 appends the ISA backend name
+// after the fixed header so ccsim/ccdis can pick the right backend without
+// a flag; version-1 images (no ISA field) are still readable and default
+// to MIPS.
 func (p *Program) WriteImage(w io.Writer) error {
-	var hdr [20]byte
+	isaName := p.ISA
+	if len(isaName) > maxISANameLen {
+		return fmt.Errorf("asm: ISA name %q too long", isaName)
+	}
+	var hdr [24]byte
 	binary.LittleEndian.PutUint32(hdr[0:], imageMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], imageVersion)
 	binary.LittleEndian.PutUint32(hdr[8:], p.Entry)
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(p.Text)))
 	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(p.Data)))
+	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(isaName)))
 	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, isaName); err != nil {
 		return err
 	}
 	if _, err := w.Write(p.Text); err != nil {
@@ -46,8 +59,9 @@ func ReadImage(r io.Reader) (*Program, error) {
 	if binary.LittleEndian.Uint32(hdr[0:]) != imageMagic {
 		return nil, fmt.Errorf("%w: bad magic", ErrBadImage)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != imageVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadImage, v)
+	version := binary.LittleEndian.Uint32(hdr[4:])
+	if version != 1 && version != imageVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadImage, version)
 	}
 	textLen := binary.LittleEndian.Uint32(hdr[12:])
 	dataLen := binary.LittleEndian.Uint32(hdr[16:])
@@ -59,6 +73,21 @@ func ReadImage(r io.Reader) (*Program, error) {
 		Text:    make([]byte, textLen),
 		Data:    make([]byte, dataLen),
 		Symbols: map[string]uint32{},
+	}
+	if version >= 2 {
+		var ext [4]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return nil, fmt.Errorf("%w: header: %v", ErrBadImage, err)
+		}
+		isaLen := binary.LittleEndian.Uint32(ext[0:])
+		if isaLen > maxISANameLen {
+			return nil, fmt.Errorf("%w: implausible ISA name length %d", ErrBadImage, isaLen)
+		}
+		name := make([]byte, isaLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("%w: ISA name: %v", ErrBadImage, err)
+		}
+		p.ISA = string(name)
 	}
 	if _, err := io.ReadFull(r, p.Text); err != nil {
 		return nil, fmt.Errorf("%w: text: %v", ErrBadImage, err)

@@ -1,11 +1,12 @@
-// Package asm implements a two-pass assembler for the MIPS R2000
-// instruction set, sufficient to build the embedded workload corpus from
-// source. It supports the usual sections and data directives, a practical
-// set of pseudo-instructions (li, la, move, blt-family, mul, l.d, ...),
-// %hi/%lo relocations, and SPIM-style register names.
+// Package asm implements a generic two-pass assembler front end,
+// sufficient to build the embedded workload corpus from source. The front
+// end owns sections, labels, data directives, expressions, and %hi/%lo
+// relocations; instruction sizing and encoding are delegated to an
+// isa.AsmBackend (MIPS R2000 by default, RV32I via internal/riscv), so
+// pseudo-instruction sets and register syntax are per-backend.
 //
 // The assembler plays the role of the paper's "traditional RISC compiler
-// and linker": its output is a plain R2000 object image whose text section
+// and linker": its output is a plain RISC object image whose text section
 // is then handed, unmodified, to the CCRP compression tool.
 package asm
 
@@ -25,9 +26,10 @@ const (
 	AddrSpace uint32 = 1 << 24    // 24-bit physical space
 )
 
-// Program is a fully linked, loadable R2000 image.
+// Program is a fully linked, loadable image.
 type Program struct {
 	Name    string
+	ISA     string // registered ISA backend name ("" means the default)
 	Text    []byte // instruction bytes, words little-endian, at TextBase
 	Data    []byte // initialized data at DataBase
 	Entry   uint32 // initial PC (symbol __start if defined, else TextBase)

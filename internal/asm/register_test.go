@@ -1,0 +1,6 @@
+package asm_test
+
+// The front-end tests assemble against the default backend; linking it
+// into the test binary registers it. The package proper stays free of
+// concrete ISA imports.
+import _ "ccrp/internal/mips"

@@ -36,11 +36,17 @@ func MemoryModel(name string) (memory.Model, error) {
 
 // ResolveWorkload resolves a -workload flag value.
 func ResolveWorkload(name string) (*workload.Workload, error) {
-	w, ok := workload.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("unknown workload %q (have %v)", name, workload.Names())
+	if w, ok := workload.ByName(name); ok {
+		return w, nil
 	}
-	return w, nil
+	if w, ok := workload.RISCVByName(name); ok {
+		return w, nil
+	}
+	rv := make([]string, 0, len(workload.RISCV()))
+	for _, w := range workload.RISCV() {
+		rv = append(rv, w.Name)
+	}
+	return nil, fmt.Errorf("unknown workload %q (have %v and %v)", name, workload.Names(), rv)
 }
 
 // LoadProgram reads an assembly source (.s/.asm, assembled on the spot)

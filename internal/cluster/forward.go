@@ -34,6 +34,11 @@ type ForwarderConfig struct {
 	// retry; 0 selects 25ms. The paper's refill engine retries nothing
 	// — but its bus never loses a line; HTTP does.
 	Backoff time.Duration
+	// MaxBackoff caps the doubled delay; 0 selects 2s. Without a cap
+	// the shift grows without bound (and past 63 doublings the shifted
+	// value is garbage), so large MaxAttempts settings would sleep for
+	// hours between late retries.
+	MaxBackoff time.Duration
 }
 
 // Forwarder routes one request to the healthy node owning its key,
@@ -59,6 +64,9 @@ func NewForwarder(cfg ForwarderConfig) *Forwarder {
 	}
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 25 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
 	}
 	return &Forwarder{cfg: cfg}
 }
@@ -116,15 +124,31 @@ func (f *Forwarder) Do(ctx context.Context, key, method, pathAndQuery string, he
 	res := &Result{}
 	var lastErr error
 	var last5xx *http.Response
+	var timer *time.Timer
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
 	for attempt := 0; attempt < f.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			// Exponential backoff between tries, abandoned the moment
-			// the client's own context expires.
-			delay := f.cfg.Backoff << (attempt - 1)
+			// the client's own context expires. One timer serves every
+			// retry; time.After would leak a timer per attempt until
+			// its delay elapsed.
+			delay := f.backoffDelay(attempt)
+			if timer == nil {
+				timer = time.NewTimer(delay)
+			} else {
+				timer.Reset(delay)
+			}
 			select {
 			case <-ctx.Done():
+				if last5xx != nil {
+					last5xx.Body.Close()
+				}
 				return nil, ctx.Err()
-			case <-time.After(delay):
+			case <-timer.C:
 			}
 		}
 		node := candidates[attempt%len(candidates)]
@@ -134,6 +158,9 @@ func (f *Forwarder) Do(ctx context.Context, key, method, pathAndQuery string, he
 			f.cfg.Health.ReportFailure(node, err)
 			lastErr = err
 			if ctx.Err() != nil {
+				if last5xx != nil {
+					last5xx.Body.Close()
+				}
 				return nil, ctx.Err()
 			}
 			continue
@@ -166,6 +193,22 @@ func (f *Forwarder) Do(ctx context.Context, key, method, pathAndQuery string, he
 	}
 	return nil, fmt.Errorf("cluster: all %d attempts failed for key %q: %w",
 		len(res.Attempts), key, lastErr)
+}
+
+// backoffDelay returns the capped exponential delay before the given
+// attempt (attempt >= 1).
+func (f *Forwarder) backoffDelay(attempt int) time.Duration {
+	delay := f.cfg.Backoff
+	for i := 1; i < attempt; i++ {
+		delay *= 2
+		if delay >= f.cfg.MaxBackoff || delay <= 0 { // <= 0: overflow
+			return f.cfg.MaxBackoff
+		}
+	}
+	if delay > f.cfg.MaxBackoff {
+		return f.cfg.MaxBackoff
+	}
+	return delay
 }
 
 // try issues one attempt against one node under the per-attempt

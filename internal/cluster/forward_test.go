@@ -206,6 +206,73 @@ func TestCandidatesHealthFilter(t *testing.T) {
 	}
 }
 
+// TestBackoffDelayCap: the per-retry delay doubles from Backoff but
+// never exceeds MaxBackoff, including attempt counts whose uncapped
+// shift would overflow time.Duration.
+func TestBackoffDelayCap(t *testing.T) {
+	fwd := NewForwarder(ForwarderConfig{
+		Ring:       New(0, "n1"),
+		Health:     NewChecker(CheckerConfig{Nodes: []string{"n1"}}),
+		Backoff:    10 * time.Millisecond,
+		MaxBackoff: 80 * time.Millisecond,
+	})
+	want := []time.Duration{
+		10 * time.Millisecond, // attempt 1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped from here on
+	}
+	for i, w := range want {
+		if got := fwd.backoffDelay(i + 1); got != w {
+			t.Errorf("backoffDelay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// 64+ doublings overflow int64; the cap must still hold.
+	for _, attempt := range []int{63, 64, 100} {
+		if got := fwd.backoffDelay(attempt); got != 80*time.Millisecond {
+			t.Errorf("backoffDelay(%d) = %v, want the cap", attempt, got)
+		}
+	}
+	// The default cap engages when the config leaves it zero.
+	def := NewForwarder(ForwarderConfig{
+		Ring:   New(0, "n1"),
+		Health: NewChecker(CheckerConfig{Nodes: []string{"n1"}}),
+	})
+	if def.cfg.MaxBackoff != 2*time.Second {
+		t.Errorf("default MaxBackoff = %v, want 2s", def.cfg.MaxBackoff)
+	}
+	if got := def.backoffDelay(100); got != 2*time.Second {
+		t.Errorf("default backoffDelay(100) = %v, want 2s", got)
+	}
+}
+
+// TestBackoffContextCancel: a context cancelled while Do sleeps between
+// retries aborts the wait promptly instead of serving out the delay.
+func TestBackoffContextCancel(t *testing.T) {
+	backends, fwd, _ := newFleet(t, 1)
+	backends[0].fail = true
+	fwd.cfg.Backoff = 10 * time.Second // would stall the second attempt
+	fwd.cfg.MaxBackoff = 10 * time.Second
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := fwd.Do(ctx, "k", http.MethodGet, "/v1/thing", nil, nil)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first attempt fail and the backoff start
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Do returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do still sleeping after cancel; backoff ignored the context")
+	}
+}
+
 // TestForwardPropagatesHeadersAndBody: the forwarded request carries
 // the caller's headers (the trace hop) and body bytes verbatim.
 func TestForwardPropagatesHeadersAndBody(t *testing.T) {

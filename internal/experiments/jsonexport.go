@@ -10,7 +10,7 @@ import (
 // the same names ccrp-bench accepts for -exp.
 var Experiments = []string{
 	"fig5", "fig1", "fig2", "tables1-8", "tables9-10", "fig9",
-	"tables11-13", "ablations", "extensions", "paging", "codepack",
+	"tables11-13", "ablations", "extensions", "paging", "codepack", "rvc",
 }
 
 // figure2JSON is the machine-readable Figure 2 address pairing.
@@ -93,6 +93,8 @@ func datapoints(name string) (any, error) {
 		return out, nil
 	case "paging":
 		return PagingStudy()
+	case "rvc":
+		return RVCComparison()
 	case "codepack":
 		out := codepackJSON{}
 		var err error

@@ -1,23 +1,24 @@
-package asm
+package mips_test
 
 import (
 	"encoding/binary"
 	"strings"
 	"testing"
 
+	"ccrp/internal/asm"
 	"ccrp/internal/mips"
 )
 
-func mustAssemble(t *testing.T, src string) *Program {
+func mustAssemble(t *testing.T, src string) *asm.Program {
 	t.Helper()
-	p, err := Assemble("test", src)
+	p, err := asm.Assemble("test", src)
 	if err != nil {
 		t.Fatalf("assemble: %v", err)
 	}
 	return p
 }
 
-func textWords(p *Program) []mips.Word {
+func textWords(p *asm.Program) []mips.Word {
 	words := make([]mips.Word, 0, len(p.Text)/4)
 	for i := 0; i+4 <= len(p.Text); i += 4 {
 		words = append(words, mips.Word(binary.LittleEndian.Uint32(p.Text[i:])))
@@ -139,10 +140,10 @@ msg:	.asciiz "hi\n"
 		lw $t1, var
 		lw $t2, msg+4
 	`)
-	if got := p.Symbols["var"]; got != DataBase {
-		t.Errorf("var = %#x, want %#x", got, DataBase)
+	if got := p.Symbols["var"]; got != asm.DataBase {
+		t.Errorf("var = %#x, want %#x", got, asm.DataBase)
 	}
-	if got := p.Symbols["msg"]; got != DataBase+8 {
+	if got := p.Symbols["msg"]; got != asm.DataBase+8 {
 		t.Errorf("msg = %#x", got)
 	}
 	if len(p.Data) != 8+4 {
@@ -158,7 +159,7 @@ msg:	.asciiz "hi\n"
 	// la var: lui $t0, hi; ori $t0, $t0, lo
 	lui := mips.Decode(words[0])
 	ori := mips.Decode(words[1])
-	if lui.Op != mips.OpLUI || uint32(lui.Imm)<<16|uint32(ori.Imm) != DataBase {
+	if lui.Op != mips.OpLUI || uint32(lui.Imm)<<16|uint32(ori.Imm) != asm.DataBase {
 		t.Errorf("la wrong: %s / %s", mips.Disassemble(words[0], 0), mips.Disassemble(words[1], 4))
 	}
 	// lw var: lui $at, adjhi; lw $t1, lo($at)
@@ -167,7 +168,7 @@ msg:	.asciiz "hi\n"
 		t.Errorf("symbol lw wrong: %s", mips.Disassemble(words[3], 12))
 	}
 	hi := uint32(mips.Decode(words[2]).Imm)
-	if hi<<16+uint32(int32(int16(lw.Imm))) != DataBase {
+	if hi<<16+uint32(int32(int16(lw.Imm))) != asm.DataBase {
 		t.Errorf("symbol lw address = %#x", hi<<16+uint32(int32(int16(lw.Imm))))
 	}
 }
@@ -275,7 +276,7 @@ out:	jr $ra
 }
 
 func TestOddDoubleRegisterRejected(t *testing.T) {
-	if _, err := Assemble("t", "l.d $f1, 0($a0)"); err == nil {
+	if _, err := asm.Assemble("t", "l.d $f1, 0($a0)"); err == nil {
 		t.Error("odd double register accepted")
 	}
 }
@@ -291,7 +292,7 @@ w:		.word SIZE
 		.text
 		li $t0, N
 	`)
-	if p.Symbols["w"] != DataBase+4 {
+	if p.Symbols["w"] != asm.DataBase+4 {
 		t.Errorf("aligned word at %#x", p.Symbols["w"])
 	}
 	if binary.LittleEndian.Uint32(p.Data[4:]) != 32 {
@@ -322,7 +323,7 @@ func TestErrors(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			_, err := Assemble("t", c.src)
+			_, err := asm.Assemble("t", c.src)
 			if err == nil {
 				t.Fatalf("no error for %q", c.src)
 			}
@@ -414,7 +415,7 @@ func BenchmarkAssemble(b *testing.B) {
 	b.SetBytes(int64(len(code)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := Assemble("bench", code); err != nil {
+		if _, err := asm.Assemble("bench", code); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -451,7 +452,7 @@ func TestExpressionErrors(t *testing.T) {
 		".data\nw: .word 5 5",
 	}
 	for _, src := range cases {
-		if _, err := Assemble("t", src); err == nil {
+		if _, err := asm.Assemble("t", src); err == nil {
 			t.Errorf("no error for %q", src)
 		}
 	}
@@ -617,7 +618,7 @@ func TestPseudoOperandErrors(t *testing.T) {
 		"syscall 1 2",
 	}
 	for _, src := range cases {
-		if _, err := Assemble("t", ".text\n"+src+"\n"); err == nil {
+		if _, err := asm.Assemble("t", ".text\n"+src+"\n"); err == nil {
 			t.Errorf("no error for %q", src)
 		}
 	}
@@ -625,17 +626,17 @@ func TestPseudoOperandErrors(t *testing.T) {
 
 func TestJumpRegionError(t *testing.T) {
 	// Jump targets must stay in the current 256MB region.
-	if _, err := Assemble("t", ".text\nj 0x10000004\n"); err == nil {
+	if _, err := asm.Assemble("t", ".text\nj 0x10000004\n"); err == nil {
 		t.Error("cross-region jump accepted")
 	}
-	if _, err := Assemble("t", ".text\nj 0x2\n"); err == nil {
+	if _, err := asm.Assemble("t", ".text\nj 0x2\n"); err == nil {
 		t.Error("unaligned jump accepted")
 	}
 }
 
 func TestSectionOverflowChecks(t *testing.T) {
 	// A .space larger than the data segment must be rejected.
-	if _, err := Assemble("t", ".data\n.space 0x1000000\n.text\nnop"); err == nil {
+	if _, err := asm.Assemble("t", ".data\n.space 0x1000000\n.text\nnop"); err == nil {
 		t.Error("oversized data accepted")
 	}
 }

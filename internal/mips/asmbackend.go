@@ -1,0 +1,578 @@
+package mips
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ccrp/internal/isa"
+)
+
+// This file is the MIPS half of the two-pass assembler: instruction
+// sizing (pass 1) and encoding (pass 2) behind isa.AsmBackend. The
+// generic front end (internal/asm) owns parsing, labels, sections, and
+// data directives, and hands statements here with an expression
+// evaluator closed over its symbol table.
+
+// InstSize returns the byte size of an instruction or pseudo-instruction
+// during pass 1. Sizes must be computable without label values; li
+// therefore requires a constant operand (use la for addresses). eval is
+// the pass-1 evaluator, which rejects symbols.
+func (Backend) InstSize(op string, args []string, eval isa.Evaluator) (int, error) {
+	switch op {
+	case "li":
+		if len(args) != 2 {
+			return 0, fmt.Errorf("li needs register, constant")
+		}
+		v, err := eval(args[1])
+		if err != nil {
+			return 0, fmt.Errorf("li: %v (use la for symbols)", err)
+		}
+		if fitsInt16(v) || fitsUint16(v) {
+			return 4, nil
+		}
+		return 8, nil
+	case "la":
+		return 8, nil
+	case "blt", "bgt", "ble", "bge", "bltu", "bgtu", "bleu", "bgeu":
+		return 8, nil
+	case "mul", "rem":
+		return 8, nil
+	case "div", "divu":
+		if len(args) == 3 {
+			return 8, nil
+		}
+		return 4, nil
+	case "l.d", "s.d":
+		return 8, nil
+	case "lb", "lbu", "lh", "lhu", "lw", "lwl", "lwr",
+		"sb", "sh", "sw", "swl", "swr", "lwc1", "swc1", "l.s", "s.s":
+		if len(args) != 2 {
+			return 0, fmt.Errorf("%s needs register, address", op)
+		}
+		_, _, ok, err := parseMem(args[1], eval)
+		if err != nil {
+			// Offsets with symbols resolve in pass 2; the size only
+			// depends on the operand's shape.
+			ok = strings.Contains(args[1], "($")
+		}
+		if ok {
+			return 4, nil
+		}
+		return 8, nil // symbol form: lui $at + access
+	}
+	return 4, nil
+}
+
+// EncodeInst translates one statement at address addr into machine words
+// during pass 2.
+func (Backend) EncodeInst(op string, args []string, addr uint32, eval isa.Evaluator) ([]isa.Word, error) {
+	e := encoder{op: op, args: args, addr: addr, eval: eval}
+	return e.encode()
+}
+
+type encoder struct {
+	op   string
+	args []string
+	addr uint32
+	eval isa.Evaluator
+}
+
+func (e *encoder) errf(format string, args ...any) error {
+	return fmt.Errorf("%s: %s", e.op, fmt.Sprintf(format, args...))
+}
+
+func (e *encoder) nargs(n int) error {
+	if len(e.args) != n {
+		return e.errf("expected %d operands, got %d", n, len(e.args))
+	}
+	return nil
+}
+
+func (e *encoder) reg(i int) (uint8, error)  { return parseReg(e.args[i]) }
+func (e *encoder) freg(i int) (uint8, error) { return parseFReg(e.args[i]) }
+func (e *encoder) expr(i int) (uint32, error) {
+	v, err := e.eval(e.args[i])
+	if err != nil {
+		return 0, e.errf("%v", err)
+	}
+	return v, nil
+}
+
+// branchOff computes the 16-bit word offset for a branch at address base
+// (the address of the branch word itself, which may be the second word
+// of a pseudo expansion).
+func (e *encoder) branchOff(target uint32, base uint32) (uint16, error) {
+	diff := int64(target) - int64(base+4)
+	if diff&3 != 0 {
+		return 0, e.errf("branch target %#x not word aligned", target)
+	}
+	off := diff >> 2
+	if off < -32768 || off > 32767 {
+		return 0, e.errf("branch target %#x out of range (%d words)", target, off)
+	}
+	return uint16(off), nil
+}
+
+func word(i Inst) isa.Word { return isa.Word(Encode(i)) }
+
+func (e *encoder) encode() ([]isa.Word, error) {
+	op := e.op
+
+	if ops, ok := realOp3[op]; ok { // op rd, rs, rt
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{word(Inst{Op: ops, Rd: rd, Rs: rs, Rt: rt})}, nil
+	}
+	if ops, ok := shiftVOp[op]; ok { // op rd, rt, rs
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{word(Inst{Op: ops, Rd: rd, Rt: rt, Rs: rs})}, nil
+	}
+	if ops, ok := shiftIOp[op]; ok { // op rd, rt, shamt
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		sh, err := e.expr(2)
+		if err != nil {
+			return nil, err
+		}
+		if sh > 31 {
+			return nil, e.errf("shift amount %d out of range", sh)
+		}
+		return []isa.Word{word(Inst{Op: ops, Rd: rd, Rt: rt, Shamt: uint8(sh)})}, nil
+	}
+	if ops, ok := immOp[op]; ok { // op rt, rs, imm
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.expr(2)
+		if err != nil {
+			return nil, err
+		}
+		signed := op == "addi" || op == "addiu" || op == "slti" || op == "sltiu"
+		if signed && !fitsInt16(v) || !signed && !fitsUint16(v) {
+			return nil, e.errf("immediate %#x out of 16-bit range", v)
+		}
+		return []isa.Word{word(Inst{Op: ops, Rt: rt, Rs: rs, Imm: uint16(v)})}, nil
+	}
+	if ops, ok := memOp[op]; ok {
+		return e.encodeMem(ops)
+	}
+	if ops, ok := fp3Op[op]; ok { // op fd, fs, ft
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		fd, err := e.freg(0)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := e.freg(1)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := e.freg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{word(Inst{Op: ops, Shamt: fd, Rd: fs, Rt: ft})}, nil
+	}
+	if ops, ok := fp2Op[op]; ok { // op fd, fs
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		fd, err := e.freg(0)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := e.freg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{word(Inst{Op: ops, Shamt: fd, Rd: fs})}, nil
+	}
+	if ops, ok := fpCmpOp[op]; ok { // op fs, ft
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		fs, err := e.freg(0)
+		if err != nil {
+			return nil, err
+		}
+		ft, err := e.freg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{word(Inst{Op: ops, Rd: fs, Rt: ft})}, nil
+	}
+
+	switch op {
+	case "nop", "syscall":
+		if err := e.nargs(0); err != nil {
+			return nil, err
+		}
+		if op == "nop" {
+			return []isa.Word{0}, nil
+		}
+		return []isa.Word{word(Inst{Op: OpSYSCALL})}, nil
+	case "break":
+		// Optional code operand (bits 25..6), which the disassembler
+		// always prints.
+		switch len(e.args) {
+		case 0:
+			return []isa.Word{word(Inst{Op: OpBREAK})}, nil
+		case 1:
+			code, err := e.expr(0)
+			if err != nil {
+				return nil, err
+			}
+			if code > 0xFFFFF {
+				return nil, e.errf("break code %#x out of 20-bit range", code)
+			}
+			return []isa.Word{isa.Word(code<<6 | fnBREAK)}, nil
+		}
+		return nil, e.errf("expected 0 or 1 operands")
+	case "mult", "multu":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		o := OpMULT
+		if op == "multu" {
+			o = OpMULTU
+		}
+		return []isa.Word{word(Inst{Op: o, Rs: rs, Rt: rt})}, nil
+	case "div", "divu":
+		return e.encodeDiv()
+	case "mfhi", "mflo":
+		if err := e.nargs(1); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		o := OpMFHI
+		if op == "mflo" {
+			o = OpMFLO
+		}
+		return []isa.Word{word(Inst{Op: o, Rd: rd})}, nil
+	case "mthi", "mtlo":
+		if err := e.nargs(1); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		o := OpMTHI
+		if op == "mtlo" {
+			o = OpMTLO
+		}
+		return []isa.Word{word(Inst{Op: o, Rs: rs})}, nil
+	case "jr":
+		if err := e.nargs(1); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{word(Inst{Op: OpJR, Rs: rs})}, nil
+	case "jalr":
+		rd := uint8(RegRA)
+		var rs uint8
+		var err error
+		switch len(e.args) {
+		case 1:
+			rs, err = e.reg(0)
+		case 2:
+			if rd, err = e.reg(0); err == nil {
+				rs, err = e.reg(1)
+			}
+		default:
+			return nil, e.errf("expected 1 or 2 operands")
+		}
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{word(Inst{Op: OpJALR, Rd: rd, Rs: rs})}, nil
+	case "lui":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.expr(1)
+		if err != nil {
+			return nil, err
+		}
+		if !fitsUint16(v) {
+			return nil, e.errf("immediate %#x out of 16-bit range", v)
+		}
+		return []isa.Word{word(Inst{Op: OpLUI, Rt: rt, Imm: uint16(v)})}, nil
+	case "j", "jal":
+		if err := e.nargs(1); err != nil {
+			return nil, err
+		}
+		v, err := e.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		if v&3 != 0 {
+			return nil, e.errf("jump target %#x not word aligned", v)
+		}
+		if (e.addr+4)&0xF0000000 != v&0xF0000000 {
+			return nil, e.errf("jump target %#x outside current 256MB region", v)
+		}
+		o := OpJ
+		if op == "jal" {
+			o = OpJAL
+		}
+		return []isa.Word{word(Inst{Op: o, Target: v >> 2 & 0x03FFFFFF})}, nil
+	case "beq", "bne":
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := e.expr(2)
+		if err != nil {
+			return nil, err
+		}
+		off, err := e.branchOff(tgt, e.addr)
+		if err != nil {
+			return nil, err
+		}
+		o := OpBEQ
+		if op == "bne" {
+			o = OpBNE
+		}
+		return []isa.Word{word(Inst{Op: o, Rs: rs, Rt: rt, Imm: off})}, nil
+	case "blez", "bgtz", "bltz", "bgez", "bltzal", "bgezal":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := e.expr(1)
+		if err != nil {
+			return nil, err
+		}
+		off, err := e.branchOff(tgt, e.addr)
+		if err != nil {
+			return nil, err
+		}
+		o := map[string]Op{
+			"blez": OpBLEZ, "bgtz": OpBGTZ, "bltz": OpBLTZ,
+			"bgez": OpBGEZ, "bltzal": OpBLTZAL, "bgezal": OpBGEZAL,
+		}[op]
+		return []isa.Word{word(Inst{Op: o, Rs: rs, Imm: off})}, nil
+	case "bc1t", "bc1f":
+		if err := e.nargs(1); err != nil {
+			return nil, err
+		}
+		tgt, err := e.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		off, err := e.branchOff(tgt, e.addr)
+		if err != nil {
+			return nil, err
+		}
+		o := OpBC1T
+		if op == "bc1f" {
+			o = OpBC1F
+		}
+		return []isa.Word{word(Inst{Op: o, Imm: off})}, nil
+	case "mfc1", "mtc1":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rt, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		fs, err := e.freg(1)
+		if err != nil {
+			return nil, err
+		}
+		o := OpMFC1
+		if op == "mtc1" {
+			o = OpMTC1
+		}
+		return []isa.Word{word(Inst{Op: o, Rt: rt, Rd: fs})}, nil
+	}
+	return e.encodePseudo()
+}
+
+var realOp3 = map[string]Op{
+	"add": OpADD, "addu": OpADDU, "sub": OpSUB, "subu": OpSUBU,
+	"and": OpAND, "or": OpOR, "xor": OpXOR, "nor": OpNOR,
+	"slt": OpSLT, "sltu": OpSLTU,
+}
+
+var shiftVOp = map[string]Op{
+	"sllv": OpSLLV, "srlv": OpSRLV, "srav": OpSRAV,
+}
+
+var shiftIOp = map[string]Op{
+	"sll": OpSLL, "srl": OpSRL, "sra": OpSRA,
+}
+
+var immOp = map[string]Op{
+	"addi": OpADDI, "addiu": OpADDIU, "slti": OpSLTI,
+	"sltiu": OpSLTIU, "andi": OpANDI, "ori": OpORI, "xori": OpXORI,
+}
+
+var memOp = map[string]Op{
+	"lb": OpLB, "lbu": OpLBU, "lh": OpLH, "lhu": OpLHU,
+	"lw": OpLW, "lwl": OpLWL, "lwr": OpLWR,
+	"sb": OpSB, "sh": OpSH, "sw": OpSW,
+	"swl": OpSWL, "swr": OpSWR,
+	"lwc1": OpLWC1, "swc1": OpSWC1,
+	"l.s": OpLWC1, "s.s": OpSWC1,
+}
+
+var fp3Op = map[string]Op{
+	"add.s": OpADDS, "add.d": OpADDD, "sub.s": OpSUBS, "sub.d": OpSUBD,
+	"mul.s": OpMULS, "mul.d": OpMULD, "div.s": OpDIVS, "div.d": OpDIVD,
+}
+
+var fp2Op = map[string]Op{
+	"abs.s": OpABSS, "abs.d": OpABSD, "mov.s": OpMOVS, "mov.d": OpMOVD,
+	"neg.s": OpNEGS, "neg.d": OpNEGD,
+	"cvt.s.d": OpCVTSD, "cvt.s.w": OpCVTSW, "cvt.d.s": OpCVTDS,
+	"cvt.d.w": OpCVTDW, "cvt.w.s": OpCVTWS, "cvt.w.d": OpCVTWD,
+}
+
+var fpCmpOp = map[string]Op{
+	"c.eq.s": OpCEQS, "c.eq.d": OpCEQD, "c.lt.s": OpCLTS,
+	"c.lt.d": OpCLTD, "c.le.s": OpCLES, "c.le.d": OpCLED,
+}
+
+// evenFPReg checks whether an FP register number is valid for doubles.
+func evenFPReg(r uint8) bool { return r%2 == 0 }
+
+// parseReg parses a general-purpose register operand ("$t0", "$29").
+func parseReg(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	r, ok := RegNumber(s[1:])
+	if !ok {
+		return 0, fmt.Errorf("unknown register %q", s)
+	}
+	return r, nil
+}
+
+// parseFReg parses a floating-point register operand ("$f12").
+func parseFReg(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "$f") {
+		return 0, fmt.Errorf("expected FP register, got %q", s)
+	}
+	n, err := strconv.Atoi(s[2:])
+	if err != nil || n < 0 || n > 31 {
+		return 0, fmt.Errorf("unknown FP register %q", s)
+	}
+	return uint8(n), nil
+}
+
+// parseMem parses an "offset(base)" memory operand. It reports ok=false
+// (with no error) when the operand has no parenthesized base register, in
+// which case the caller treats it as a symbol-form pseudo access.
+func parseMem(s string, eval isa.Evaluator) (off uint32, base uint8, ok bool, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.LastIndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, false, nil
+	}
+	inner := s[open+1 : len(s)-1]
+	if !strings.HasPrefix(strings.TrimSpace(inner), "$") {
+		// "(expr)" without a register is just a parenthesized expression.
+		return 0, 0, false, nil
+	}
+	base, err = parseReg(inner)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		return 0, base, true, nil
+	}
+	off, err = eval(offStr)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	return off, base, true, nil
+}
+
+// fitsInt16 reports whether v, viewed as signed, fits in 16 bits.
+func fitsInt16(v uint32) bool {
+	s := int32(v)
+	return s >= -32768 && s <= 32767
+}
+
+// fitsUint16 reports whether v fits in 16 unsigned bits.
+func fitsUint16(v uint32) bool { return v <= 0xFFFF }

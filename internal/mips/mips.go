@@ -77,8 +77,15 @@ func RegNumber(name string) (uint8, bool) {
 	return 0, false
 }
 
-// FPRegName returns the name ("$f12") of FP register r.
-func FPRegName(r uint8) string { return fmt.Sprintf("$f%d", r) }
+// FPRegName returns the name ("$f12") of FP register r. Out-of-range
+// numbers render with the same "$?" marker RegName uses, so an invalid
+// encoding can never disassemble to a plausible-looking register.
+func FPRegName(r uint8) string {
+	if r < 32 {
+		return fmt.Sprintf("$f%d", r)
+	}
+	return fmt.Sprintf("$?f%d", r)
+}
 
 // Primary opcode field values (bits 31..26).
 const (

@@ -1,5 +1,7 @@
 package mips
 
+import "ccrp/internal/isa"
+
 // Op identifies a decoded machine operation (mnemonic level).
 type Op uint8
 
@@ -115,21 +117,22 @@ const (
 )
 
 // Class groups operations by pipeline behaviour; the simulator's stall
-// model and the trace generator key off it.
-type Class uint8
+// model and the trace generator key off it. The MIPS classes are exactly
+// the shared isa.Class set, so the type is an alias.
+type Class = isa.Class
 
 const (
-	ClassALU    Class = iota // single-cycle integer
-	ClassShift               // single-cycle shifts
-	ClassMulDiv              // multi-cycle HI/LO producers
-	ClassHILO                // HI/LO moves (interlock consumers)
-	ClassLoad                // memory read (has a load delay slot)
-	ClassStore               // memory write
-	ClassBranch              // conditional PC-relative
-	ClassJump                // unconditional jump / jump-and-link / register jump
-	ClassSys                 // SYSCALL, BREAK
-	ClassFPU                 // COP1 arithmetic / moves
-	ClassFPBr                // COP1 condition branch
+	ClassALU    = isa.ClassALU    // single-cycle integer
+	ClassShift  = isa.ClassShift  // single-cycle shifts
+	ClassMulDiv = isa.ClassMulDiv // multi-cycle HI/LO producers
+	ClassHILO   = isa.ClassHILO   // HI/LO moves (interlock consumers)
+	ClassLoad   = isa.ClassLoad   // memory read (has a load delay slot)
+	ClassStore  = isa.ClassStore  // memory write
+	ClassBranch = isa.ClassBranch // conditional PC-relative
+	ClassJump   = isa.ClassJump   // unconditional jump / jump-and-link / register jump
+	ClassSys    = isa.ClassSys    // SYSCALL, BREAK
+	ClassFPU    = isa.ClassFPU    // COP1 arithmetic / moves
+	ClassFPBr   = isa.ClassFPBr   // COP1 condition branch
 )
 
 type opInfo struct {

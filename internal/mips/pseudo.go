@@ -1,16 +1,19 @@
-package asm
+package mips
 
-import (
-	"ccrp/internal/mips"
-)
+import "ccrp/internal/isa"
+
+// Pseudo-instruction expansions for the assembler backend, matching the
+// conventional SPIM set: move/not/neg, li/la through $at-free forms,
+// compare-and-branch through $at, mul/rem through HI/LO, and double-word
+// FP memory access.
 
 // encodeMem handles loads and stores, in both the direct "rt, off(base)"
 // form and the symbol form "rt, sym(+off)", which expands through $at.
-func (e *encoder) encodeMem(op mips.Op) ([]mips.Word, error) {
+func (e *encoder) encodeMem(op Op) ([]isa.Word, error) {
 	if err := e.nargs(2); err != nil {
 		return nil, err
 	}
-	isFP := op == mips.OpLWC1 || op == mips.OpSWC1
+	isFP := op == OpLWC1 || op == OpSWC1
 	var rt uint8
 	var err error
 	if isFP {
@@ -21,7 +24,7 @@ func (e *encoder) encodeMem(op mips.Op) ([]mips.Word, error) {
 	if err != nil {
 		return nil, err
 	}
-	off, base, direct, err := parseMem(e.st.args[1], e.syms)
+	off, base, direct, err := parseMem(e.args[1], e.eval)
 	if err != nil {
 		return nil, e.errf("%v", err)
 	}
@@ -29,7 +32,7 @@ func (e *encoder) encodeMem(op mips.Op) ([]mips.Word, error) {
 		if !fitsInt16(off) {
 			return nil, e.errf("offset %#x out of 16-bit range", off)
 		}
-		return []mips.Word{word(mips.Inst{Op: op, Rt: rt, Rs: base, Imm: uint16(off)})}, nil
+		return []isa.Word{word(Inst{Op: op, Rt: rt, Rs: base, Imm: uint16(off)})}, nil
 	}
 	// Symbol form: lui $at, adjusted-hi(addr); op rt, lo(addr)($at).
 	// The load offset is sign-extended, so the high half is adjusted up
@@ -40,20 +43,20 @@ func (e *encoder) encodeMem(op mips.Op) ([]mips.Word, error) {
 	}
 	lo := addr & 0xFFFF
 	hi := (addr + 0x8000) >> 16
-	return []mips.Word{
-		word(mips.Inst{Op: mips.OpLUI, Rt: mips.RegAT, Imm: uint16(hi)}),
-		word(mips.Inst{Op: op, Rt: rt, Rs: mips.RegAT, Imm: uint16(lo)}),
+	return []isa.Word{
+		word(Inst{Op: OpLUI, Rt: RegAT, Imm: uint16(hi)}),
+		word(Inst{Op: op, Rt: rt, Rs: RegAT, Imm: uint16(lo)}),
 	}, nil
 }
 
 // encodeDiv handles both the real two-operand div/divu and the
 // three-operand pseudo (div rd, rs, rt -> div rs, rt; mflo rd).
-func (e *encoder) encodeDiv() ([]mips.Word, error) {
-	op := mips.OpDIV
-	if e.st.op == "divu" {
-		op = mips.OpDIVU
+func (e *encoder) encodeDiv() ([]isa.Word, error) {
+	op := OpDIV
+	if e.op == "divu" {
+		op = OpDIVU
 	}
-	switch len(e.st.args) {
+	switch len(e.args) {
 	case 2:
 		rs, err := e.reg(0)
 		if err != nil {
@@ -63,7 +66,7 @@ func (e *encoder) encodeDiv() ([]mips.Word, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []mips.Word{word(mips.Inst{Op: op, Rs: rs, Rt: rt})}, nil
+		return []isa.Word{word(Inst{Op: op, Rs: rs, Rt: rt})}, nil
 	case 3:
 		rd, err := e.reg(0)
 		if err != nil {
@@ -77,18 +80,17 @@ func (e *encoder) encodeDiv() ([]mips.Word, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []mips.Word{
-			word(mips.Inst{Op: op, Rs: rs, Rt: rt}),
-			word(mips.Inst{Op: mips.OpMFLO, Rd: rd}),
+		return []isa.Word{
+			word(Inst{Op: op, Rs: rs, Rt: rt}),
+			word(Inst{Op: OpMFLO, Rd: rd}),
 		}, nil
 	}
 	return nil, e.errf("expected 2 or 3 operands")
 }
 
 // encodePseudo handles the remaining pseudo-instructions.
-func (e *encoder) encodePseudo() ([]mips.Word, error) {
-	st := e.st
-	switch st.op {
+func (e *encoder) encodePseudo() ([]isa.Word, error) {
+	switch e.op {
 	case "move":
 		if err := e.nargs(2); err != nil {
 			return nil, err
@@ -101,7 +103,7 @@ func (e *encoder) encodePseudo() ([]mips.Word, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []mips.Word{word(mips.Inst{Op: mips.OpADDU, Rd: rd, Rs: rs, Rt: mips.RegZero})}, nil
+		return []isa.Word{word(Inst{Op: OpADDU, Rd: rd, Rs: rs, Rt: RegZero})}, nil
 	case "not":
 		if err := e.nargs(2); err != nil {
 			return nil, err
@@ -114,7 +116,7 @@ func (e *encoder) encodePseudo() ([]mips.Word, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []mips.Word{word(mips.Inst{Op: mips.OpNOR, Rd: rd, Rs: rs, Rt: mips.RegZero})}, nil
+		return []isa.Word{word(Inst{Op: OpNOR, Rd: rd, Rs: rs, Rt: RegZero})}, nil
 	case "neg", "negu":
 		if err := e.nargs(2); err != nil {
 			return nil, err
@@ -127,11 +129,11 @@ func (e *encoder) encodePseudo() ([]mips.Word, error) {
 		if err != nil {
 			return nil, err
 		}
-		op := mips.OpSUB
-		if st.op == "negu" {
-			op = mips.OpSUBU
+		op := OpSUB
+		if e.op == "negu" {
+			op = OpSUBU
 		}
-		return []mips.Word{word(mips.Inst{Op: op, Rd: rd, Rs: mips.RegZero, Rt: rt})}, nil
+		return []isa.Word{word(Inst{Op: op, Rd: rd, Rs: RegZero, Rt: rt})}, nil
 	case "li":
 		if err := e.nargs(2); err != nil {
 			return nil, err
@@ -146,13 +148,13 @@ func (e *encoder) encodePseudo() ([]mips.Word, error) {
 		}
 		switch {
 		case fitsInt16(v):
-			return []mips.Word{word(mips.Inst{Op: mips.OpADDIU, Rt: rt, Rs: mips.RegZero, Imm: uint16(v)})}, nil
+			return []isa.Word{word(Inst{Op: OpADDIU, Rt: rt, Rs: RegZero, Imm: uint16(v)})}, nil
 		case fitsUint16(v):
-			return []mips.Word{word(mips.Inst{Op: mips.OpORI, Rt: rt, Rs: mips.RegZero, Imm: uint16(v)})}, nil
+			return []isa.Word{word(Inst{Op: OpORI, Rt: rt, Rs: RegZero, Imm: uint16(v)})}, nil
 		default:
-			return []mips.Word{
-				word(mips.Inst{Op: mips.OpLUI, Rt: rt, Imm: uint16(v >> 16)}),
-				word(mips.Inst{Op: mips.OpORI, Rt: rt, Rs: rt, Imm: uint16(v)}),
+			return []isa.Word{
+				word(Inst{Op: OpLUI, Rt: rt, Imm: uint16(v >> 16)}),
+				word(Inst{Op: OpORI, Rt: rt, Rs: rt, Imm: uint16(v)}),
 			}, nil
 		}
 	case "la":
@@ -167,9 +169,9 @@ func (e *encoder) encodePseudo() ([]mips.Word, error) {
 		if err != nil {
 			return nil, err
 		}
-		return []mips.Word{
-			word(mips.Inst{Op: mips.OpLUI, Rt: rt, Imm: uint16(v >> 16)}),
-			word(mips.Inst{Op: mips.OpORI, Rt: rt, Rs: rt, Imm: uint16(v)}),
+		return []isa.Word{
+			word(Inst{Op: OpLUI, Rt: rt, Imm: uint16(v >> 16)}),
+			word(Inst{Op: OpORI, Rt: rt, Rs: rt, Imm: uint16(v)}),
 		}, nil
 	case "b":
 		if err := e.nargs(1); err != nil {
@@ -179,11 +181,11 @@ func (e *encoder) encodePseudo() ([]mips.Word, error) {
 		if err != nil {
 			return nil, err
 		}
-		off, err := e.branchOff(tgt, st.addr)
+		off, err := e.branchOff(tgt, e.addr)
 		if err != nil {
 			return nil, err
 		}
-		return []mips.Word{word(mips.Inst{Op: mips.OpBEQ, Imm: off})}, nil
+		return []isa.Word{word(Inst{Op: OpBEQ, Imm: off})}, nil
 	case "beqz", "bnez":
 		if err := e.nargs(2); err != nil {
 			return nil, err
@@ -196,15 +198,15 @@ func (e *encoder) encodePseudo() ([]mips.Word, error) {
 		if err != nil {
 			return nil, err
 		}
-		off, err := e.branchOff(tgt, st.addr)
+		off, err := e.branchOff(tgt, e.addr)
 		if err != nil {
 			return nil, err
 		}
-		op := mips.OpBEQ
-		if st.op == "bnez" {
-			op = mips.OpBNE
+		op := OpBEQ
+		if e.op == "bnez" {
+			op = OpBNE
 		}
-		return []mips.Word{word(mips.Inst{Op: op, Rs: rs, Imm: off})}, nil
+		return []isa.Word{word(Inst{Op: op, Rs: rs, Imm: off})}, nil
 	case "blt", "bgt", "ble", "bge", "bltu", "bgtu", "bleu", "bgeu":
 		return e.encodeCmpBranch()
 	case "mul", "rem":
@@ -223,17 +225,17 @@ func (e *encoder) encodePseudo() ([]mips.Word, error) {
 		if err != nil {
 			return nil, err
 		}
-		moveOp := mips.OpMFLO
-		if st.op == "rem" {
-			moveOp = mips.OpMFHI
+		moveOp := OpMFLO
+		if e.op == "rem" {
+			moveOp = OpMFHI
 		}
-		first := mips.OpMULT
-		if st.op == "rem" {
-			first = mips.OpDIV
+		first := OpMULT
+		if e.op == "rem" {
+			first = OpDIV
 		}
-		return []mips.Word{
-			word(mips.Inst{Op: first, Rs: rs, Rt: rt}),
-			word(mips.Inst{Op: moveOp, Rd: rd}),
+		return []isa.Word{
+			word(Inst{Op: first, Rs: rs, Rt: rt}),
+			word(Inst{Op: moveOp, Rd: rd}),
 		}, nil
 	case "l.d", "s.d":
 		return e.encodeDoubleMem()
@@ -243,7 +245,7 @@ func (e *encoder) encodePseudo() ([]mips.Word, error) {
 
 // encodeCmpBranch expands the two-register compare-and-branch pseudos
 // through $at: slt(u) $at, a, b ; bne/beq $at, $zero, target.
-func (e *encoder) encodeCmpBranch() ([]mips.Word, error) {
+func (e *encoder) encodeCmpBranch() ([]isa.Word, error) {
 	if err := e.nargs(3); err != nil {
 		return nil, err
 	}
@@ -260,36 +262,36 @@ func (e *encoder) encodeCmpBranch() ([]mips.Word, error) {
 		return nil, err
 	}
 	// The branch is the second word of the expansion.
-	off, err := e.branchOff(tgt, e.st.addr+4)
+	off, err := e.branchOff(tgt, e.addr+4)
 	if err != nil {
 		return nil, err
 	}
-	sltOp := mips.OpSLT
-	if e.st.op[len(e.st.op)-1] == 'u' {
-		sltOp = mips.OpSLTU
+	sltOp := OpSLT
+	if e.op[len(e.op)-1] == 'u' {
+		sltOp = OpSLTU
 	}
 	var a, b uint8
-	var brOp mips.Op
-	switch e.st.op {
+	var brOp Op
+	switch e.op {
 	case "blt", "bltu": // rs < rt
-		a, b, brOp = rs, rt, mips.OpBNE
+		a, b, brOp = rs, rt, OpBNE
 	case "bge", "bgeu": // !(rs < rt)
-		a, b, brOp = rs, rt, mips.OpBEQ
+		a, b, brOp = rs, rt, OpBEQ
 	case "bgt", "bgtu": // rt < rs
-		a, b, brOp = rt, rs, mips.OpBNE
+		a, b, brOp = rt, rs, OpBNE
 	case "ble", "bleu": // !(rt < rs)
-		a, b, brOp = rt, rs, mips.OpBEQ
+		a, b, brOp = rt, rs, OpBEQ
 	}
-	return []mips.Word{
-		word(mips.Inst{Op: sltOp, Rd: mips.RegAT, Rs: a, Rt: b}),
-		word(mips.Inst{Op: brOp, Rs: mips.RegAT, Rt: mips.RegZero, Imm: off}),
+	return []isa.Word{
+		word(Inst{Op: sltOp, Rd: RegAT, Rs: a, Rt: b}),
+		word(Inst{Op: brOp, Rs: RegAT, Rt: RegZero, Imm: off}),
 	}, nil
 }
 
 // encodeDoubleMem expands l.d/s.d into a pair of single-word FP accesses.
 // Little-endian doubles: the even register holds the low word at the
 // lower address.
-func (e *encoder) encodeDoubleMem() ([]mips.Word, error) {
+func (e *encoder) encodeDoubleMem() ([]isa.Word, error) {
 	if err := e.nargs(2); err != nil {
 		return nil, err
 	}
@@ -300,7 +302,7 @@ func (e *encoder) encodeDoubleMem() ([]mips.Word, error) {
 	if !evenFPReg(ft) {
 		return nil, e.errf("double-precision register %d must be even", ft)
 	}
-	off, base, direct, err := parseMem(e.st.args[1], e.syms)
+	off, base, direct, err := parseMem(e.args[1], e.eval)
 	if err != nil {
 		return nil, e.errf("%v", err)
 	}
@@ -310,12 +312,12 @@ func (e *encoder) encodeDoubleMem() ([]mips.Word, error) {
 	if !fitsInt16(off) || !fitsInt16(off+4) {
 		return nil, e.errf("offset %#x out of 16-bit range", off)
 	}
-	op := mips.OpLWC1
-	if e.st.op == "s.d" {
-		op = mips.OpSWC1
+	op := OpLWC1
+	if e.op == "s.d" {
+		op = OpSWC1
 	}
-	return []mips.Word{
-		word(mips.Inst{Op: op, Rt: ft, Rs: base, Imm: uint16(off)}),
-		word(mips.Inst{Op: op, Rt: ft + 1, Rs: base, Imm: uint16(off + 4)}),
+	return []isa.Word{
+		word(Inst{Op: op, Rt: ft, Rs: base, Imm: uint16(off)}),
+		word(Inst{Op: op, Rt: ft + 1, Rs: base, Imm: uint16(off + 4)}),
 	}, nil
 }

@@ -1,0 +1,536 @@
+package riscv
+
+import (
+	"fmt"
+	"strings"
+
+	"ccrp/internal/isa"
+)
+
+// This file is the RV32 half of the two-pass assembler (isa.AsmBackend):
+// instruction sizing, encoding, and the standard pseudo-instructions. The
+// syntax is conventional RISC-V assembler syntax — bare ABI register
+// names, "off(base)" memory operands, absolute branch targets.
+
+// fitsInt12 reports whether v, viewed as signed, fits in 12 bits.
+func fitsInt12(v uint32) bool {
+	s := int32(v)
+	return s >= -2048 && s <= 2047
+}
+
+// InstSize returns the byte size of an instruction or pseudo-instruction
+// during pass 1. As on MIPS, li requires a constant operand so its size
+// is known before labels resolve.
+func (Backend) InstSize(op string, args []string, eval isa.Evaluator) (int, error) {
+	switch op {
+	case "li":
+		if len(args) != 2 {
+			return 0, fmt.Errorf("li needs register, constant")
+		}
+		v, err := eval(args[1])
+		if err != nil {
+			return 0, fmt.Errorf("li: %v (use la for symbols)", err)
+		}
+		if fitsInt12(v) {
+			return 4, nil
+		}
+		return 8, nil
+	case "la":
+		return 8, nil
+	}
+	return 4, nil
+}
+
+// EncodeInst translates one statement at address addr into machine words
+// during pass 2.
+func (Backend) EncodeInst(op string, args []string, addr uint32, eval isa.Evaluator) ([]isa.Word, error) {
+	e := rvEncoder{op: op, args: args, addr: addr, eval: eval}
+	return e.encode()
+}
+
+type rvEncoder struct {
+	op   string
+	args []string
+	addr uint32
+	eval isa.Evaluator
+}
+
+func (e *rvEncoder) errf(format string, args ...any) error {
+	return fmt.Errorf("%s: %s", e.op, fmt.Sprintf(format, args...))
+}
+
+func (e *rvEncoder) nargs(n int) error {
+	if len(e.args) != n {
+		return e.errf("expected %d operands, got %d", n, len(e.args))
+	}
+	return nil
+}
+
+func (e *rvEncoder) reg(i int) (uint8, error) { return parseRVReg(e.args[i]) }
+
+func (e *rvEncoder) expr(i int) (uint32, error) {
+	v, err := e.eval(e.args[i])
+	if err != nil {
+		return 0, e.errf("%v", err)
+	}
+	return v, nil
+}
+
+// mem parses args[i] as "offset(base)".
+func (e *rvEncoder) mem(i int) (int32, uint8, error) {
+	s := strings.TrimSpace(e.args[i])
+	open := strings.LastIndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, e.errf("expected offset(base), got %q", s)
+	}
+	base, err := parseRVReg(s[open+1 : len(s)-1])
+	if err != nil {
+		return 0, 0, e.errf("%v", err)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	var off uint32
+	if offStr != "" {
+		off, err = e.eval(offStr)
+		if err != nil {
+			return 0, 0, e.errf("%v", err)
+		}
+	}
+	if !fitsInt12(off) {
+		return 0, 0, e.errf("offset %d out of 12-bit range", int32(off))
+	}
+	return int32(off), base, nil
+}
+
+// branchImm computes the PC-relative immediate to target for an
+// instruction at e.addr, checking range and 2-byte alignment.
+func (e *rvEncoder) branchImm(target uint32, lo, hi int32) (int32, error) {
+	diff := int32(target - e.addr)
+	if diff&1 != 0 {
+		return 0, e.errf("target %#x not halfword aligned", target)
+	}
+	if diff < lo || diff > hi {
+		return 0, e.errf("target %#x out of range (offset %d)", target, diff)
+	}
+	return diff, nil
+}
+
+func rvWord(i Inst) isa.Word { return isa.Word(Encode(i)) }
+
+var rvR3Op = map[string]Op{
+	"add": OpADD, "sub": OpSUB, "sll": OpSLL, "slt": OpSLT,
+	"sltu": OpSLTU, "xor": OpXOR, "srl": OpSRL, "sra": OpSRA,
+	"or": OpOR, "and": OpAND,
+	"mul": OpMUL, "mulh": OpMULH, "mulhsu": OpMULHSU, "mulhu": OpMULHU,
+	"div": OpDIV, "divu": OpDIVU, "rem": OpREM, "remu": OpREMU,
+}
+
+var rvImmOp = map[string]Op{
+	"addi": OpADDI, "slti": OpSLTI, "sltiu": OpSLTIU,
+	"xori": OpXORI, "ori": OpORI, "andi": OpANDI,
+}
+
+var rvShiftOp = map[string]Op{
+	"slli": OpSLLI, "srli": OpSRLI, "srai": OpSRAI,
+}
+
+var rvLoadOp = map[string]Op{
+	"lb": OpLB, "lh": OpLH, "lw": OpLW, "lbu": OpLBU, "lhu": OpLHU,
+}
+
+var rvStoreOp = map[string]Op{
+	"sb": OpSB, "sh": OpSH, "sw": OpSW,
+}
+
+var rvBranchOp = map[string]Op{
+	"beq": OpBEQ, "bne": OpBNE, "blt": OpBLT,
+	"bge": OpBGE, "bltu": OpBLTU, "bgeu": OpBGEU,
+}
+
+func (e *rvEncoder) encode() ([]isa.Word, error) {
+	op := e.op
+
+	if ops, ok := rvR3Op[op]; ok { // op rd, rs1, rs2
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := e.reg(2)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{rvWord(Inst{Op: ops, Rd: rd, Rs1: rs1, Rs2: rs2})}, nil
+	}
+	if ops, ok := rvImmOp[op]; ok { // op rd, rs1, imm
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.expr(2)
+		if err != nil {
+			return nil, err
+		}
+		if !fitsInt12(v) {
+			return nil, e.errf("immediate %d out of 12-bit range", int32(v))
+		}
+		return []isa.Word{rvWord(Inst{Op: ops, Rd: rd, Rs1: rs1, Imm: int32(v)})}, nil
+	}
+	if ops, ok := rvShiftOp[op]; ok { // op rd, rs1, shamt
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs1, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		sh, err := e.expr(2)
+		if err != nil {
+			return nil, err
+		}
+		if sh > 31 {
+			return nil, e.errf("shift amount %d out of range", sh)
+		}
+		return []isa.Word{rvWord(Inst{Op: ops, Rd: rd, Rs1: rs1, Imm: int32(sh)})}, nil
+	}
+	if ops, ok := rvLoadOp[op]; ok { // op rd, off(base)
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		off, base, err := e.mem(1)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{rvWord(Inst{Op: ops, Rd: rd, Rs1: base, Imm: off})}, nil
+	}
+	if ops, ok := rvStoreOp[op]; ok { // op rs2, off(base)
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rs2, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		off, base, err := e.mem(1)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{rvWord(Inst{Op: ops, Rs2: rs2, Rs1: base, Imm: off})}, nil
+	}
+	if ops, ok := rvBranchOp[op]; ok { // op rs1, rs2, target
+		if err := e.nargs(3); err != nil {
+			return nil, err
+		}
+		rs1, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs2, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := e.expr(2)
+		if err != nil {
+			return nil, err
+		}
+		imm, err := e.branchImm(tgt, -4096, 4094)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{rvWord(Inst{Op: ops, Rs1: rs1, Rs2: rs2, Imm: imm})}, nil
+	}
+
+	switch op {
+	case "lui", "auipc":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.expr(1)
+		if err != nil {
+			return nil, err
+		}
+		if v > 0xFFFFF {
+			return nil, e.errf("immediate %#x out of 20-bit range", v)
+		}
+		o := OpLUI
+		if op == "auipc" {
+			o = OpAUIPC
+		}
+		return []isa.Word{rvWord(Inst{Op: o, Rd: rd, Imm: int32(v << 12)})}, nil
+	case "jal":
+		// jal target | jal rd, target
+		rd := RegRA
+		ti := 0
+		var err error
+		switch len(e.args) {
+		case 1:
+		case 2:
+			if rd, err = e.reg(0); err != nil {
+				return nil, err
+			}
+			ti = 1
+		default:
+			return nil, e.errf("expected 1 or 2 operands")
+		}
+		tgt, err := e.expr(ti)
+		if err != nil {
+			return nil, err
+		}
+		imm, err := e.branchImm(tgt, -1<<20, 1<<20-2)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{rvWord(Inst{Op: OpJAL, Rd: rd, Imm: imm})}, nil
+	case "jalr":
+		// jalr rs1 | jalr rd, off(rs1)
+		switch len(e.args) {
+		case 1:
+			rs1, err := e.reg(0)
+			if err != nil {
+				return nil, err
+			}
+			return []isa.Word{rvWord(Inst{Op: OpJALR, Rd: RegRA, Rs1: rs1})}, nil
+		case 2:
+			rd, err := e.reg(0)
+			if err != nil {
+				return nil, err
+			}
+			off, base, err := e.mem(1)
+			if err != nil {
+				return nil, err
+			}
+			return []isa.Word{rvWord(Inst{Op: OpJALR, Rd: rd, Rs1: base, Imm: off})}, nil
+		}
+		return nil, e.errf("expected 1 or 2 operands")
+	case "ecall", "ebreak", "fence", "nop", "ret":
+		if err := e.nargs(0); err != nil {
+			return nil, err
+		}
+		switch op {
+		case "ecall":
+			return []isa.Word{rvWord(Inst{Op: OpECALL})}, nil
+		case "ebreak":
+			return []isa.Word{rvWord(Inst{Op: OpEBREAK})}, nil
+		case "fence":
+			return []isa.Word{rvWord(Inst{Op: OpFENCE})}, nil
+		case "nop":
+			return []isa.Word{rvWord(Inst{Op: OpADDI})}, nil
+		default: // ret
+			return []isa.Word{rvWord(Inst{Op: OpJALR, Rs1: RegRA})}, nil
+		}
+	}
+	return e.encodePseudo()
+}
+
+// encodePseudo handles the standard multi-word and aliasing pseudos.
+func (e *rvEncoder) encodePseudo() ([]isa.Word, error) {
+	switch e.op {
+	case "li":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.expr(1)
+		if err != nil {
+			return nil, err
+		}
+		return liWords(rd, v), nil
+	case "la":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		v, err := e.expr(1)
+		if err != nil {
+			return nil, err
+		}
+		// Always two words so the size is label-independent.
+		hi, lo := splitImm(v)
+		return []isa.Word{
+			rvWord(Inst{Op: OpLUI, Rd: rd, Imm: int32(hi << 12)}),
+			rvWord(Inst{Op: OpADDI, Rd: rd, Rs1: rd, Imm: lo}),
+		}, nil
+	case "mv":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{rvWord(Inst{Op: OpADDI, Rd: rd, Rs1: rs})}, nil
+	case "neg":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{rvWord(Inst{Op: OpSUB, Rd: rd, Rs2: rs})}, nil
+	case "not":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{rvWord(Inst{Op: OpXORI, Rd: rd, Rs1: rs, Imm: -1})}, nil
+	case "seqz":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{rvWord(Inst{Op: OpSLTIU, Rd: rd, Rs1: rs, Imm: 1})}, nil
+	case "snez":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rd, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(1)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{rvWord(Inst{Op: OpSLTU, Rd: rd, Rs2: rs})}, nil
+	case "j", "call":
+		if err := e.nargs(1); err != nil {
+			return nil, err
+		}
+		tgt, err := e.expr(0)
+		if err != nil {
+			return nil, err
+		}
+		imm, err := e.branchImm(tgt, -1<<20, 1<<20-2)
+		if err != nil {
+			return nil, err
+		}
+		rd := RegZero
+		if e.op == "call" {
+			rd = RegRA
+		}
+		return []isa.Word{rvWord(Inst{Op: OpJAL, Rd: rd, Imm: imm})}, nil
+	case "jr":
+		if err := e.nargs(1); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Word{rvWord(Inst{Op: OpJALR, Rs1: rs})}, nil
+	case "beqz", "bnez", "bltz", "bgez", "blez", "bgtz":
+		if err := e.nargs(2); err != nil {
+			return nil, err
+		}
+		rs, err := e.reg(0)
+		if err != nil {
+			return nil, err
+		}
+		tgt, err := e.expr(1)
+		if err != nil {
+			return nil, err
+		}
+		imm, err := e.branchImm(tgt, -4096, 4094)
+		if err != nil {
+			return nil, err
+		}
+		var inst Inst
+		switch e.op {
+		case "beqz":
+			inst = Inst{Op: OpBEQ, Rs1: rs, Imm: imm}
+		case "bnez":
+			inst = Inst{Op: OpBNE, Rs1: rs, Imm: imm}
+		case "bltz":
+			inst = Inst{Op: OpBLT, Rs1: rs, Imm: imm}
+		case "bgez":
+			inst = Inst{Op: OpBGE, Rs1: rs, Imm: imm}
+		case "blez": // rs <= 0  <=>  0 >= rs  <=>  bge x0, rs
+			inst = Inst{Op: OpBGE, Rs2: rs, Imm: imm}
+		default: // bgtz: rs > 0  <=>  0 < rs  <=>  blt x0, rs
+			inst = Inst{Op: OpBLT, Rs2: rs, Imm: imm}
+		}
+		return []isa.Word{rvWord(inst)}, nil
+	}
+	return nil, fmt.Errorf("unknown instruction %q", e.op)
+}
+
+// splitImm splits v into a hi20/lo12 pair such that
+// (hi<<12) + signext(lo) == v.
+func splitImm(v uint32) (hi uint32, lo int32) {
+	hi = (v + 0x800) >> 12 & 0xFFFFF
+	lo = int32(v<<20) >> 20
+	return hi, lo
+}
+
+// liWords materialises constant v into rd.
+func liWords(rd uint8, v uint32) []isa.Word {
+	if fitsInt12(v) {
+		return []isa.Word{rvWord(Inst{Op: OpADDI, Rd: rd, Imm: int32(v)})}
+	}
+	hi, lo := splitImm(v)
+	words := []isa.Word{rvWord(Inst{Op: OpLUI, Rd: rd, Imm: int32(hi << 12)})}
+	return append(words, rvWord(Inst{Op: OpADDI, Rd: rd, Rs1: rd, Imm: lo}))
+}
+
+// parseRVReg parses a bare register operand ("a0", "x5", "fp").
+func parseRVReg(s string) (uint8, error) {
+	s = strings.TrimSpace(s)
+	r, ok := RegNumber(s)
+	if !ok {
+		return 0, fmt.Errorf("unknown register %q", s)
+	}
+	return r, nil
+}

@@ -1,0 +1,431 @@
+package riscv
+
+import (
+	"fmt"
+
+	"ccrp/internal/isa"
+)
+
+// RV32I base opcodes (bits 6:0).
+const (
+	opcLUI    = 0x37
+	opcAUIPC  = 0x17
+	opcJAL    = 0x6F
+	opcJALR   = 0x67
+	opcBranch = 0x63
+	opcLoad   = 0x03
+	opcStore  = 0x23
+	opcOpImm  = 0x13
+	opcOp     = 0x33
+	opcMiscM  = 0x0F
+	opcSystem = 0x73
+)
+
+// Op identifies one RV32I+M operation.
+type Op uint8
+
+const (
+	OpInvalid Op = iota
+	OpLUI
+	OpAUIPC
+	OpJAL
+	OpJALR
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+	OpLB
+	OpLH
+	OpLW
+	OpLBU
+	OpLHU
+	OpSB
+	OpSH
+	OpSW
+	OpADDI
+	OpSLTI
+	OpSLTIU
+	OpXORI
+	OpORI
+	OpANDI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpADD
+	OpSUB
+	OpSLL
+	OpSLT
+	OpSLTU
+	OpXOR
+	OpSRL
+	OpSRA
+	OpOR
+	OpAND
+	OpMUL
+	OpMULH
+	OpMULHSU
+	OpMULHU
+	OpDIV
+	OpDIVU
+	OpREM
+	OpREMU
+	OpFENCE
+	OpECALL
+	OpEBREAK
+	numOps
+)
+
+var opTable = [numOps]struct {
+	name  string
+	class isa.Class
+}{
+	OpInvalid: {"invalid", isa.ClassSys},
+	OpLUI:     {"lui", isa.ClassALU},
+	OpAUIPC:   {"auipc", isa.ClassALU},
+	OpJAL:     {"jal", isa.ClassJump},
+	OpJALR:    {"jalr", isa.ClassJump},
+	OpBEQ:     {"beq", isa.ClassBranch},
+	OpBNE:     {"bne", isa.ClassBranch},
+	OpBLT:     {"blt", isa.ClassBranch},
+	OpBGE:     {"bge", isa.ClassBranch},
+	OpBLTU:    {"bltu", isa.ClassBranch},
+	OpBGEU:    {"bgeu", isa.ClassBranch},
+	OpLB:      {"lb", isa.ClassLoad},
+	OpLH:      {"lh", isa.ClassLoad},
+	OpLW:      {"lw", isa.ClassLoad},
+	OpLBU:     {"lbu", isa.ClassLoad},
+	OpLHU:     {"lhu", isa.ClassLoad},
+	OpSB:      {"sb", isa.ClassStore},
+	OpSH:      {"sh", isa.ClassStore},
+	OpSW:      {"sw", isa.ClassStore},
+	OpADDI:    {"addi", isa.ClassALU},
+	OpSLTI:    {"slti", isa.ClassALU},
+	OpSLTIU:   {"sltiu", isa.ClassALU},
+	OpXORI:    {"xori", isa.ClassALU},
+	OpORI:     {"ori", isa.ClassALU},
+	OpANDI:    {"andi", isa.ClassALU},
+	OpSLLI:    {"slli", isa.ClassShift},
+	OpSRLI:    {"srli", isa.ClassShift},
+	OpSRAI:    {"srai", isa.ClassShift},
+	OpADD:     {"add", isa.ClassALU},
+	OpSUB:     {"sub", isa.ClassALU},
+	OpSLL:     {"sll", isa.ClassShift},
+	OpSLT:     {"slt", isa.ClassALU},
+	OpSLTU:    {"sltu", isa.ClassALU},
+	OpXOR:     {"xor", isa.ClassALU},
+	OpSRL:     {"srl", isa.ClassShift},
+	OpSRA:     {"sra", isa.ClassShift},
+	OpOR:      {"or", isa.ClassALU},
+	OpAND:     {"and", isa.ClassALU},
+	OpMUL:     {"mul", isa.ClassMulDiv},
+	OpMULH:    {"mulh", isa.ClassMulDiv},
+	OpMULHSU:  {"mulhsu", isa.ClassMulDiv},
+	OpMULHU:   {"mulhu", isa.ClassMulDiv},
+	OpDIV:     {"div", isa.ClassMulDiv},
+	OpDIVU:    {"divu", isa.ClassMulDiv},
+	OpREM:     {"rem", isa.ClassMulDiv},
+	OpREMU:    {"remu", isa.ClassMulDiv},
+	OpFENCE:   {"fence", isa.ClassSys},
+	OpECALL:   {"ecall", isa.ClassSys},
+	OpEBREAK:  {"ebreak", isa.ClassSys},
+}
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if o < numOps {
+		return opTable[o].name
+	}
+	return "invalid"
+}
+
+// Class returns the pipeline class.
+func (o Op) Class() isa.Class {
+	if o < numOps {
+		return opTable[o].class
+	}
+	return isa.ClassSys
+}
+
+// Inst is one decoded RV32I+M instruction.
+type Inst struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm int32 // sign-extended immediate (shamt for shifts, imm20<<12 for LUI/AUIPC)
+}
+
+// immI extracts the sign-extended I-type immediate.
+func immI(w uint32) int32 { return int32(w) >> 20 }
+
+// immS extracts the sign-extended S-type immediate.
+func immS(w uint32) int32 {
+	return int32(w&0xFE000000)>>20 | int32(w>>7&0x1F)
+}
+
+// immB extracts the sign-extended B-type immediate.
+func immB(w uint32) int32 {
+	return int32(w&0x80000000)>>19 |
+		int32(w<<4&0x800) | // bit 7 -> imm[11]
+		int32(w>>20&0x7E0) |
+		int32(w>>7&0x1E)
+}
+
+// immU extracts the U-type immediate (already shifted into place).
+func immU(w uint32) int32 { return int32(w & 0xFFFFF000) }
+
+// immJ extracts the sign-extended J-type immediate.
+func immJ(w uint32) int32 {
+	return int32(w&0x80000000)>>11 |
+		int32(w&0x000FF000) | // imm[19:12]
+		int32(w>>9&0x800) | // bit 20 -> imm[11]
+		int32(w>>20&0x7FE)
+}
+
+// Decode decodes one 32-bit word. Invalid encodings produce OpInvalid.
+func Decode(w uint32) Inst {
+	rd := uint8(w >> 7 & 0x1F)
+	rs1 := uint8(w >> 15 & 0x1F)
+	rs2 := uint8(w >> 20 & 0x1F)
+	f3 := w >> 12 & 7
+	f7 := w >> 25
+	switch w & 0x7F {
+	case opcLUI:
+		return Inst{Op: OpLUI, Rd: rd, Imm: immU(w)}
+	case opcAUIPC:
+		return Inst{Op: OpAUIPC, Rd: rd, Imm: immU(w)}
+	case opcJAL:
+		return Inst{Op: OpJAL, Rd: rd, Imm: immJ(w)}
+	case opcJALR:
+		if f3 == 0 {
+			return Inst{Op: OpJALR, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		}
+	case opcBranch:
+		ops := [8]Op{OpBEQ, OpBNE, 0, 0, OpBLT, OpBGE, OpBLTU, OpBGEU}
+		if op := ops[f3]; op != OpInvalid {
+			return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immB(w)}
+		}
+	case opcLoad:
+		ops := [8]Op{OpLB, OpLH, OpLW, 0, OpLBU, OpLHU, 0, 0}
+		if op := ops[f3]; op != OpInvalid {
+			return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		}
+	case opcStore:
+		ops := [8]Op{OpSB, OpSH, OpSW, 0, 0, 0, 0, 0}
+		if op := ops[f3]; op != OpInvalid {
+			return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: immS(w)}
+		}
+	case opcOpImm:
+		switch f3 {
+		case 0:
+			return Inst{Op: OpADDI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 1:
+			if f7 == 0 {
+				return Inst{Op: OpSLLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}
+			}
+		case 2:
+			return Inst{Op: OpSLTI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 3:
+			return Inst{Op: OpSLTIU, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 4:
+			return Inst{Op: OpXORI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 5:
+			if f7 == 0 {
+				return Inst{Op: OpSRLI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}
+			}
+			if f7 == 0x20 {
+				return Inst{Op: OpSRAI, Rd: rd, Rs1: rs1, Imm: int32(rs2)}
+			}
+		case 6:
+			return Inst{Op: OpORI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		case 7:
+			return Inst{Op: OpANDI, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		}
+	case opcOp:
+		switch f7 {
+		case 0:
+			ops := [8]Op{OpADD, OpSLL, OpSLT, OpSLTU, OpXOR, OpSRL, OpOR, OpAND}
+			return Inst{Op: ops[f3], Rd: rd, Rs1: rs1, Rs2: rs2}
+		case 0x20:
+			if f3 == 0 {
+				return Inst{Op: OpSUB, Rd: rd, Rs1: rs1, Rs2: rs2}
+			}
+			if f3 == 5 {
+				return Inst{Op: OpSRA, Rd: rd, Rs1: rs1, Rs2: rs2}
+			}
+		case 1: // M extension
+			ops := [8]Op{OpMUL, OpMULH, OpMULHSU, OpMULHU, OpDIV, OpDIVU, OpREM, OpREMU}
+			return Inst{Op: ops[f3], Rd: rd, Rs1: rs1, Rs2: rs2}
+		}
+	case opcMiscM:
+		if f3 == 0 {
+			return Inst{Op: OpFENCE, Rd: rd, Rs1: rs1, Imm: immI(w)}
+		}
+	case opcSystem:
+		if f3 == 0 && rd == 0 && rs1 == 0 {
+			switch w >> 20 {
+			case 0:
+				return Inst{Op: OpECALL}
+			case 1:
+				return Inst{Op: OpEBREAK}
+			}
+		}
+	}
+	return Inst{Op: OpInvalid}
+}
+
+// Encode produces the 32-bit word for inst. It panics on OpInvalid
+// (programming error, same contract as the MIPS encoder).
+func Encode(inst Inst) uint32 {
+	rd := uint32(inst.Rd & 31)
+	rs1 := uint32(inst.Rs1 & 31)
+	rs2 := uint32(inst.Rs2 & 31)
+	imm := uint32(inst.Imm)
+	enc := func(opc, f3, f7 uint32) uint32 {
+		return f7<<25 | rs2<<20 | rs1<<15 | f3<<12 | rd<<7 | opc
+	}
+	encI := func(opc, f3 uint32) uint32 {
+		return imm<<20 | rs1<<15 | f3<<12 | rd<<7 | opc
+	}
+	encS := func(f3 uint32) uint32 {
+		return imm>>5&0x7F<<25 | rs2<<20 | rs1<<15 | f3<<12 | imm&0x1F<<7 | opcStore
+	}
+	encB := func(f3 uint32) uint32 {
+		return imm>>12&1<<31 | imm>>5&0x3F<<25 | rs2<<20 | rs1<<15 |
+			f3<<12 | imm>>1&0xF<<8 | imm>>11&1<<7 | opcBranch
+	}
+	switch inst.Op {
+	case OpLUI:
+		return imm&0xFFFFF000 | rd<<7 | opcLUI
+	case OpAUIPC:
+		return imm&0xFFFFF000 | rd<<7 | opcAUIPC
+	case OpJAL:
+		return imm>>20&1<<31 | imm>>1&0x3FF<<21 | imm>>11&1<<20 |
+			imm>>12&0xFF<<12 | rd<<7 | opcJAL
+	case OpJALR:
+		return encI(opcJALR, 0)
+	case OpBEQ:
+		return encB(0)
+	case OpBNE:
+		return encB(1)
+	case OpBLT:
+		return encB(4)
+	case OpBGE:
+		return encB(5)
+	case OpBLTU:
+		return encB(6)
+	case OpBGEU:
+		return encB(7)
+	case OpLB:
+		return encI(opcLoad, 0)
+	case OpLH:
+		return encI(opcLoad, 1)
+	case OpLW:
+		return encI(opcLoad, 2)
+	case OpLBU:
+		return encI(opcLoad, 4)
+	case OpLHU:
+		return encI(opcLoad, 5)
+	case OpSB:
+		return encS(0)
+	case OpSH:
+		return encS(1)
+	case OpSW:
+		return encS(2)
+	case OpADDI:
+		return encI(opcOpImm, 0)
+	case OpSLTI:
+		return encI(opcOpImm, 2)
+	case OpSLTIU:
+		return encI(opcOpImm, 3)
+	case OpXORI:
+		return encI(opcOpImm, 4)
+	case OpORI:
+		return encI(opcOpImm, 6)
+	case OpANDI:
+		return encI(opcOpImm, 7)
+	case OpSLLI:
+		return imm&0x1F<<20 | rs1<<15 | 1<<12 | rd<<7 | opcOpImm
+	case OpSRLI:
+		return imm&0x1F<<20 | rs1<<15 | 5<<12 | rd<<7 | opcOpImm
+	case OpSRAI:
+		return 0x20<<25 | imm&0x1F<<20 | rs1<<15 | 5<<12 | rd<<7 | opcOpImm
+	case OpADD:
+		return enc(opcOp, 0, 0)
+	case OpSUB:
+		return enc(opcOp, 0, 0x20)
+	case OpSLL:
+		return enc(opcOp, 1, 0)
+	case OpSLT:
+		return enc(opcOp, 2, 0)
+	case OpSLTU:
+		return enc(opcOp, 3, 0)
+	case OpXOR:
+		return enc(opcOp, 4, 0)
+	case OpSRL:
+		return enc(opcOp, 5, 0)
+	case OpSRA:
+		return enc(opcOp, 5, 0x20)
+	case OpOR:
+		return enc(opcOp, 6, 0)
+	case OpAND:
+		return enc(opcOp, 7, 0)
+	case OpMUL:
+		return enc(opcOp, 0, 1)
+	case OpMULH:
+		return enc(opcOp, 1, 1)
+	case OpMULHSU:
+		return enc(opcOp, 2, 1)
+	case OpMULHU:
+		return enc(opcOp, 3, 1)
+	case OpDIV:
+		return enc(opcOp, 4, 1)
+	case OpDIVU:
+		return enc(opcOp, 5, 1)
+	case OpREM:
+		return enc(opcOp, 6, 1)
+	case OpREMU:
+		return enc(opcOp, 7, 1)
+	case OpFENCE:
+		return encI(opcMiscM, 0)
+	case OpECALL:
+		return opcSystem
+	case OpEBREAK:
+		return 1<<20 | opcSystem
+	}
+	panic(fmt.Sprintf("riscv: cannot encode op %v", inst.Op))
+}
+
+// Disassemble renders the word at pc in the syntax the assembler backend
+// accepts (branch and jal targets are absolute hex addresses).
+func Disassemble(w uint32, pc uint32) string {
+	inst := Decode(w)
+	r := RegName
+	switch inst.Op {
+	case OpInvalid:
+		return fmt.Sprintf(".word 0x%08x", w)
+	case OpLUI, OpAUIPC:
+		return fmt.Sprintf("%s %s, 0x%x", inst.Op, r(inst.Rd), uint32(inst.Imm)>>12)
+	case OpJAL:
+		return fmt.Sprintf("jal %s, 0x%08x", r(inst.Rd), pc+uint32(inst.Imm))
+	case OpJALR:
+		return fmt.Sprintf("jalr %s, %d(%s)", r(inst.Rd), inst.Imm, r(inst.Rs1))
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpBLTU, OpBGEU:
+		return fmt.Sprintf("%s %s, %s, 0x%08x", inst.Op, r(inst.Rs1), r(inst.Rs2), pc+uint32(inst.Imm))
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU:
+		return fmt.Sprintf("%s %s, %d(%s)", inst.Op, r(inst.Rd), inst.Imm, r(inst.Rs1))
+	case OpSB, OpSH, OpSW:
+		return fmt.Sprintf("%s %s, %d(%s)", inst.Op, r(inst.Rs2), inst.Imm, r(inst.Rs1))
+	case OpADDI, OpSLTI, OpSLTIU, OpXORI, OpORI, OpANDI,
+		OpSLLI, OpSRLI, OpSRAI:
+		return fmt.Sprintf("%s %s, %s, %d", inst.Op, r(inst.Rd), r(inst.Rs1), inst.Imm)
+	case OpFENCE:
+		return "fence"
+	case OpECALL, OpEBREAK:
+		return inst.Op.String()
+	default: // R-type
+		return fmt.Sprintf("%s %s, %s, %s", inst.Op, r(inst.Rd), r(inst.Rs1), r(inst.Rs2))
+	}
+}

@@ -1,0 +1,355 @@
+package riscv
+
+// RVC: the RISC-V "C" standard compressed-instruction extension, RV32
+// subset without floating point. Expand maps a 16-bit compressed
+// halfword to the 32-bit instruction it abbreviates (the hardware
+// expansion every RVC front end performs between fetch and decode);
+// Compress is the inverse used by the size experiments. Together they
+// model the fixed-dictionary alternative to the paper's per-program
+// Huffman tables: RVC spends zero table bytes and decompresses in one
+// gate level, but only ever halves the common instructions CCRP can
+// squeeze below 16 bits.
+//
+// Bit-shuffle reference: "The RISC-V Instruction Set Manual, Volume I",
+// chapter 16, and the Ripes rv_uncompress tables.
+
+// bit extracts bit i of h.
+func bit(h uint16, i uint) uint32 { return uint32(h>>i) & 1 }
+
+// bits extracts the field h[hi:lo].
+func bits(h uint16, hi, lo uint) uint32 {
+	return uint32(h>>lo) & (1<<(hi-lo+1) - 1)
+}
+
+// signext sign-extends the low n bits of v.
+func signext(v uint32, n uint) int32 {
+	sh := 32 - n
+	return int32(v<<sh) >> sh
+}
+
+// rdPrime maps a 3-bit compressed register field to x8..x15.
+func rdPrime(f uint32) uint8 { return uint8(8 + f) }
+
+// Expand decodes compressed halfword h into the 32-bit instruction it
+// stands for. ok is false for encodings outside the RV32IC integer
+// subset (including the all-zero illegal instruction and the FP loads
+// and stores).
+func Expand(h uint16) (uint32, bool) {
+	if h == 0 {
+		return 0, false // defined illegal instruction
+	}
+	quadrant := h & 3
+	funct3 := bits(h, 15, 13)
+	switch quadrant {
+	case 0:
+		rd := rdPrime(bits(h, 4, 2))
+		rs1 := rdPrime(bits(h, 9, 7))
+		switch funct3 {
+		case 0: // c.addi4spn -> addi rd', sp, nzuimm
+			uimm := bits(h, 12, 11)<<4 | bits(h, 10, 7)<<6 |
+				bit(h, 6)<<2 | bit(h, 5)<<3
+			if uimm == 0 {
+				return 0, false // reserved
+			}
+			return Encode(Inst{Op: OpADDI, Rd: rd, Rs1: RegSP, Imm: int32(uimm)}), true
+		case 2: // c.lw -> lw rd', uimm(rs1')
+			uimm := bits(h, 12, 10)<<3 | bit(h, 6)<<2 | bit(h, 5)<<6
+			return Encode(Inst{Op: OpLW, Rd: rd, Rs1: rs1, Imm: int32(uimm)}), true
+		case 6: // c.sw -> sw rs2', uimm(rs1')
+			uimm := bits(h, 12, 10)<<3 | bit(h, 6)<<2 | bit(h, 5)<<6
+			return Encode(Inst{Op: OpSW, Rs2: rd, Rs1: rs1, Imm: int32(uimm)}), true
+		}
+		return 0, false // c.fld/c.flw/c.fsd/c.fsw and reserved
+	case 1:
+		switch funct3 {
+		case 0: // c.nop / c.addi rd, rd, nzimm
+			rd := uint8(bits(h, 11, 7))
+			imm := signext(bit(h, 12)<<5|bits(h, 6, 2), 6)
+			return Encode(Inst{Op: OpADDI, Rd: rd, Rs1: rd, Imm: imm}), true
+		case 1: // c.jal -> jal ra, offset (RV32 only)
+			return Encode(Inst{Op: OpJAL, Rd: RegRA, Imm: cjImm(h)}), true
+		case 2: // c.li -> addi rd, x0, imm
+			rd := uint8(bits(h, 11, 7))
+			imm := signext(bit(h, 12)<<5|bits(h, 6, 2), 6)
+			return Encode(Inst{Op: OpADDI, Rd: rd, Imm: imm}), true
+		case 3:
+			rd := uint8(bits(h, 11, 7))
+			if rd == RegSP { // c.addi16sp -> addi sp, sp, nzimm
+				imm := signext(bit(h, 12)<<9|bit(h, 6)<<4|bit(h, 5)<<6|
+					bits(h, 4, 3)<<7|bit(h, 2)<<5, 10)
+				if imm == 0 {
+					return 0, false // reserved
+				}
+				return Encode(Inst{Op: OpADDI, Rd: RegSP, Rs1: RegSP, Imm: imm}), true
+			}
+			// c.lui rd, nzimm (rd != 0, 2)
+			imm := signext(bit(h, 12)<<5|bits(h, 6, 2), 6)
+			if rd == 0 || imm == 0 {
+				return 0, false
+			}
+			return Encode(Inst{Op: OpLUI, Rd: rd, Imm: imm << 12}), true
+		case 4:
+			rd := rdPrime(bits(h, 9, 7))
+			switch bits(h, 11, 10) {
+			case 0: // c.srli
+				if bit(h, 12) != 0 {
+					return 0, false // shamt > 31: RV64 only
+				}
+				return Encode(Inst{Op: OpSRLI, Rd: rd, Rs1: rd, Imm: int32(bits(h, 6, 2))}), true
+			case 1: // c.srai
+				if bit(h, 12) != 0 {
+					return 0, false
+				}
+				return Encode(Inst{Op: OpSRAI, Rd: rd, Rs1: rd, Imm: int32(bits(h, 6, 2))}), true
+			case 2: // c.andi
+				imm := signext(bit(h, 12)<<5|bits(h, 6, 2), 6)
+				return Encode(Inst{Op: OpANDI, Rd: rd, Rs1: rd, Imm: imm}), true
+			default: // register-register group
+				if bit(h, 12) != 0 {
+					return 0, false // c.subw/c.addw: RV64 only
+				}
+				rs2 := rdPrime(bits(h, 4, 2))
+				ops := [4]Op{OpSUB, OpXOR, OpOR, OpAND}
+				op := ops[bits(h, 6, 5)]
+				return Encode(Inst{Op: op, Rd: rd, Rs1: rd, Rs2: rs2}), true
+			}
+		case 5: // c.j -> jal x0, offset
+			return Encode(Inst{Op: OpJAL, Rd: RegZero, Imm: cjImm(h)}), true
+		case 6: // c.beqz -> beq rs1', x0, offset
+			return Encode(Inst{Op: OpBEQ, Rs1: rdPrime(bits(h, 9, 7)), Imm: cbImm(h)}), true
+		case 7: // c.bnez -> bne rs1', x0, offset
+			return Encode(Inst{Op: OpBNE, Rs1: rdPrime(bits(h, 9, 7)), Imm: cbImm(h)}), true
+		}
+	case 2:
+		rd := uint8(bits(h, 11, 7))
+		rs2 := uint8(bits(h, 6, 2))
+		switch funct3 {
+		case 0: // c.slli rd, rd, shamt
+			if bit(h, 12) != 0 {
+				return 0, false // shamt > 31: RV64 only
+			}
+			return Encode(Inst{Op: OpSLLI, Rd: rd, Rs1: rd, Imm: int32(bits(h, 6, 2))}), true
+		case 2: // c.lwsp -> lw rd, uimm(sp)
+			if rd == 0 {
+				return 0, false // reserved
+			}
+			uimm := bit(h, 12)<<5 | bits(h, 6, 4)<<2 | bits(h, 3, 2)<<6
+			return Encode(Inst{Op: OpLW, Rd: rd, Rs1: RegSP, Imm: int32(uimm)}), true
+		case 4:
+			if bit(h, 12) == 0 {
+				if rs2 == 0 { // c.jr -> jalr x0, 0(rd)
+					if rd == 0 {
+						return 0, false // reserved
+					}
+					return Encode(Inst{Op: OpJALR, Rs1: rd}), true
+				}
+				// c.mv -> add rd, x0, rs2
+				return Encode(Inst{Op: OpADD, Rd: rd, Rs2: rs2}), true
+			}
+			if rs2 == 0 {
+				if rd == 0 { // c.ebreak
+					return Encode(Inst{Op: OpEBREAK}), true
+				}
+				// c.jalr -> jalr ra, 0(rd)
+				return Encode(Inst{Op: OpJALR, Rd: RegRA, Rs1: rd}), true
+			}
+			// c.add -> add rd, rd, rs2
+			return Encode(Inst{Op: OpADD, Rd: rd, Rs1: rd, Rs2: rs2}), true
+		case 6: // c.swsp -> sw rs2, uimm(sp)
+			uimm := bits(h, 12, 9)<<2 | bits(h, 8, 7)<<6
+			return Encode(Inst{Op: OpSW, Rs2: rs2, Rs1: RegSP, Imm: int32(uimm)}), true
+		}
+	}
+	return 0, false
+}
+
+// cjImm extracts the CJ-format jump offset (c.j / c.jal).
+func cjImm(h uint16) int32 {
+	v := bit(h, 12)<<11 | bit(h, 11)<<4 | bits(h, 10, 9)<<8 |
+		bit(h, 8)<<10 | bit(h, 7)<<6 | bit(h, 6)<<7 |
+		bits(h, 5, 3)<<1 | bit(h, 2)<<5
+	return signext(v, 12)
+}
+
+// cbImm extracts the CB-format branch offset (c.beqz / c.bnez).
+func cbImm(h uint16) int32 {
+	v := bit(h, 12)<<8 | bits(h, 11, 10)<<3 | bits(h, 6, 5)<<6 |
+		bits(h, 4, 3)<<1 | bit(h, 2)<<5
+	return signext(v, 9)
+}
+
+// Compress is the inverse of Expand: the 16-bit encoding of w if one
+// exists. Pseudocode order mirrors the quadrant layout so each arm is
+// easy to check against Expand.
+func Compress(w uint32) (uint16, bool) {
+	inst := Decode(w)
+	reg8 := func(r uint8) bool { return r >= 8 && r < 16 }
+	p := func(r uint8) uint16 { return uint16(r-8) & 7 }
+	switch inst.Op {
+	case OpADDI:
+		imm := inst.Imm
+		switch {
+		case inst.Rs1 == RegSP && reg8(inst.Rd) &&
+			imm > 0 && imm < 1024 && imm&3 == 0:
+			// c.addi4spn
+			u := uint32(imm)
+			return uint16(0<<13 | (u>>4&3)<<11 | (u>>6&15)<<7 |
+				(u>>2&1)<<6 | (u>>3&1)<<5 | uint32(p(inst.Rd))<<2 | 0), true
+		case inst.Rs1 == RegSP && inst.Rd == RegSP &&
+			imm != 0 && imm >= -512 && imm < 512 && imm&15 == 0:
+			// c.addi16sp
+			u := uint32(imm)
+			return uint16(3<<13 | (u>>9&1)<<12 | 2<<7 | (u>>4&1)<<6 |
+				(u>>6&1)<<5 | (u>>7&3)<<3 | (u>>5&1)<<2 | 1), true
+		case inst.Rs1 == inst.Rd && imm >= -32 && imm < 32:
+			// c.addi / c.nop
+			u := uint32(imm)
+			return uint16(0<<13 | (u>>5&1)<<12 | uint32(inst.Rd)<<7 |
+				(u&31)<<2 | 1), true
+		case inst.Rs1 == 0 && imm >= -32 && imm < 32:
+			// c.li
+			u := uint32(imm)
+			return uint16(2<<13 | (u>>5&1)<<12 | uint32(inst.Rd)<<7 |
+				(u&31)<<2 | 1), true
+		}
+	case OpJAL:
+		if imm := inst.Imm; imm >= -2048 && imm < 2048 && imm&1 == 0 &&
+			(inst.Rd == RegZero || inst.Rd == RegRA) {
+			f3 := uint32(5) // c.j
+			if inst.Rd == RegRA {
+				f3 = 1 // c.jal
+			}
+			u := uint32(imm)
+			return uint16(f3<<13 | (u>>11&1)<<12 | (u>>4&1)<<11 |
+				(u>>8&3)<<9 | (u>>10&1)<<8 | (u>>6&1)<<7 | (u>>7&1)<<6 |
+				(u>>1&7)<<3 | (u>>5&1)<<2 | 1), true
+		}
+	case OpLUI:
+		hi := inst.Imm >> 12
+		if inst.Rd != 0 && inst.Rd != RegSP && hi != 0 && hi >= -32 && hi < 32 {
+			u := uint32(hi)
+			return uint16(3<<13 | (u>>5&1)<<12 | uint32(inst.Rd)<<7 |
+				(u&31)<<2 | 1), true
+		}
+	case OpSRLI, OpSRAI:
+		if reg8(inst.Rd) && inst.Rs1 == inst.Rd {
+			grp := uint32(0) // c.srli
+			if inst.Op == OpSRAI {
+				grp = 1
+			}
+			return uint16(4<<13 | grp<<10 | uint32(p(inst.Rd))<<7 |
+				uint32(inst.Imm&31)<<2 | 1), true
+		}
+	case OpANDI:
+		if reg8(inst.Rd) && inst.Rs1 == inst.Rd &&
+			inst.Imm >= -32 && inst.Imm < 32 {
+			u := uint32(inst.Imm)
+			return uint16(4<<13 | (u>>5&1)<<12 | 2<<10 |
+				uint32(p(inst.Rd))<<7 | (u&31)<<2 | 1), true
+		}
+	case OpSUB, OpXOR, OpOR, OpAND:
+		if reg8(inst.Rd) && inst.Rs1 == inst.Rd && reg8(inst.Rs2) {
+			var f2 uint32
+			switch inst.Op {
+			case OpSUB:
+				f2 = 0
+			case OpXOR:
+				f2 = 1
+			case OpOR:
+				f2 = 2
+			default:
+				f2 = 3
+			}
+			return uint16(4<<13 | 3<<10 | uint32(p(inst.Rd))<<7 |
+				f2<<5 | uint32(p(inst.Rs2))<<2 | 1), true
+		}
+	case OpBEQ, OpBNE:
+		if reg8(inst.Rs1) && inst.Rs2 == 0 &&
+			inst.Imm >= -256 && inst.Imm < 256 && inst.Imm&1 == 0 {
+			f3 := uint32(6) // c.beqz
+			if inst.Op == OpBNE {
+				f3 = 7
+			}
+			u := uint32(inst.Imm)
+			return uint16(f3<<13 | (u>>8&1)<<12 | (u>>3&3)<<10 |
+				uint32(p(inst.Rs1))<<7 | (u>>6&3)<<5 | (u>>1&3)<<3 |
+				(u>>5&1)<<2 | 1), true
+		}
+	case OpSLLI:
+		if inst.Rs1 == inst.Rd {
+			return uint16(0<<13 | uint32(inst.Rd)<<7 |
+				uint32(inst.Imm&31)<<2 | 2), true
+		}
+	case OpLW:
+		switch {
+		case inst.Rs1 == RegSP && inst.Rd != 0 &&
+			inst.Imm >= 0 && inst.Imm < 256 && inst.Imm&3 == 0:
+			// c.lwsp
+			u := uint32(inst.Imm)
+			return uint16(2<<13 | (u>>5&1)<<12 | uint32(inst.Rd)<<7 |
+				(u>>2&7)<<4 | (u>>6&3)<<2 | 2), true
+		case reg8(inst.Rd) && reg8(inst.Rs1) &&
+			inst.Imm >= 0 && inst.Imm < 128 && inst.Imm&3 == 0:
+			// c.lw
+			u := uint32(inst.Imm)
+			return uint16(2<<13 | (u>>3&7)<<10 | uint32(p(inst.Rs1))<<7 |
+				(u>>2&1)<<6 | (u>>6&1)<<5 | uint32(p(inst.Rd))<<2 | 0), true
+		}
+	case OpSW:
+		switch {
+		case inst.Rs1 == RegSP &&
+			inst.Imm >= 0 && inst.Imm < 256 && inst.Imm&3 == 0:
+			// c.swsp
+			u := uint32(inst.Imm)
+			return uint16(6<<13 | (u>>2&15)<<9 | (u>>6&3)<<7 |
+				uint32(inst.Rs2)<<2 | 2), true
+		case reg8(inst.Rs2) && reg8(inst.Rs1) &&
+			inst.Imm >= 0 && inst.Imm < 128 && inst.Imm&3 == 0:
+			// c.sw
+			u := uint32(inst.Imm)
+			return uint16(6<<13 | (u>>3&7)<<10 | uint32(p(inst.Rs1))<<7 |
+				(u>>2&1)<<6 | (u>>6&1)<<5 | uint32(p(inst.Rs2))<<2 | 0), true
+		}
+	case OpJALR:
+		if inst.Imm == 0 && inst.Rs1 != 0 {
+			if inst.Rd == RegZero { // c.jr
+				return uint16(4<<13 | uint32(inst.Rs1)<<7 | 2), true
+			}
+			if inst.Rd == RegRA { // c.jalr
+				return uint16(4<<13 | 1<<12 | uint32(inst.Rs1)<<7 | 2), true
+			}
+		}
+	case OpADD:
+		if inst.Rs2 != 0 {
+			if inst.Rs1 == 0 { // c.mv
+				return uint16(4<<13 | uint32(inst.Rd)<<7 |
+					uint32(inst.Rs2)<<2 | 2), true
+			}
+			if inst.Rs1 == inst.Rd { // c.add
+				return uint16(4<<13 | 1<<12 | uint32(inst.Rd)<<7 |
+					uint32(inst.Rs2)<<2 | 2), true
+			}
+		}
+	case OpEBREAK:
+		return uint16(4<<13 | 1<<12 | 2), true
+	}
+	return 0, false
+}
+
+// CompressedSize returns the idealized RVC size in bytes of the RV32
+// text: each word that has a 16-bit encoding counts 2 bytes, the rest 4.
+// This is the "fixed-dictionary compressor" baseline the experiments
+// hold CCRP's per-program Huffman tables against.
+func CompressedSize(text []byte) int {
+	total := 0
+	for off := 0; off+4 <= len(text); off += 4 {
+		w := uint32(text[off]) | uint32(text[off+1])<<8 |
+			uint32(text[off+2])<<16 | uint32(text[off+3])<<24
+		if _, ok := Compress(w); ok {
+			total += 2
+		} else {
+			total += 4
+		}
+	}
+	return total + len(text)%4
+}

@@ -1,0 +1,167 @@
+package riscv
+
+import "testing"
+
+// expandVectors are known RVC expansions cross-checked against
+// `riscv32-unknown-elf-objdump` listings of GCC output: halfword,
+// expanded 32-bit word, and the conventional disassembly of both.
+var expandVectors = []struct {
+	name string
+	h    uint16
+	want uint32
+}{
+	{"c.nop", 0x0001, 0x00000013},             // addi zero, zero, 0
+	{"c.addi s0, 1", 0x0405, 0x00140413},      // addi s0, s0, 1
+	{"c.li a0, 0", 0x4501, 0x00000513},        // addi a0, zero, 0
+	{"c.li a0, 5", 0x4515, 0x00500513},        // addi a0, zero, 5
+	{"c.lui a1, 0x1", 0x6585, 0x000015B7},     // lui a1, 0x1
+	{"c.addi16sp -64", 0x7139, 0xFC010113},    // addi sp, sp, -64
+	{"c.addi4spn a0, 8", 0x0028, 0x00810513},  // addi a0, sp, 8
+	{"c.mv a0, a1", 0x852E, 0x00B00533},       // add a0, zero, a1
+	{"c.add a0, a1", 0x952E, 0x00B50533},      // add a0, a0, a1
+	{"c.sub a0, a1", 0x8D0D, 0x40B50533},      // sub a0, a0, a1
+	{"c.andi a0, 15", 0x893D, 0x00F57513},     // andi a0, a0, 15
+	{"c.srli a0, 2", 0x8109, 0x00255513},      // srli a0, a0, 2
+	{"c.srai a0, 2", 0x8509, 0x40255513},      // srai a0, a0, 2
+	{"c.slli a0, 2", 0x050A, 0x00251513},      // slli a0, a0, 2
+	{"c.lw a0, 0(a1)", 0x4188, 0x0005A503},    // lw a0, 0(a1)
+	{"c.sw a0, 0(a1)", 0xC188, 0x00A5A023},    // sw a0, 0(a1)
+	{"c.lwsp a0, 0(sp)", 0x4502, 0x00012503},  // lw a0, 0(sp)
+	{"c.swsp ra, 12(sp)", 0xC606, 0x00112623}, // sw ra, 12(sp)
+	{"c.j .", 0xA001, 0x0000006F},             // jal zero, 0
+	{"c.jal .", 0x2001, 0x000000EF},           // jal ra, 0
+	{"c.beqz a0, +8", 0xC501, 0x00050463},     // beq a0, zero, +8
+	{"c.bnez a0, +8", 0xE501, 0x00051463},     // bne a0, zero, +8
+	{"c.jr ra (ret)", 0x8082, 0x00008067},     // jalr zero, 0(ra)
+	{"c.jalr a0", 0x9502, 0x000500E7},         // jalr ra, 0(a0)
+	{"c.ebreak", 0x9002, 0x00100073},          // ebreak
+}
+
+func TestExpandVectors(t *testing.T) {
+	for _, v := range expandVectors {
+		got, ok := Expand(v.h)
+		if !ok {
+			t.Errorf("%s: Expand(%#04x) not ok", v.name, v.h)
+			continue
+		}
+		if got != v.want {
+			t.Errorf("%s: Expand(%#04x) = %#08x (%s), want %#08x (%s)",
+				v.name, v.h, got, Disassemble(got, 0), v.want, Disassemble(v.want, 0))
+		}
+	}
+}
+
+func TestExpandRejects(t *testing.T) {
+	bad := []struct {
+		name string
+		h    uint16
+	}{
+		{"all-zero illegal", 0x0000},
+		{"c.addi4spn uimm=0 reserved", 0x0008}, // nzuimm == 0
+		{"c.fld (no FP)", 0x2000},
+		{"c.flw (no FP)", 0x6000},
+		{"c.fsd (no FP)", 0xA000},
+		{"c.fsw (no FP)", 0xE000},
+		{"c.addi16sp nzimm=0 reserved", 0x6101},
+		{"c.lui nzimm=0 reserved", 0x6581},
+		{"c.srli shamt>31 (RV64)", 0x9101},
+		{"c.subw (RV64)", 0x9D01},
+		{"c.slli shamt>31 (RV64)", 0x1502},
+		{"c.lwsp rd=0 reserved", 0x4002},
+		{"c.jr rd=0 reserved", 0x8002},
+	}
+	for _, v := range bad {
+		if w, ok := Expand(v.h); ok {
+			t.Errorf("%s: Expand(%#04x) = %#08x, want not ok (%s)",
+				v.name, v.h, w, Disassemble(w, 0))
+		}
+	}
+}
+
+// TestExpandCompressDifferential is the exhaustive differential check:
+// every expandable halfword must compress back to an encoding that
+// expands to the identical 32-bit word, and every expansion must decode
+// as a valid RV32 instruction.
+func TestExpandCompressDifferential(t *testing.T) {
+	expandable := 0
+	for h := 0; h <= 0xFFFF; h++ {
+		if uint16(h)&3 == 3 {
+			// Not a compressed encoding at all (32-bit instruction
+			// low bits); Expand must reject it.
+			if _, ok := Expand(uint16(h)); ok {
+				t.Fatalf("Expand(%#04x) accepted a non-compressed encoding", h)
+			}
+			continue
+		}
+		w, ok := Expand(uint16(h))
+		if !ok {
+			continue
+		}
+		expandable++
+		if inst := Decode(w); inst.Op == OpInvalid {
+			t.Fatalf("Expand(%#04x) = %#08x does not decode", h, w)
+		}
+		h2, ok := Compress(w)
+		if !ok {
+			t.Fatalf("Compress(Expand(%#04x)) = Compress(%#08x %s) not ok",
+				h, w, Disassemble(w, 0))
+		}
+		w2, ok := Expand(h2)
+		if !ok || w2 != w {
+			t.Fatalf("Expand(Compress(%#08x)) = Expand(%#04x) = %#08x, ok=%v; want %#08x",
+				w, h2, w2, ok, w)
+		}
+	}
+	// Sanity: a healthy fraction of the 3/4 compressed space decodes.
+	if expandable < 10000 {
+		t.Errorf("only %d expandable halfwords; expander too strict", expandable)
+	}
+}
+
+// TestCompressRejectsUncompressible spot-checks 32-bit instructions with
+// no 16-bit form.
+func TestCompressRejectsUncompressible(t *testing.T) {
+	bad := []Inst{
+		{Op: OpADDI, Rd: 10, Rs1: 11, Imm: 1},      // rd != rs1, rs1 != 0/sp
+		{Op: OpADDI, Rd: 10, Rs1: 10, Imm: 100},    // imm out of 6-bit range
+		{Op: OpXOR, Rd: 10, Rs1: 11, Rs2: 12},      // rd != rs1
+		{Op: OpXOR, Rd: 20, Rs1: 20, Rs2: 21},      // not x8..x15
+		{Op: OpLW, Rd: 10, Rs1: 11, Imm: 2},        // unscaled offset
+		{Op: OpLW, Rd: 10, Rs1: 11, Imm: 128},      // offset out of range
+		{Op: OpSW, Rs2: 10, Rs1: 11, Imm: -4},      // negative offset
+		{Op: OpBEQ, Rs1: 10, Rs2: 11, Imm: 8},      // rs2 != x0
+		{Op: OpBEQ, Rs1: 10, Rs2: 0, Imm: 1 << 10}, // offset out of range
+		{Op: OpJAL, Rd: 5, Imm: 8},                 // link register not ra/zero
+		{Op: OpJALR, Rd: RegRA, Rs1: 10, Imm: 4},   // nonzero offset
+		{Op: OpLUI, Rd: 10, Imm: 0x12345 << 12},    // hi20 out of 6-bit range
+		{Op: OpAUIPC, Rd: 10, Imm: 1 << 12},        // no compressed auipc
+		{Op: OpMUL, Rd: 10, Rs1: 10, Rs2: 11},      // no compressed M
+		{Op: OpECALL},                              // no compressed ecall
+	}
+	for _, inst := range bad {
+		w := Encode(inst)
+		if h, ok := Compress(w); ok {
+			t.Errorf("Compress(%#08x %s) = %#04x, want not ok",
+				w, Disassemble(w, 0), h)
+		}
+	}
+}
+
+func TestCompressedSize(t *testing.T) {
+	le := func(words ...uint32) []byte {
+		var b []byte
+		for _, w := range words {
+			b = append(b, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+		}
+		return b
+	}
+	// add a0,a0,a1 (2 bytes) + ecall (4 bytes)
+	text := le(Encode(Inst{Op: OpADD, Rd: 10, Rs1: 10, Rs2: 11}),
+		Encode(Inst{Op: OpECALL}))
+	if got := CompressedSize(text); got != 6 {
+		t.Errorf("CompressedSize = %d, want 6", got)
+	}
+	if got := CompressedSize(nil); got != 0 {
+		t.Errorf("CompressedSize(nil) = %d, want 0", got)
+	}
+}

@@ -1,8 +1,9 @@
-// Package sim is a functional (architectural) simulator for MIPS R2000
-// user-mode programs produced by internal/asm. It executes branch delay
-// slots per MIPS-I, models HI/LO multiply/divide latency and load-use
-// interlocks as pipeline stall cycles, implements a COP1 floating-point
-// subset, and services SPIM-style syscalls.
+// Package sim is a functional (architectural) simulator for user-mode
+// programs produced by internal/asm. The Machine owns the generic state —
+// memory, the general register file, the PC pair, counters, syscalls —
+// and delegates instruction semantics to the program's isa.Executor
+// backend (MIPS R2000 with delay slots, HI/LO latency, and a COP1 subset
+// by default; RV32I via internal/riscv).
 //
 // Its role in the reproduction is the one pixie played in the paper: it
 // documents the detailed behaviour of each program and generates
@@ -16,33 +17,20 @@ import (
 	"io"
 
 	"ccrp/internal/asm"
+	"ccrp/internal/isa"
 	"ccrp/internal/metrics"
-	"ccrp/internal/mips"
 	"ccrp/internal/trace"
 )
 
-// Stall-model parameters, in processor cycles. The multiply/divide
-// latencies are the R2000's; the FP latencies approximate the R2010 FPA.
-const (
-	multLatency  = 12
-	divLatency   = 35
-	loadUseStall = 1
-	fpAddStall   = 1
-	fpMulSStall  = 3
-	fpMulDStall  = 4
-	fpDivSStall  = 11
-	fpDivDStall  = 18
-	fpCvtStall   = 2
-)
-
-// Simulation errors.
+// Simulation errors. The fault values are shared with the ISA backends
+// through internal/isa so errors.Is works on either side.
 var (
 	ErrMaxInstructions = errors.New("sim: instruction limit exceeded")
-	ErrBadAddress      = errors.New("sim: address out of range")
-	ErrUnaligned       = errors.New("sim: unaligned access")
-	ErrInvalidOp       = errors.New("sim: invalid instruction")
-	ErrOverflow        = errors.New("sim: arithmetic overflow trap")
-	ErrBadSyscall      = errors.New("sim: unknown syscall")
+	ErrBadAddress      = isa.ErrBadAddress
+	ErrUnaligned       = isa.ErrUnaligned
+	ErrInvalidOp       = isa.ErrInvalidOp
+	ErrOverflow        = isa.ErrOverflow
+	ErrBadSyscall      = isa.ErrBadSyscall
 )
 
 // Config controls a simulation run.
@@ -73,15 +61,13 @@ type Result struct {
 // data access penalties are added by the system model on top of this.
 func (r *Result) BaseCycles() uint64 { return r.Instructions + r.Stalls }
 
-// Machine is one R2000 processor plus its 24-bit physical memory.
+// Machine is one processor plus its 24-bit physical memory. It implements
+// isa.CPU; ISA-private state (HI/LO, FP registers, interlock timers)
+// lives in the executor.
 type Machine struct {
 	cfg  Config
 	mem  []byte
 	regs [32]uint32
-	fpr  [32]uint32
-	hi   uint32
-	lo   uint32
-	fpc  bool // FP condition flag
 
 	pc  uint32
 	npc uint32
@@ -90,48 +76,64 @@ type Machine struct {
 	stalls    uint64
 	loads     uint64
 	stores    uint64
-	hiloReady uint64 // icount at which HI/LO are interlocked-free
-	lastLoad  int16  // register written by the previous load, -1 if none
 	inputPos  int
 	events    []trace.Event
+	ev        trace.Event // event being built for the current instruction
 	exitCode  int32
 	done      bool
 	textLimit uint32
 	im        *instruments // nil when metrics are disabled
+
+	exec    isa.Executor
+	execErr error // deferred ISA-resolution failure, reported on first step
 }
 
-// New loads prog into a fresh machine.
+var _ isa.CPU = (*Machine)(nil)
+
+// New loads prog into a fresh machine. The executor backend is resolved
+// from prog.ISA (empty selects the default); a resolution failure is
+// reported by the first Run or Step call.
 func New(prog *asm.Program, cfg Config) *Machine {
 	if cfg.MaxInstr == 0 {
 		cfg.MaxInstr = 100_000_000
 	}
 	m := &Machine{
-		cfg:      cfg,
-		mem:      make([]byte, asm.AddrSpace),
-		pc:       prog.Entry,
-		npc:      prog.Entry + 4,
-		lastLoad: -1,
+		cfg: cfg,
+		mem: make([]byte, asm.AddrSpace),
+		pc:  prog.Entry,
+		npc: prog.Entry + 4,
 	}
 	copy(m.mem[asm.TextBase:], prog.Text)
 	copy(m.mem[asm.DataBase:], prog.Data)
 	m.textLimit = asm.TextBase + uint32(len(prog.Text))
-	m.regs[mips.RegSP] = asm.StackTop
-	m.regs[mips.RegGP] = asm.DataBase + 0x8000
 	if cfg.CollectTrace {
 		m.events = make([]trace.Event, 0, 1<<16)
 	}
 	if cfg.Metrics != nil {
 		m.im = newInstruments(cfg.Metrics)
 	}
+	arch, err := isa.Lookup(prog.ISA)
+	if err != nil {
+		m.execErr = err
+		return m
+	}
+	eb, ok := arch.(isa.ExecBackend)
+	if !ok {
+		m.execErr = fmt.Errorf("sim: ISA %q has no execution backend", arch.Name())
+		return m
+	}
+	m.npc = prog.Entry + uint32(arch.WordBytes())
+	m.exec = eb.NewExecutor()
+	m.exec.Reset(m)
 	return m
 }
 
 // Reg returns the value of GPR r.
 func (m *Machine) Reg(r uint8) uint32 { return m.regs[r&31] }
 
-// SetReg writes GPR r (writes to $zero are ignored).
+// SetReg writes GPR r (writes to register 0 are ignored).
 func (m *Machine) SetReg(r uint8, v uint32) {
-	if r != 0 {
+	if r&31 != 0 {
 		m.regs[r&31] = v
 	}
 }
@@ -139,21 +141,75 @@ func (m *Machine) SetReg(r uint8, v uint32) {
 // PC returns the current program counter.
 func (m *Machine) PC() uint32 { return m.pc }
 
-// faultf builds an execution error annotated with the faulting PC.
-func (m *Machine) faultf(base error, format string, args ...any) error {
+// SetPC sets the current program counter.
+func (m *Machine) SetPC(pc uint32) { m.pc = pc }
+
+// NPC returns the next fetch address (the delay-slot companion of PC).
+func (m *Machine) NPC() uint32 { return m.npc }
+
+// SetNPC sets the next fetch address.
+func (m *Machine) SetNPC(pc uint32) { m.npc = pc }
+
+// Icount returns the dynamic instruction count, not counting the
+// instruction currently executing.
+func (m *Machine) Icount() uint64 { return m.icount }
+
+// AddStalls attributes n pipeline stall cycles to the run.
+func (m *Machine) AddStalls(n uint64) { m.stalls += n }
+
+// CountClass attributes the current instruction to its pipeline class.
+func (m *Machine) CountClass(c isa.Class) {
+	if m.im != nil {
+		m.im.class[c].Inc()
+	}
+}
+
+// NoteLoad records that the current instruction reads data memory at addr.
+func (m *Machine) NoteLoad(addr uint32) {
+	m.ev.Flags |= trace.FlagLoad
+	m.ev.Addr = addr
+	m.loads++
+}
+
+// NoteStore records that the current instruction writes data memory at addr.
+func (m *Machine) NoteStore(addr uint32) {
+	m.ev.Flags |= trace.FlagStore
+	m.ev.Addr = addr
+	m.stores++
+}
+
+// Exit halts the machine with the given status code.
+func (m *Machine) Exit(code uint32) {
+	m.done = true
+	m.exitCode = int32(code)
+}
+
+// Faultf builds an execution error annotated with the faulting PC.
+func (m *Machine) Faultf(base error, format string, args ...any) error {
 	return fmt.Errorf("%w at pc=%#08x: %s", base, m.pc, fmt.Sprintf(format, args...))
+}
+
+// FetchWord reads the instruction word at pc, enforcing the text limit
+// and word alignment.
+func (m *Machine) FetchWord(pc uint32) (isa.Word, error) {
+	if pc >= m.textLimit || pc&3 != 0 {
+		return 0, m.Faultf(ErrBadAddress, "instruction fetch outside text (limit %#x)", m.textLimit)
+	}
+	w, err := m.LoadWord(pc)
+	return isa.Word(w), err
 }
 
 func (m *Machine) checkAddr(addr uint32, size uint32) error {
 	if addr >= uint32(len(m.mem)) || addr+size > uint32(len(m.mem)) {
-		return m.faultf(ErrBadAddress, "%#08x", addr)
+		return m.Faultf(ErrBadAddress, "%#08x", addr)
 	}
 	return nil
 }
 
-func (m *Machine) loadWord(addr uint32) (uint32, error) {
+// LoadWord reads an aligned word of data memory.
+func (m *Machine) LoadWord(addr uint32) (uint32, error) {
 	if addr&3 != 0 {
-		return 0, m.faultf(ErrUnaligned, "lw %#08x", addr)
+		return 0, m.Faultf(ErrUnaligned, "lw %#08x", addr)
 	}
 	if err := m.checkAddr(addr, 4); err != nil {
 		return 0, err
@@ -161,9 +217,10 @@ func (m *Machine) loadWord(addr uint32) (uint32, error) {
 	return binary.LittleEndian.Uint32(m.mem[addr:]), nil
 }
 
-func (m *Machine) storeWord(addr uint32, v uint32) error {
+// StoreWord writes an aligned word of data memory.
+func (m *Machine) StoreWord(addr uint32, v uint32) error {
 	if addr&3 != 0 {
-		return m.faultf(ErrUnaligned, "sw %#08x", addr)
+		return m.Faultf(ErrUnaligned, "sw %#08x", addr)
 	}
 	if err := m.checkAddr(addr, 4); err != nil {
 		return err
@@ -172,9 +229,10 @@ func (m *Machine) storeWord(addr uint32, v uint32) error {
 	return nil
 }
 
-func (m *Machine) loadHalf(addr uint32) (uint16, error) {
+// LoadHalf reads an aligned halfword of data memory.
+func (m *Machine) LoadHalf(addr uint32) (uint16, error) {
 	if addr&1 != 0 {
-		return 0, m.faultf(ErrUnaligned, "lh %#08x", addr)
+		return 0, m.Faultf(ErrUnaligned, "lh %#08x", addr)
 	}
 	if err := m.checkAddr(addr, 2); err != nil {
 		return 0, err
@@ -182,9 +240,10 @@ func (m *Machine) loadHalf(addr uint32) (uint16, error) {
 	return binary.LittleEndian.Uint16(m.mem[addr:]), nil
 }
 
-func (m *Machine) storeHalf(addr uint32, v uint16) error {
+// StoreHalf writes an aligned halfword of data memory.
+func (m *Machine) StoreHalf(addr uint32, v uint16) error {
 	if addr&1 != 0 {
-		return m.faultf(ErrUnaligned, "sh %#08x", addr)
+		return m.Faultf(ErrUnaligned, "sh %#08x", addr)
 	}
 	if err := m.checkAddr(addr, 2); err != nil {
 		return err
@@ -193,18 +252,37 @@ func (m *Machine) storeHalf(addr uint32, v uint16) error {
 	return nil
 }
 
-func (m *Machine) loadByte(addr uint32) (byte, error) {
+// LoadByte reads a byte of data memory.
+func (m *Machine) LoadByte(addr uint32) (byte, error) {
 	if err := m.checkAddr(addr, 1); err != nil {
 		return 0, err
 	}
 	return m.mem[addr], nil
 }
 
-func (m *Machine) storeByte(addr uint32, v byte) error {
+// StoreByte writes a byte of data memory.
+func (m *Machine) StoreByte(addr uint32, v byte) error {
 	if err := m.checkAddr(addr, 1); err != nil {
 		return err
 	}
 	m.mem[addr] = v
+	return nil
+}
+
+// step runs the executor for one instruction and completes the machine's
+// per-instruction accounting on success.
+func (m *Machine) step() error {
+	if m.exec == nil {
+		return m.execErr
+	}
+	m.ev = trace.Event{PC: m.pc}
+	if err := m.exec.Step(m); err != nil {
+		return err
+	}
+	if m.cfg.CollectTrace {
+		m.events = append(m.events, m.ev)
+	}
+	m.icount++
 	return nil
 }
 
@@ -213,7 +291,7 @@ func (m *Machine) storeByte(addr uint32, v byte) error {
 func (m *Machine) Run() (*Result, error) {
 	for !m.done {
 		if m.icount >= m.cfg.MaxInstr {
-			return m.result(), m.faultf(ErrMaxInstructions, "%d executed", m.icount)
+			return m.result(), m.Faultf(ErrMaxInstructions, "%d executed", m.icount)
 		}
 		if err := m.step(); err != nil {
 			return m.result(), err
@@ -243,7 +321,7 @@ func (m *Machine) Step() error {
 		return nil
 	}
 	if m.icount >= m.cfg.MaxInstr {
-		return m.faultf(ErrMaxInstructions, "%d executed", m.icount)
+		return m.Faultf(ErrMaxInstructions, "%d executed", m.icount)
 	}
 	return m.step()
 }
@@ -257,15 +335,40 @@ func (m *Machine) Instructions() uint64 { return m.icount }
 // Snapshot returns the current result counters without ending the run.
 func (m *Machine) Snapshot() *Result { return m.result() }
 
-// HI and LO expose the multiply/divide result registers.
-func (m *Machine) HI() uint32 { return m.hi }
-func (m *Machine) LO() uint32 { return m.lo }
+// execState returns the executor's optional register-inspection surface.
+func (m *Machine) execState() (isa.ExecState, bool) {
+	s, ok := m.exec.(isa.ExecState)
+	return s, ok
+}
 
-// FPR returns the raw bits of FP register r.
-func (m *Machine) FPR(r uint8) uint32 { return m.fpr[r&31] }
+// HI and LO expose the multiply/divide result registers on backends that
+// have them (zero otherwise).
+func (m *Machine) HI() uint32 {
+	if s, ok := m.execState(); ok {
+		return s.ReadHI()
+	}
+	return 0
+}
+
+// LO is HI's companion accessor.
+func (m *Machine) LO() uint32 {
+	if s, ok := m.execState(); ok {
+		return s.ReadLO()
+	}
+	return 0
+}
+
+// FPR returns the raw bits of FP register r (zero on backends without a
+// floating-point register file).
+func (m *Machine) FPR(r uint8) uint32 {
+	if s, ok := m.execState(); ok {
+		return s.ReadFPR(r)
+	}
+	return 0
+}
 
 // ReadWord reads a word from memory without tracing (for debuggers).
-func (m *Machine) ReadWord(addr uint32) (uint32, error) { return m.loadWord(addr) }
+func (m *Machine) ReadWord(addr uint32) (uint32, error) { return m.LoadWord(addr) }
 
 // PeekByte reads a byte from memory without tracing.
-func (m *Machine) PeekByte(addr uint32) (byte, error) { return m.loadByte(addr) }
+func (m *Machine) PeekByte(addr uint32) (byte, error) { return m.LoadByte(addr) }

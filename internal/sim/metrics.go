@@ -1,24 +1,9 @@
 package sim
 
 import (
+	"ccrp/internal/isa"
 	"ccrp/internal/metrics"
-	"ccrp/internal/mips"
 )
-
-// classNames maps mips.Class values to metric label values.
-var classNames = map[mips.Class]string{
-	mips.ClassALU:    "alu",
-	mips.ClassShift:  "shift",
-	mips.ClassMulDiv: "muldiv",
-	mips.ClassHILO:   "hilo",
-	mips.ClassLoad:   "load",
-	mips.ClassStore:  "store",
-	mips.ClassBranch: "branch",
-	mips.ClassJump:   "jump",
-	mips.ClassSys:    "sys",
-	mips.ClassFPU:    "fpu",
-	mips.ClassFPBr:   "fpbr",
-}
 
 // syscallNames maps SPIM syscall numbers to metric label values.
 var syscallNames = map[uint32]string{
@@ -35,7 +20,7 @@ var syscallNames = map[uint32]string{
 // counts. A nil pointer (the default) keeps the dispatch loop free of
 // them.
 type instruments struct {
-	class    [16]*metrics.Counter // indexed by mips.Class
+	class    [isa.NumClasses]*metrics.Counter // indexed by isa.Class
 	syscalls map[uint32]*metrics.Counter
 	other    *metrics.Counter // syscalls with numbers outside syscallNames
 }
@@ -45,8 +30,8 @@ func newInstruments(reg *metrics.Registry) *instruments {
 	im := &instruments{syscalls: make(map[uint32]*metrics.Counter, len(syscallNames))}
 	classVec := reg.CounterVec("ccrp_sim_instructions_total",
 		"dynamic instruction mix by pipeline class", "class")
-	for class, name := range classNames {
-		im.class[class] = classVec.With(name)
+	for c := isa.Class(0); c < isa.NumClasses; c++ {
+		im.class[c] = classVec.With(c.String())
 	}
 	sysVec := reg.CounterVec("ccrp_sim_syscalls_total", "syscalls by service", "syscall")
 	for num, name := range syscallNames {

@@ -7,7 +7,7 @@ import (
 	"testing"
 
 	"ccrp/internal/asm"
-	"ccrp/internal/mips"
+	_ "ccrp/internal/mips" // register the default backend
 )
 
 // run assembles and executes src, returning result and console output.
@@ -641,8 +641,8 @@ func TestPCAccessors(t *testing.T) {
 	if m.PC() != 0 {
 		t.Errorf("initial pc = %#x", m.PC())
 	}
-	if m.Reg(mips.RegSP) != asm.StackTop {
-		t.Errorf("sp = %#x", m.Reg(mips.RegSP))
+	if m.Reg(29) != asm.StackTop {
+		t.Errorf("sp = %#x", m.Reg(29))
 	}
 	m.SetReg(5, 77)
 	if m.Reg(5) != 77 {

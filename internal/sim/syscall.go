@@ -1,12 +1,9 @@
 package sim
 
-import (
-	"fmt"
+import "fmt"
 
-	"ccrp/internal/mips"
-)
-
-// SPIM-compatible syscall numbers (in $v0 at the SYSCALL instruction).
+// SPIM-compatible syscall numbers (in the ISA's syscall-number register —
+// $v0 on MIPS, a7 on RISC-V — when the syscall instruction executes).
 const (
 	SysPrintInt    = 1
 	SysPrintString = 4
@@ -20,17 +17,20 @@ const (
 // of memory.
 const maxCString = 1 << 16
 
-func (m *Machine) syscall() error {
+// Syscall implements the isa.CPU host-service hook: num is the service
+// number, arg its argument register. hasResult reports whether result
+// must be written back to the ISA's return register (read_int only).
+func (m *Machine) Syscall(num, arg uint32) (result uint32, hasResult bool, err error) {
 	if m.im != nil {
-		m.im.countSyscall(m.regs[mips.RegV0])
+		m.im.countSyscall(num)
 	}
-	switch m.regs[mips.RegV0] {
+	switch num {
 	case SysPrintInt:
-		m.printf("%d", int32(m.regs[mips.RegA0]))
+		m.printf("%d", int32(arg))
 	case SysPrintString:
-		s, err := m.cstring(m.regs[mips.RegA0])
+		s, err := m.cstring(arg)
 		if err != nil {
-			return err
+			return 0, false, err
 		}
 		m.printf("%s", s)
 	case SysReadInt:
@@ -39,19 +39,17 @@ func (m *Machine) syscall() error {
 			v = m.cfg.Input[m.inputPos]
 			m.inputPos++
 		}
-		m.regs[mips.RegV0] = uint32(v)
+		return uint32(v), true, nil
 	case SysExit:
-		m.done = true
-		m.exitCode = 0
+		m.Exit(0)
 	case SysPrintChar:
-		m.printf("%c", rune(m.regs[mips.RegA0]))
+		m.printf("%c", rune(arg))
 	case SysExit2:
-		m.done = true
-		m.exitCode = int32(m.regs[mips.RegA0])
+		m.Exit(arg)
 	default:
-		return m.faultf(ErrBadSyscall, "number %d", m.regs[mips.RegV0])
+		return 0, false, m.Faultf(ErrBadSyscall, "number %d", num)
 	}
-	return nil
+	return 0, false, nil
 }
 
 func (m *Machine) printf(format string, args ...any) {
@@ -64,7 +62,7 @@ func (m *Machine) printf(format string, args ...any) {
 func (m *Machine) cstring(addr uint32) (string, error) {
 	var out []byte
 	for i := 0; i < maxCString; i++ {
-		b, err := m.loadByte(addr + uint32(i))
+		b, err := m.LoadByte(addr + uint32(i))
 		if err != nil {
 			return "", err
 		}
@@ -73,5 +71,5 @@ func (m *Machine) cstring(addr uint32) (string, error) {
 		}
 		out = append(out, b)
 	}
-	return "", m.faultf(ErrBadAddress, "unterminated string at %#x", addr)
+	return "", m.Faultf(ErrBadAddress, "unterminated string at %#x", addr)
 }

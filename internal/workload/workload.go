@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"ccrp/internal/asm"
+	_ "ccrp/internal/mips" // the corpus is R2000 code; register its backend
 	"ccrp/internal/sim"
 	"ccrp/internal/trace"
 )
@@ -26,6 +27,7 @@ import (
 type Workload struct {
 	Name        string
 	Description string
+	ISA         string // ISA backend name ("" means the default MIPS)
 	PaperBytes  int    // static size reported in the paper, for reference
 	InFigure5   bool   // member of the ten-program Figure 5 compression set
 	WantOutput  string // golden console output (checked by tests)
@@ -252,7 +254,7 @@ func Names() []string {
 func (w *Workload) build() {
 	w.once.Do(func() {
 		w.src = w.buildSrc()
-		prog, err := asm.Assemble(w.Name, w.src)
+		prog, err := asm.AssembleFor(w.ISA, w.Name, w.src)
 		if err != nil {
 			w.buildErr = fmt.Errorf("workload %s: %w", w.Name, err)
 			return

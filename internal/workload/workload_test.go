@@ -5,7 +5,8 @@ import (
 	"testing"
 
 	"ccrp/internal/asm"
-	"ccrp/internal/mips"
+	"ccrp/internal/isa"
+	_ "ccrp/internal/mips" // register the default backend
 )
 
 func TestAllWorkloadsRunToCompletion(t *testing.T) {
@@ -122,11 +123,15 @@ func TestTextIsValidCode(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", w.Name, err)
 		}
+		arch, err := isa.Lookup(p.ISA)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
 		words := 0
 		for off := 0; off+4 <= len(p.Text); off += 4 {
-			raw := mips.Word(uint32(p.Text[off]) | uint32(p.Text[off+1])<<8 |
+			raw := isa.Word(uint32(p.Text[off]) | uint32(p.Text[off+1])<<8 |
 				uint32(p.Text[off+2])<<16 | uint32(p.Text[off+3])<<24)
-			if mips.Decode(raw).Op == mips.OpInvalid && raw != 0 {
+			if info := arch.Decode(raw, uint32(off)); !info.Valid && raw != 0 {
 				t.Errorf("%s: invalid instruction %#08x at %#x", w.Name, uint32(raw), off)
 				break
 			}

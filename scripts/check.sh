@@ -3,7 +3,11 @@
 # suite under the race detector. Run from the repository root (make
 # check). Any failing stage aborts the run with exit code 1 and names
 # itself, so CI logs and local runs point straight at the broken gate.
-set -u
+set -eu
+# pipefail surfaces failures on the left side of pipes; it is not in
+# POSIX sh everywhere, so probe for it instead of assuming bash.
+(set -o pipefail 2>/dev/null) && set -o pipefail
+
 
 cd "$(dirname "$0")/.."
 
@@ -43,6 +47,7 @@ else
 fi
 
 stage "go test -race ./..." go test -race ./...
+stage "isa smoke" sh scripts/isa_smoke.sh
 stage "decode smoke" sh scripts/decode_smoke.sh
 stage "trace smoke" sh scripts/trace_smoke.sh
 stage "persist smoke" sh scripts/persist_smoke.sh

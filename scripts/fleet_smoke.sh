@@ -27,6 +27,10 @@
 # CCRP_SMOKE_DIR set, the working directory (daemon logs, access and
 # span JSONL, the shared store) is kept for CI failure-artifact upload.
 set -eu
+# pipefail surfaces failures on the left side of pipes; it is not in
+# POSIX sh everywhere, so probe for it instead of assuming bash.
+(set -o pipefail 2>/dev/null) && set -o pipefail
+
 
 cd "$(dirname "$0")/.."
 

@@ -14,6 +14,10 @@
 # files, the store itself) is created under it and kept, so CI can
 # upload it as a failure artifact; otherwise a mktemp dir is cleaned up.
 set -eu
+# pipefail surfaces failures on the left side of pipes; it is not in
+# POSIX sh everywhere, so probe for it instead of assuming bash.
+(set -o pipefail 2>/dev/null) && set -o pipefail
+
 
 cd "$(dirname "$0")/.."
 

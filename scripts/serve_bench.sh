@@ -8,6 +8,10 @@
 #
 # Usage: scripts/serve_bench.sh [label] [extra ccrp-load flags...]
 set -eu
+# pipefail surfaces failures on the left side of pipes; it is not in
+# POSIX sh everywhere, so probe for it instead of assuming bash.
+(set -o pipefail 2>/dev/null) && set -o pipefail
+
 
 cd "$(dirname "$0")/.."
 

@@ -15,6 +15,10 @@
 #
 # Usage: scripts/store_bench.sh [label] [blocks] [batch]
 set -eu
+# pipefail surfaces failures on the left side of pipes; it is not in
+# POSIX sh everywhere, so probe for it instead of assuming bash.
+(set -o pipefail 2>/dev/null) && set -o pipefail
+
 
 cd "$(dirname "$0")/.."
 

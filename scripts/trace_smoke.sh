@@ -14,6 +14,10 @@
 # access JSONL) lives under it and is kept for CI failure-artifact
 # upload.
 set -eu
+# pipefail surfaces failures on the left side of pipes; it is not in
+# POSIX sh everywhere, so probe for it instead of assuming bash.
+(set -o pipefail 2>/dev/null) && set -o pipefail
+
 
 cd "$(dirname "$0")/.."
 
